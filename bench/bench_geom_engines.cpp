@@ -1,0 +1,102 @@
+// Microbenchmark of the two geometry engines — the GEOS-vs-JTS axis the
+// paper identifies as a major factor in HadoopGIS's slow refinement
+// (Section II.C, citing its ref [6]: "JTS can be several times faster than
+// GEOS"). The Simple engine recomputes every predicate naively; the
+// Prepared engine binds the anchor once and answers from its acceleration
+// structures. The measured ratio is the structural speed gap.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "geom/engine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sjc;
+
+geom::Geometry census_block(Rng& rng, int vertices) {
+  const geom::Coord c{rng.uniform(0, 1000), rng.uniform(0, 1000)};
+  geom::Ring ring;
+  for (int i = 0; i < vertices; ++i) {
+    const double a = i * 2.0 * 3.14159265358979 / vertices;
+    const double r = rng.uniform(30.0, 60.0);
+    ring.push_back({c.x + r * std::cos(a), c.y + r * std::sin(a)});
+  }
+  ring.push_back(ring.front());
+  return geom::Geometry::polygon(std::move(ring));
+}
+
+geom::Geometry river(Rng& rng, int vertices) {
+  std::vector<geom::Coord> pts;
+  geom::Coord cur{rng.uniform(0, 1000), rng.uniform(0, 1000)};
+  double heading = rng.uniform(0, 6.28);
+  pts.push_back(cur);
+  for (int i = 1; i < vertices; ++i) {
+    heading += rng.uniform(-0.3, 0.3);
+    cur = {cur.x + 8 * std::cos(heading), cur.y + 8 * std::sin(heading)};
+    pts.push_back(cur);
+  }
+  return geom::Geometry::line_string(std::move(pts));
+}
+
+// Point-in-polygon refinement: one polygon probed by many points (the
+// taxi x nycb access pattern).
+void BM_PointInPolygon(benchmark::State& state, geom::EngineKind kind) {
+  Rng rng(1);
+  const int vertices = static_cast<int>(state.range(0));
+  const geom::Geometry poly = census_block(rng, vertices);
+  std::vector<geom::Geometry> probes;
+  const auto& env = poly.envelope();
+  for (int i = 0; i < 512; ++i) {
+    probes.push_back(geom::Geometry::point(
+        rng.uniform(env.min_x() - 10, env.max_x() + 10),
+        rng.uniform(env.min_y() - 10, env.max_y() + 10)));
+  }
+  const auto& engine = geom::GeometryEngine::get(kind);
+  for (auto _ : state) {
+    const auto bound = engine.bind(poly);
+    int hits = 0;
+    for (const auto& p : probes) hits += bound->contains(p) ? 1 : 0;
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+
+// Polyline-intersection refinement: one river probed by many street
+// segments (the edges x linearwater access pattern).
+void BM_PolylineIntersect(benchmark::State& state, geom::EngineKind kind) {
+  Rng rng(2);
+  const int vertices = static_cast<int>(state.range(0));
+  const geom::Geometry water = river(rng, vertices);
+  std::vector<geom::Geometry> probes;
+  const auto& env = water.envelope();
+  for (int i = 0; i < 256; ++i) {
+    const double x = rng.uniform(env.min_x() - 5, env.max_x() + 5);
+    const double y = rng.uniform(env.min_y() - 5, env.max_y() + 5);
+    probes.push_back(geom::Geometry::line_string(
+        {{x, y}, {x + rng.uniform(-15, 15), y + rng.uniform(-15, 15)},
+         {x + rng.uniform(-15, 15), y + rng.uniform(-15, 15)}}));
+  }
+  const auto& engine = geom::GeometryEngine::get(kind);
+  for (auto _ : state) {
+    const auto bound = engine.bind(water);
+    int hits = 0;
+    for (const auto& p : probes) hits += bound->intersects(p) ? 1 : 0;
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+
+BENCHMARK_CAPTURE(BM_PointInPolygon, simple_geos_analog, geom::EngineKind::kSimple)
+    ->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK_CAPTURE(BM_PointInPolygon, prepared_jts_analog, geom::EngineKind::kPrepared)
+    ->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK_CAPTURE(BM_PolylineIntersect, simple_geos_analog, geom::EngineKind::kSimple)
+    ->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK_CAPTURE(BM_PolylineIntersect, prepared_jts_analog, geom::EngineKind::kPrepared)
+    ->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Node-count scalability sweep. The paper varies EC2 clusters from 10 down
+// to 6 nodes (excluding 4 and 2 for memory reasons) and observes "roughly
+// the same" runtimes across EC2 configurations for the sample datasets —
+// i.e., poor scalability, because per-job overheads and shuffles dominate
+// small workloads. This bench sweeps 2..12 nodes on both experiments and
+// prints where each system's failure region ends.
+#include <cstdio>
+
+#include "core/experiments.hpp"
+#include "core/spatial_join.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+int main() {
+  using namespace sjc;
+  const double scale = core::bench_scale();
+  workload::WorkloadConfig wc;
+  wc.scale = scale;
+
+  std::printf(
+      "== Scalability: EC2 node-count sweep (sim seconds; '-' = failed) ==\n\n");
+
+  for (const auto& def : {core::sample_experiments()[0], core::full_experiments()[0]}) {
+    const auto left = workload::generate(def.left, wc);
+    const auto right = workload::generate(def.right, wc);
+    std::printf("experiment %s (%s):\n", def.id.c_str(),
+                core::join_predicate_name(def.predicate));
+
+    TablePrinter table({"system", "EC2-2", "EC2-4", "EC2-6", "EC2-8", "EC2-10",
+                        "EC2-12"});
+    for (const auto system :
+         {core::SystemKind::kHadoopGisSim, core::SystemKind::kSpatialHadoopSim,
+          core::SystemKind::kSpatialSparkSim}) {
+      std::vector<std::string> row = {core::system_kind_name(system)};
+      for (const std::uint32_t nodes : {2u, 4u, 6u, 8u, 10u, 12u}) {
+        core::JoinQueryConfig query;
+        query.predicate = def.predicate;
+        core::ExecutionConfig exec;
+        exec.cluster = cluster::ClusterSpec::ec2(nodes);
+        exec.data_scale = 1.0 / scale;
+        const auto report = core::run_spatial_join(system, left, right, query, exec);
+        row.push_back(report.success ? format_seconds(report.total_seconds) : "-");
+      }
+      table.add_row(std::move(row));
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "expected shapes: SpatialSpark's OOM region covers small clusters on the\n"
+      "full workload (the paper excluded EC2-4/EC2-2 for this reason);\n"
+      "SpatialHadoop completes everywhere but gains little from extra nodes on\n"
+      "the sample workload (the paper's 'roughly the same' observation).\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces Table 1: dataset record counts and on-disk sizes — the paper's
+// values next to the synthetic stand-ins generated at the bench scale, so
+// the scaling factor and per-record byte footprints can be audited.
+#include <cstdio>
+
+#include "core/experiments.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+int main() {
+  using namespace sjc;
+  const double scale = core::bench_scale();
+  workload::WorkloadConfig wc;
+  wc.scale = scale;
+
+  std::printf("== Table 1: dataset sizes and volumes (scale %g of the paper's) ==\n\n",
+              scale);
+
+  TablePrinter table({"dataset", "paper #records", "paper size", "ours #records",
+                      "ours size", "ours B/rec", "mean coords"});
+
+  for (const auto id :
+       {workload::DatasetId::kTaxi, workload::DatasetId::kNycb,
+        workload::DatasetId::kLinearwater, workload::DatasetId::kEdges,
+        workload::DatasetId::kLinearwater01, workload::DatasetId::kEdges01,
+        workload::DatasetId::kTaxi1m}) {
+    const auto data = workload::generate(id, wc);
+    char per_record[32];
+    std::snprintf(per_record, sizeof(per_record), "%.0f",
+                  static_cast<double>(data.text_bytes()) /
+                      static_cast<double>(data.size()));
+    char coords[32];
+    std::snprintf(coords, sizeof(coords), "%.1f", data.mean_coords());
+    table.add_row({workload::dataset_id_name(id),
+                   format_seconds(static_cast<double>(workload::paper_record_count(id))),
+                   format_bytes(workload::paper_size_bytes(id)),
+                   format_seconds(static_cast<double>(data.size())),
+                   format_bytes(data.text_bytes()), per_record, coords});
+  }
+  table.print();
+  std::printf(
+      "\nper-record bytes should be magnitude-comparable with paper size /\n"
+      "paper records; record counts scale by %g.\n",
+      scale);
+  return 0;
+}

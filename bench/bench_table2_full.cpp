@@ -1,0 +1,97 @@
+// Reproduces Table 2: end-to-end runtimes (seconds) of the two full-dataset
+// experiments on the three systems across the four cluster configurations.
+// "-" marks a failed run (broken pipe for HadoopGIS, OOM for SpatialSpark),
+// matching the paper's dashes.
+//
+// Simulated seconds are paper-magnitude (measured CPU on scaled data +
+// modeled I/O, scaled back up); compare shapes and factors, not absolute
+// values. Set SJC_SCALE to change the workload scale (default 1e-3).
+#include <cstdio>
+
+#include "core/experiments.hpp"
+#include "core/spatial_join.hpp"
+#include "util/bench_io.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+// Paper Table 2 values for reference columns.
+const char* paper_value(const std::string& exp, sjc::core::SystemKind system,
+                        const std::string& cluster) {
+  using sjc::core::SystemKind;
+  if (exp == "taxi-nycb") {
+    if (system == SystemKind::kSpatialHadoopSim) {
+      if (cluster == "WS") return "3,327";
+      if (cluster == "EC2-10") return "2,361";
+      if (cluster == "EC2-8") return "2,472";
+      if (cluster == "EC2-6") return "3,349";
+    }
+    if (system == SystemKind::kSpatialSparkSim) {
+      if (cluster == "WS") return "3,098";
+      if (cluster == "EC2-10") return "813";
+    }
+  } else {
+    if (system == SystemKind::kSpatialHadoopSim) {
+      if (cluster == "WS") return "14,135";
+      if (cluster == "EC2-10") return "5,695";
+      if (cluster == "EC2-8") return "8,043";
+      if (cluster == "EC2-6") return "9,678";
+    }
+    if (system == SystemKind::kSpatialSparkSim) {
+      if (cluster == "WS") return "4,481";
+      if (cluster == "EC2-10") return "1,119";
+    }
+  }
+  return "-";
+}
+
+}  // namespace
+
+int main() {
+  using namespace sjc;
+  const double scale = core::bench_scale();
+  workload::WorkloadConfig wc;
+  wc.scale = scale;
+
+  std::printf("== Table 2: end-to-end runtimes, full datasets (sim seconds; scale %g) ==\n",
+              scale);
+  std::printf("   cells show: measured | paper\n\n");
+
+  const auto clusters = core::paper_cluster_configs();
+  std::vector<std::string> header = {"experiment", "system"};
+  for (const auto& c : clusters) header.push_back(c.name);
+  TablePrinter table(header);
+  CsvWriter csv({"experiment", "system", "cluster", "sim_seconds", "success"});
+
+  for (const auto& def : core::full_experiments()) {
+    const auto left = workload::generate(def.left, wc);
+    const auto right = workload::generate(def.right, wc);
+    for (const auto system :
+         {core::SystemKind::kHadoopGisSim, core::SystemKind::kSpatialHadoopSim,
+          core::SystemKind::kSpatialSparkSim}) {
+      std::vector<std::string> row = {def.id, core::system_kind_name(system)};
+      for (const auto& c : clusters) {
+        core::JoinQueryConfig query;
+        query.predicate = def.predicate;
+        core::ExecutionConfig exec;
+        exec.cluster = c;
+        exec.data_scale = 1.0 / scale;
+        const auto report = core::run_spatial_join(system, left, right, query, exec);
+        const std::string measured =
+            report.success ? format_seconds(report.total_seconds) : "-";
+        row.push_back(measured + " | " + paper_value(def.id, system, c.name));
+        csv.add_row({def.id, core::system_kind_name(system), c.name,
+                     report.success ? format_double(report.total_seconds) : "",
+                     report.success ? "1" : "0"});
+      }
+      table.add_row(std::move(row));
+    }
+    table.add_separator();
+  }
+  table.print();
+  const std::string csv_path = maybe_write_csv("table2_full", csv);
+  if (!csv_path.empty()) std::printf("\ncsv written to %s\n", csv_path.c_str());
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "cluster/cluster_spec.hpp"
+
+namespace sjc::cluster {
+
+namespace {
+constexpr std::uint64_t kGiB = 1024ULL * 1024ULL * 1024ULL;
+constexpr double kMiBps = 1024.0 * 1024.0;
+}  // namespace
+
+ClusterSpec ClusterSpec::workstation() {
+  return ClusterSpec{
+      .name = "WS",
+      .node =
+          NodeSpec{
+              .cores = 16,
+              .memory_bytes = 128 * kGiB,
+              // One SATA/early-SAS array shared by all 16 slots: the paper
+              // explains the small WS speedup of SpatialSpark on taxi-nycb
+              // by single-node disk bandwidth saturation.
+              .disk_read_bw = 160.0 * kMiBps,
+              .disk_write_bw = 120.0 * kMiBps,
+              // Loopback: shuffles on a single node never cross a NIC.
+              .network_bw = 8192.0 * kMiBps,
+              .cpu_speed = 1.0,
+          },
+      .node_count = 1,
+  };
+}
+
+ClusterSpec ClusterSpec::ec2(std::uint32_t nodes) {
+  return ClusterSpec{
+      .name = "EC2-" + std::to_string(nodes),
+      .node =
+          NodeSpec{
+              .cores = 8,
+              .memory_bytes = 15 * kGiB,
+              .disk_read_bw = 150.0 * kMiBps,
+              .disk_write_bw = 120.0 * kMiBps,
+              .network_bw = 120.0 * kMiBps,  // ~1 Gbps
+              .cpu_speed = 0.9,
+          },
+      .node_count = nodes,
+  };
+}
+
+}  // namespace sjc::cluster

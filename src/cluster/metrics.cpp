@@ -1,0 +1,32 @@
+#include "cluster/metrics.hpp"
+
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace sjc::cluster {
+
+double RunMetrics::seconds_with_prefix(const std::string& prefix) const {
+  double total = 0.0;
+  for (const auto& p : phases_) {
+    if (starts_with(p.name, prefix)) total += p.sim_seconds;
+  }
+  return total;
+}
+
+std::string RunMetrics::to_string() const {
+  std::string out;
+  char line[256];
+  for (const auto& p : phases_) {
+    std::snprintf(line, sizeof(line), "%-40s %10.2fs  r=%-10s w=%-10s sh=%-10s tasks=%zu\n",
+                  p.name.c_str(), p.sim_seconds, format_bytes(p.bytes_read).c_str(),
+                  format_bytes(p.bytes_written).c_str(),
+                  format_bytes(p.bytes_shuffled).c_str(), p.task_count);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "%-40s %10.2fs\n", "TOTAL", total_seconds());
+  out += line;
+  return out;
+}
+
+}  // namespace sjc::cluster

@@ -1,0 +1,85 @@
+// Run metrics: per-phase simulated time and I/O volumes.
+//
+// Every engine phase (an MR job's map/shuffle/reduce, an RDD stage, a
+// master-side serial step) appends a PhaseReport. The systems aggregate
+// phases into the IA / IB / DJ breakdown columns of the paper's Table 3 and
+// the end-to-end totals of Table 2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sjc::cluster {
+
+struct PhaseReport {
+  std::string name;
+  double sim_seconds = 0.0;
+  std::uint64_t bytes_read = 0;      // scaled magnitude (local/DFS reads)
+  std::uint64_t bytes_written = 0;   // scaled magnitude
+  std::uint64_t bytes_shuffled = 0;  // scaled magnitude
+  std::size_t task_count = 0;
+  /// Streaming phases only: largest per-task pipe volume at paper
+  /// magnitude (drives the broken-pipe analysis).
+  std::uint64_t max_task_pipe_bytes = 0;
+};
+
+class RunMetrics {
+ public:
+  void add_phase(PhaseReport phase) { phases_.push_back(std::move(phase)); }
+
+  const std::vector<PhaseReport>& phases() const { return phases_; }
+
+  /// Most recently added phase (for engines annotating extra detail).
+  PhaseReport& last_phase() { return phases_.back(); }
+
+  /// Largest per-task pipe volume across all streaming phases.
+  std::uint64_t max_task_pipe_bytes() const {
+    std::uint64_t best = 0;
+    for (const auto& p : phases_) {
+      if (p.max_task_pipe_bytes > best) best = p.max_task_pipe_bytes;
+    }
+    return best;
+  }
+
+  double total_seconds() const {
+    double total = 0.0;
+    for (const auto& p : phases_) total += p.sim_seconds;
+    return total;
+  }
+
+  std::uint64_t total_bytes_read() const {
+    std::uint64_t total = 0;
+    for (const auto& p : phases_) total += p.bytes_read;
+    return total;
+  }
+
+  std::uint64_t total_bytes_written() const {
+    std::uint64_t total = 0;
+    for (const auto& p : phases_) total += p.bytes_written;
+    return total;
+  }
+
+  std::uint64_t total_bytes_shuffled() const {
+    std::uint64_t total = 0;
+    for (const auto& p : phases_) total += p.bytes_shuffled;
+    return total;
+  }
+
+  /// Sums sim_seconds of phases whose name starts with `prefix` (phases are
+  /// named "<stage>/<detail>", e.g. "indexA/map").
+  double seconds_with_prefix(const std::string& prefix) const;
+
+  /// Appends all phases of `other` (used to merge sub-job metrics).
+  void merge(const RunMetrics& other) {
+    for (const auto& p : other.phases()) phases_.push_back(p);
+  }
+
+  /// Multi-line human-readable summary.
+  std::string to_string() const;
+
+ private:
+  std::vector<PhaseReport> phases_;
+};
+
+}  // namespace sjc::cluster

@@ -1,0 +1,33 @@
+#include "cluster/scheduler.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/status.hpp"
+
+namespace sjc::cluster {
+
+double list_schedule_makespan(const std::vector<double>& durations,
+                              std::uint32_t slots) {
+  require(slots >= 1, "list_schedule_makespan: need at least one slot");
+  if (durations.empty()) return 0.0;
+  // Min-heap of slot availability times.
+  std::priority_queue<double, std::vector<double>, std::greater<>> heap;
+  for (std::uint32_t s = 0; s < slots; ++s) heap.push(0.0);
+  double makespan = 0.0;
+  for (const double d : durations) {
+    const double start = heap.top();
+    heap.pop();
+    const double end = start + d;
+    makespan = std::max(makespan, end);
+    heap.push(end);
+  }
+  return makespan;
+}
+
+double lpt_schedule_makespan(std::vector<double> durations, std::uint32_t slots) {
+  std::sort(durations.begin(), durations.end(), std::greater<>());
+  return list_schedule_makespan(durations, slots);
+}
+
+}  // namespace sjc::cluster

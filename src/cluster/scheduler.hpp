@@ -1,0 +1,24 @@
+// Wave scheduling of simulated tasks onto cluster slots.
+//
+// Hadoop and Spark both dispatch a phase's tasks FIFO onto free slots; the
+// phase finishes when the last task drains. list_schedule_makespan
+// reproduces exactly that: tasks are assigned, in submission order, to the
+// earliest-available slot.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sjc::cluster {
+
+/// FIFO list-scheduling makespan of `durations` onto `slots` identical
+/// slots. Returns 0 for an empty task list.
+double list_schedule_makespan(const std::vector<double>& durations,
+                              std::uint32_t slots);
+
+/// Longest-processing-time variant (tasks sorted descending first): a lower
+/// bound used by the scalability bench to separate scheduling luck from
+/// capacity limits.
+double lpt_schedule_makespan(std::vector<double> durations, std::uint32_t slots);
+
+}  // namespace sjc::cluster

@@ -1,0 +1,63 @@
+// Local join: the per-partition-pair filter + refinement shared by all
+// three systems (Section II.C).
+//
+// Within one partition pair the systems differ only in the MBR-join
+// algorithm (plane sweep / synchronized R-tree traversal / indexed nested
+// loop) and in the geometry engine used for refinement (Simple vs
+// Prepared). run_local_join factors the common shape: MBR-join the two
+// feature lists, group candidates by the right-side feature, bind that
+// feature once on the engine (the JTS PreparedGeometry access pattern) and
+// evaluate the exact predicate per candidate.
+//
+// Duplicate avoidance: partitions overlap-assign features, so the same
+// (left, right) pair can meet in several partition pairs. The caller
+// supplies an `accept` filter — typically the reference-point test
+// (`reference_point` below + "is this cell the canonical cell"), or
+// nullptr to keep everything and deduplicate globally (HadoopGIS-style).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/spatial_join.hpp"
+#include "geom/engine.hpp"
+#include "index/mbr_join.hpp"
+#include "workload/dataset.hpp"
+
+namespace sjc::core {
+
+struct LocalJoinSpec {
+  index::LocalJoinAlgorithm algorithm = index::LocalJoinAlgorithm::kIndexedNestedLoop;
+  const geom::GeometryEngine* engine = &geom::GeometryEngine::prepared();
+  JoinPredicate predicate = JoinPredicate::kIntersects;
+  double within_distance = 0.0;
+
+  /// Envelope expansion applied to BOTH sides throughout the pipeline
+  /// (partition assignment, MBR filter, reference point) for epsilon
+  /// (within-distance) joins: expanding each side by d/2 guarantees that
+  /// any pair within distance d has intersecting expanded envelopes.
+  double envelope_expansion() const {
+    return predicate == JoinPredicate::kWithinDistance ? within_distance / 2.0 : 0.0;
+  }
+};
+
+/// Top-left corner of the two envelopes' intersection: the canonical point
+/// for duplicate avoidance (identical in every partition pair where the two
+/// features meet).
+geom::Coord reference_point(const geom::Envelope& a, const geom::Envelope& b);
+
+/// Joins `left` x `right` within one partition; appends accepted pairs to
+/// `out`. `accept(pair, left_env, right_env)` may be empty (keep all).
+void run_local_join(
+    std::span<const geom::Feature> left, std::span<const geom::Feature> right,
+    const LocalJoinSpec& spec,
+    const std::function<bool(const geom::Envelope&, const geom::Envelope&)>& accept,
+    std::vector<JoinPair>& out);
+
+/// Exact predicate evaluation used by the refinement step (and by tests).
+bool evaluate_predicate(const geom::GeometryEngine& engine, JoinPredicate predicate,
+                        double within_distance, const geom::Geometry& left,
+                        const geom::Geometry& right);
+
+}  // namespace sjc::core

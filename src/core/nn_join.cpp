@@ -1,0 +1,32 @@
+#include "core/nn_join.hpp"
+
+#include "index/nearest.hpp"
+#include "index/str_tree.hpp"
+
+namespace sjc::core {
+
+std::vector<NnMatch> nearest_neighbor_join(std::span<const geom::Feature> left,
+                                           std::span<const geom::Feature> right,
+                                           const geom::GeometryEngine& engine) {
+  std::vector<NnMatch> out;
+  if (left.empty() || right.empty()) return out;
+
+  std::vector<index::IndexEntry> entries;
+  entries.reserve(right.size());
+  for (std::uint32_t i = 0; i < right.size(); ++i) {
+    entries.push_back({right[i].geometry.envelope(), i});
+  }
+  const index::StrTree tree(std::move(entries));
+
+  out.reserve(left.size());
+  for (const auto& lf : left) {
+    const auto hit = index::nearest_exact(
+        tree, lf.geometry.envelope(), [&](std::uint32_t rid) {
+          return engine.distance(lf.geometry, right[rid].geometry);
+        });
+    out.push_back({lf.id, right[hit.id].id, hit.distance});
+  }
+  return out;
+}
+
+}  // namespace sjc::core

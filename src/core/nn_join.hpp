@@ -1,0 +1,37 @@
+// Nearest-neighbor join: for every left feature, the single right feature
+// with the smallest exact distance.
+//
+// This is the paper's motivating taxi-pickup-to-nearest-road-segment
+// workload, provided as a serial/shared-memory primitive (the three
+// distributed systems evaluate the within-distance variant; an exact
+// distributed NN join needs neighborhood guarantees none of them
+// implements). Candidates are pruned with best-first MBR traversal
+// (index/nearest.hpp) and re-ranked with exact geometry distance, so the
+// result equals brute force at a fraction of the comparisons.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/spatial_join.hpp"
+#include "geom/engine.hpp"
+#include "workload/dataset.hpp"
+
+namespace sjc::core {
+
+struct NnMatch {
+  std::uint64_t left_id = 0;
+  std::uint64_t right_id = 0;
+  double distance = 0.0;
+
+  friend bool operator==(const NnMatch&, const NnMatch&) = default;
+};
+
+/// For each feature in `left`, finds the nearest feature in `right` by
+/// exact geometry distance (ties broken by lower id). Returns matches in
+/// left order; empty when `right` is empty.
+std::vector<NnMatch> nearest_neighbor_join(
+    std::span<const geom::Feature> left, std::span<const geom::Feature> right,
+    const geom::GeometryEngine& engine = geom::GeometryEngine::prepared());
+
+}  // namespace sjc::core

@@ -1,0 +1,104 @@
+#include "dfs/sim_dfs.hpp"
+
+#include <algorithm>
+
+namespace sjc::dfs {
+
+SimDfs::SimDfs(DfsConfig config) : config_(config), rng_(config.seed) {
+  require(config_.block_size > 0, "SimDfs: block_size must be positive");
+  require(config_.replication >= 1, "SimDfs: replication must be >= 1");
+  require(config_.datanode_count >= 1, "SimDfs: need at least one datanode");
+  next_node_ = static_cast<std::uint32_t>(rng_.next_below(config_.datanode_count));
+}
+
+std::vector<BlockMeta> SimDfs::place_blocks(std::uint64_t bytes) {
+  std::vector<BlockMeta> blocks;
+  const std::uint32_t replicas =
+      std::min(config_.replication, config_.datanode_count);
+  std::uint64_t remaining = bytes;
+  do {
+    BlockMeta block;
+    block.size = std::min(remaining, config_.block_size);
+    // HDFS default placement: first replica on the "writer" node, the rest
+    // rotate across the cluster.
+    for (std::uint32_t r = 0; r < replicas; ++r) {
+      block.replica_nodes.push_back((next_node_ + r) % config_.datanode_count);
+    }
+    next_node_ = (next_node_ + 1) % config_.datanode_count;
+    blocks.push_back(std::move(block));
+    remaining -= std::min(remaining, config_.block_size);
+  } while (remaining > 0);
+  return blocks;
+}
+
+void SimDfs::put(const std::string& path, std::any payload, std::uint64_t bytes) {
+  Entry entry;
+  entry.meta.path = path;
+  entry.meta.size = bytes;
+  entry.meta.blocks = place_blocks(bytes);
+  entry.payload = std::move(payload);
+  const auto it = files_.find(path);
+  if (it != files_.end()) {
+    total_bytes_ -= it->second.meta.size;
+    files_.erase(it);
+  }
+  total_bytes_ += bytes;
+  files_.emplace(path, std::move(entry));
+}
+
+void SimDfs::remove(const std::string& path) {
+  const auto it = files_.find(path);
+  if (it == files_.end()) throw SjcError("SimDfs: cannot remove missing file: " + path);
+  total_bytes_ -= it->second.meta.size;
+  files_.erase(it);
+}
+
+const SimDfs::Entry& SimDfs::entry(const std::string& path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) throw SjcError("SimDfs: no such file: " + path);
+  return it->second;
+}
+
+const FileMeta& SimDfs::meta(const std::string& path) const {
+  return entry(path).meta;
+}
+
+std::vector<std::string> SimDfs::list(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+std::uint64_t SimDfs::file_size(const std::string& path) const {
+  return entry(path).meta.size;
+}
+
+std::size_t SimDfs::block_count(const std::string& path) const {
+  return entry(path).meta.blocks.size();
+}
+
+IoCost SimDfs::write_cost(std::uint64_t bytes) const {
+  const std::uint32_t replicas =
+      std::min(config_.replication, config_.datanode_count);
+  IoCost cost;
+  cost.disk_write = bytes * replicas;
+  cost.network = bytes * (replicas - 1);
+  return cost;
+}
+
+IoCost SimDfs::read_cost(std::uint64_t bytes) const {
+  IoCost cost;
+  cost.disk_read = bytes;
+  const double coverage =
+      std::min(1.0, static_cast<double>(config_.replication) /
+                        static_cast<double>(config_.datanode_count));
+  // Expected remote fraction: blocks without a replica on the reading node.
+  const double remote_fraction = 1.0 - coverage;
+  cost.network = static_cast<std::uint64_t>(static_cast<double>(bytes) * remote_fraction);
+  return cost;
+}
+
+}  // namespace sjc::dfs

@@ -1,0 +1,117 @@
+// SimDfs: an HDFS-like distributed file system simulator.
+//
+// The simulator runs in one process, so file *payloads* stay in memory as
+// typed objects (std::any). What SimDfs faithfully models is everything the
+// paper's analysis hangs on:
+//
+//  * a namenode catalog (path -> file metadata),
+//  * files split into fixed-size blocks (one map task per block),
+//  * block placement with n-way replication across datanodes,
+//  * the cost structure of reads/writes: a write pushes `size` bytes to a
+//    local disk plus (replication-1) remote copies over the network; a
+//    data-local read costs disk bandwidth only, a remote read adds network.
+//
+// Engines charge those byte volumes into SimTask records; SimDfs itself
+// never advances a clock.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace sjc::dfs {
+
+struct DfsConfig {
+  /// Block size in *scaled* bytes (the engines divide HDFS's 64 MB default
+  /// by the experiment's data_scale so files keep realistic block counts).
+  std::uint64_t block_size = 64 * 1024;
+  std::uint32_t replication = 3;
+  std::uint32_t datanode_count = 1;
+  std::uint64_t seed = 42;  // block placement determinism
+};
+
+struct BlockMeta {
+  std::uint64_t size = 0;
+  std::vector<std::uint32_t> replica_nodes;
+};
+
+struct FileMeta {
+  std::string path;
+  std::uint64_t size = 0;
+  std::vector<BlockMeta> blocks;
+};
+
+/// Byte volumes one DFS operation moves through each device class.
+struct IoCost {
+  std::uint64_t disk_read = 0;
+  std::uint64_t disk_write = 0;
+  std::uint64_t network = 0;
+};
+
+class SimDfs {
+ public:
+  explicit SimDfs(DfsConfig config);
+
+  const DfsConfig& config() const { return config_; }
+
+  /// Creates (or replaces) a file: records metadata and stores `payload`.
+  /// `bytes` is the file's logical size at scaled magnitude.
+  void put(const std::string& path, std::any payload, std::uint64_t bytes);
+
+  /// Typed payload accessor; throws SjcError when missing or mistyped.
+  template <typename T>
+  const T& get(const std::string& path) const {
+    const auto it = files_.find(path);
+    if (it == files_.end()) throw SjcError("SimDfs: no such file: " + path);
+    const T* typed = std::any_cast<T>(&it->second.payload);
+    if (typed == nullptr) throw SjcError("SimDfs: payload type mismatch: " + path);
+    return *typed;
+  }
+
+  bool exists(const std::string& path) const { return files_.contains(path); }
+  void remove(const std::string& path);
+  const FileMeta& meta(const std::string& path) const;
+
+  /// Paths with the given prefix, sorted.
+  std::vector<std::string> list(const std::string& prefix) const;
+
+  std::uint64_t file_size(const std::string& path) const;
+  std::size_t block_count(const std::string& path) const;
+
+  /// Total logical bytes stored (single copy, not counting replicas).
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Cost of writing `bytes` with the configured replication: one local
+  /// disk write per replica plus (replication-1) network transfers.
+  IoCost write_cost(std::uint64_t bytes) const;
+
+  /// Cost of reading `bytes`, data-local with probability equal to the
+  /// replica coverage (replication/datanodes, capped at 1); remote reads
+  /// add a network hop. Deterministic expected-value model.
+  IoCost read_cost(std::uint64_t bytes) const;
+
+ private:
+  struct Entry {
+    FileMeta meta;
+    std::any payload;
+  };
+
+  std::vector<BlockMeta> place_blocks(std::uint64_t bytes);
+
+  DfsConfig config_;
+  std::map<std::string, Entry> files_;
+  std::uint64_t total_bytes_ = 0;
+  Rng rng_;
+  std::uint32_t next_node_ = 0;
+
+  // map path lookup helper
+  const Entry& entry(const std::string& path) const;
+};
+
+}  // namespace sjc::dfs

@@ -1,0 +1,111 @@
+#include "geom/algorithms.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sjc::geom {
+
+double orientation(const Coord& a, const Coord& b, const Coord& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+bool point_on_segment(const Coord& p, const Coord& a, const Coord& b) {
+  if (orientation(a, b, p) != 0.0) return false;
+  return p.x >= std::min(a.x, b.x) && p.x <= std::max(a.x, b.x) &&
+         p.y >= std::min(a.y, b.y) && p.y <= std::max(a.y, b.y);
+}
+
+bool segments_intersect(const Coord& a1, const Coord& a2, const Coord& b1,
+                        const Coord& b2) {
+  const double d1 = orientation(b1, b2, a1);
+  const double d2 = orientation(b1, b2, a2);
+  const double d3 = orientation(a1, a2, b1);
+  const double d4 = orientation(a1, a2, b2);
+
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;  // proper crossing
+  }
+  if (d1 == 0 && point_on_segment(a1, b1, b2)) return true;
+  if (d2 == 0 && point_on_segment(a2, b1, b2)) return true;
+  if (d3 == 0 && point_on_segment(b1, a1, a2)) return true;
+  if (d4 == 0 && point_on_segment(b2, a1, a2)) return true;
+  return false;
+}
+
+double squared_distance(const Coord& a, const Coord& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+double squared_distance_point_segment(const Coord& p, const Coord& a, const Coord& b) {
+  const double abx = b.x - a.x;
+  const double aby = b.y - a.y;
+  const double len2 = abx * abx + aby * aby;
+  if (len2 == 0.0) return squared_distance(p, a);  // degenerate segment
+  double t = ((p.x - a.x) * abx + (p.y - a.y) * aby) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  const Coord proj{a.x + t * abx, a.y + t * aby};
+  return squared_distance(p, proj);
+}
+
+double squared_distance_segments(const Coord& a1, const Coord& a2, const Coord& b1,
+                                 const Coord& b2) {
+  if (segments_intersect(a1, a2, b1, b2)) return 0.0;
+  return std::min({squared_distance_point_segment(a1, b1, b2),
+                   squared_distance_point_segment(a2, b1, b2),
+                   squared_distance_point_segment(b1, a1, a2),
+                   squared_distance_point_segment(b2, a1, a2)});
+}
+
+RingSide point_in_ring(const Coord& p, const Ring& ring) {
+  bool inside = false;
+  for (std::size_t i = 0; i + 1 < ring.size(); ++i) {
+    const Coord& a = ring[i];
+    const Coord& b = ring[i + 1];
+    if (point_on_segment(p, a, b)) return RingSide::kBoundary;
+    // Half-open crossing rule: count edges whose y-span straddles p.y.
+    if ((a.y > p.y) != (b.y > p.y)) {
+      const double x_cross = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y);
+      if (x_cross > p.x) inside = !inside;
+    }
+  }
+  return inside ? RingSide::kInside : RingSide::kOutside;
+}
+
+bool point_in_polygon(const Coord& p, const Polygon& poly) {
+  const RingSide shell_side = point_in_ring(p, poly.shell);
+  if (shell_side == RingSide::kOutside) return false;
+  if (shell_side == RingSide::kBoundary) return true;
+  for (const auto& hole : poly.holes) {
+    const RingSide hole_side = point_in_ring(p, hole);
+    if (hole_side == RingSide::kInside) return false;
+    if (hole_side == RingSide::kBoundary) return true;  // on hole edge: covered
+  }
+  return true;
+}
+
+bool linestrings_intersect_naive(const LineString& line, const LineString& other) {
+  for (std::size_t i = 0; i + 1 < line.coords.size(); ++i) {
+    for (std::size_t j = 0; j + 1 < other.coords.size(); ++j) {
+      if (segments_intersect(line.coords[i], line.coords[i + 1], other.coords[j],
+                             other.coords[j + 1])) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+double squared_distance_point_linestring(const Coord& p, const LineString& line) {
+  double best = squared_distance(p, line.coords.front());
+  for (std::size_t i = 0; i + 1 < line.coords.size(); ++i) {
+    best = std::min(best,
+                    squared_distance_point_segment(p, line.coords[i], line.coords[i + 1]));
+    if (best == 0.0) break;
+  }
+  return best;
+}
+
+}  // namespace sjc::geom

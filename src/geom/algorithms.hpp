@@ -1,0 +1,57 @@
+// Low-level computational-geometry kernels shared by both geometry engines.
+//
+// Everything here is branch-light and allocation-free; the engines differ in
+// *how often* and *over which candidate sets* these kernels run, not in the
+// kernels themselves (which keeps the fast and slow engines bit-identical in
+// their answers).
+#pragma once
+
+#include <cstddef>
+
+#include "geom/geometry.hpp"
+
+namespace sjc::geom {
+
+/// Sign of the cross product (b-a) x (c-a):
+///  > 0 left turn, < 0 right turn, 0 collinear.
+double orientation(const Coord& a, const Coord& b, const Coord& c);
+
+/// True when point p lies on segment [a, b] (inclusive of endpoints).
+bool point_on_segment(const Coord& p, const Coord& a, const Coord& b);
+
+/// True when segments [a1,a2] and [b1,b2] share at least one point
+/// (proper crossing, endpoint touch, or collinear overlap).
+bool segments_intersect(const Coord& a1, const Coord& a2, const Coord& b1,
+                        const Coord& b2);
+
+/// Squared euclidean distance between two points.
+double squared_distance(const Coord& a, const Coord& b);
+
+/// Squared distance from point p to segment [a, b].
+double squared_distance_point_segment(const Coord& p, const Coord& a, const Coord& b);
+
+/// Squared distance between segments [a1,a2] and [b1,b2] (0 if they
+/// intersect).
+double squared_distance_segments(const Coord& a1, const Coord& a2, const Coord& b1,
+                                 const Coord& b2);
+
+enum class RingSide : int { kOutside = 0, kInside = 1, kBoundary = 2 };
+
+/// Point-in-ring test via ray casting; boundary points are classified as
+/// kBoundary. The ring must be closed (first == last coordinate).
+RingSide point_in_ring(const Coord& p, const Ring& ring);
+
+/// Point-in-polygon with holes: inside the shell and outside every hole.
+/// Boundary (of shell or hole) counts as inside, matching the "covers"
+/// semantics that point-in-polygon spatial joins expect (a taxi pickup on a
+/// census-block edge belongs to the block).
+bool point_in_polygon(const Coord& p, const Polygon& poly);
+
+/// True when any segment of `line` intersects any segment of `other`
+/// (naive O(n*m) scan; engines provide indexed variants).
+bool linestrings_intersect_naive(const LineString& line, const LineString& other);
+
+/// Squared distance from a point to a polyline.
+double squared_distance_point_linestring(const Coord& p, const LineString& line);
+
+}  // namespace sjc::geom

@@ -1,0 +1,134 @@
+#include "geom/engine.hpp"
+
+#include "geom/predicates.hpp"
+#include "geom/prepared.hpp"
+
+namespace sjc::geom {
+
+const char* engine_kind_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kSimple: return "simple(geos-analog)";
+    case EngineKind::kPrepared: return "prepared(jts-analog)";
+  }
+  return "?";
+}
+
+bool BoundPredicate::within_distance(const Geometry& probe, double d) const {
+  if (anchor().envelope().distance(probe.envelope()) > d) return false;
+  return distance(probe) <= d;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Simple engine (GEOS-analog)
+// ---------------------------------------------------------------------------
+
+class SimpleBound final : public BoundPredicate {
+ public:
+  explicit SimpleBound(const Geometry& anchor) : anchor_(&anchor) {}
+
+  bool intersects(const Geometry& probe) const override {
+    return intersects_naive(*anchor_, probe);
+  }
+  bool contains(const Geometry& probe) const override {
+    return contains_naive(*anchor_, probe);
+  }
+  double distance(const Geometry& probe) const override {
+    return distance_naive(*anchor_, probe);
+  }
+  const Geometry& anchor() const override { return *anchor_; }
+
+ private:
+  const Geometry* anchor_;
+};
+
+class SimpleEngine final : public GeometryEngine {
+ public:
+  EngineKind kind() const override { return EngineKind::kSimple; }
+  std::string name() const override { return engine_kind_name(EngineKind::kSimple); }
+
+  bool intersects(const Geometry& a, const Geometry& b) const override {
+    return intersects_naive(a, b);
+  }
+  bool contains(const Geometry& a, const Geometry& b) const override {
+    return contains_naive(a, b);
+  }
+  double distance(const Geometry& a, const Geometry& b) const override {
+    return distance_naive(a, b);
+  }
+  std::unique_ptr<BoundPredicate> bind(const Geometry& anchor) const override {
+    return std::make_unique<SimpleBound>(anchor);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Prepared engine (JTS-analog)
+// ---------------------------------------------------------------------------
+
+class PreparedBound final : public BoundPredicate {
+ public:
+  explicit PreparedBound(const Geometry& anchor) : prepared_(anchor) {}
+
+  bool intersects(const Geometry& probe) const override {
+    return prepared_.intersects(probe);
+  }
+  bool contains(const Geometry& probe) const override {
+    return prepared_.contains(probe);
+  }
+  double distance(const Geometry& probe) const override {
+    return prepared_.distance(probe);
+  }
+  const Geometry& anchor() const override { return prepared_.geometry(); }
+
+ private:
+  PreparedGeometry prepared_;
+};
+
+class PreparedEngine final : public GeometryEngine {
+ public:
+  EngineKind kind() const override { return EngineKind::kPrepared; }
+  std::string name() const override { return engine_kind_name(EngineKind::kPrepared); }
+
+  bool intersects(const Geometry& a, const Geometry& b) const override {
+    // One-shot: preparing pays off once the anchor has enough edges that the
+    // probe would otherwise rescan them all.
+    if (a.num_coords() >= kPrepareThreshold) {
+      return PreparedGeometry(a).intersects(b);
+    }
+    return intersects_naive(a, b);
+  }
+  bool contains(const Geometry& a, const Geometry& b) const override {
+    if (a.num_coords() >= kPrepareThreshold) {
+      return PreparedGeometry(a).contains(b);
+    }
+    return contains_naive(a, b);
+  }
+  double distance(const Geometry& a, const Geometry& b) const override {
+    return distance_naive(a, b);
+  }
+  std::unique_ptr<BoundPredicate> bind(const Geometry& anchor) const override {
+    return std::make_unique<PreparedBound>(anchor);
+  }
+
+ private:
+  static constexpr std::size_t kPrepareThreshold = 32;
+};
+
+}  // namespace
+
+const GeometryEngine& GeometryEngine::simple() {
+  static const SimpleEngine engine;
+  return engine;
+}
+
+const GeometryEngine& GeometryEngine::prepared() {
+  static const PreparedEngine engine;
+  return engine;
+}
+
+const GeometryEngine& GeometryEngine::get(EngineKind kind) {
+  return kind == EngineKind::kSimple ? simple() : prepared();
+}
+
+}  // namespace sjc::geom

@@ -1,0 +1,119 @@
+// Axis-aligned envelope (Minimum Bounding Rectangle).
+//
+// Envelopes drive the *filter* phase of every spatial join in the paper:
+// partition pairing in the global join and candidate pairing in the local
+// join both operate purely on MBRs; exact geometry is only consulted during
+// refinement. Envelope is therefore a trivially-copyable value type used in
+// bulk (R-tree nodes, partition tables, shuffle records).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sjc::geom {
+
+struct Coord {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Coord& a, const Coord& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+class Envelope {
+ public:
+  /// Constructs an empty (inverted) envelope: expanding it with any point
+  /// makes it valid; intersects()/contains() on an empty envelope are false.
+  constexpr Envelope() = default;
+
+  constexpr Envelope(double min_x, double min_y, double max_x, double max_y)
+      : min_x_(min_x), min_y_(min_y), max_x_(max_x), max_y_(max_y) {}
+
+  static constexpr Envelope of_point(double x, double y) { return {x, y, x, y}; }
+
+  constexpr double min_x() const { return min_x_; }
+  constexpr double min_y() const { return min_y_; }
+  constexpr double max_x() const { return max_x_; }
+  constexpr double max_y() const { return max_y_; }
+
+  constexpr bool empty() const { return min_x_ > max_x_ || min_y_ > max_y_; }
+
+  constexpr double width() const { return empty() ? 0.0 : max_x_ - min_x_; }
+  constexpr double height() const { return empty() ? 0.0 : max_y_ - min_y_; }
+  constexpr double area() const { return width() * height(); }
+  /// Half-perimeter; the classic R-tree node split cost metric.
+  constexpr double margin() const { return width() + height(); }
+
+  constexpr double center_x() const { return (min_x_ + max_x_) / 2.0; }
+  constexpr double center_y() const { return (min_y_ + max_y_) / 2.0; }
+
+  void expand_to_include(double x, double y) {
+    min_x_ = std::min(min_x_, x);
+    min_y_ = std::min(min_y_, y);
+    max_x_ = std::max(max_x_, x);
+    max_y_ = std::max(max_y_, y);
+  }
+
+  void expand_to_include(const Envelope& other) {
+    if (other.empty()) return;
+    min_x_ = std::min(min_x_, other.min_x_);
+    min_y_ = std::min(min_y_, other.min_y_);
+    max_x_ = std::max(max_x_, other.max_x_);
+    max_y_ = std::max(max_y_, other.max_y_);
+  }
+
+  /// Grows the envelope by `d` on every side (d may be 0; negative d is a
+  /// caller bug and left unchecked for speed).
+  constexpr Envelope expanded_by(double d) const {
+    return {min_x_ - d, min_y_ - d, max_x_ + d, max_y_ + d};
+  }
+
+  constexpr bool intersects(const Envelope& o) const {
+    return !(o.min_x_ > max_x_ || o.max_x_ < min_x_ || o.min_y_ > max_y_ ||
+             o.max_y_ < min_y_);
+  }
+
+  constexpr bool contains(double x, double y) const {
+    return x >= min_x_ && x <= max_x_ && y >= min_y_ && y <= max_y_;
+  }
+
+  constexpr bool contains(const Envelope& o) const {
+    return !o.empty() && o.min_x_ >= min_x_ && o.max_x_ <= max_x_ &&
+           o.min_y_ >= min_y_ && o.max_y_ <= max_y_;
+  }
+
+  /// Envelope of the intersection (empty envelope when disjoint).
+  Envelope intersection(const Envelope& o) const {
+    if (!intersects(o)) return Envelope();
+    return {std::max(min_x_, o.min_x_), std::max(min_y_, o.min_y_),
+            std::min(max_x_, o.max_x_), std::min(max_y_, o.max_y_)};
+  }
+
+  Envelope merged(const Envelope& o) const {
+    Envelope e = *this;
+    e.expand_to_include(o);
+    return e;
+  }
+
+  /// Minimum distance between envelopes (0 when intersecting).
+  double distance(const Envelope& o) const {
+    const double dx = std::max({0.0, o.min_x_ - max_x_, min_x_ - o.max_x_});
+    const double dy = std::max({0.0, o.min_y_ - max_y_, min_y_ - o.max_y_});
+    return std::sqrt(dx * dx + dy * dy);
+  }
+
+  friend bool operator==(const Envelope& a, const Envelope& b) {
+    return a.min_x_ == b.min_x_ && a.min_y_ == b.min_y_ && a.max_x_ == b.max_x_ &&
+           a.max_y_ == b.max_y_;
+  }
+
+ private:
+  double min_x_ = std::numeric_limits<double>::infinity();
+  double min_y_ = std::numeric_limits<double>::infinity();
+  double max_x_ = -std::numeric_limits<double>::infinity();
+  double max_y_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace sjc::geom

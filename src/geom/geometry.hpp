@@ -1,0 +1,119 @@
+// Geometry value types: Point, LineString, Polygon (with holes), and the
+// Multi* variants the TIGER/census workloads need.
+//
+// Geometry is a tagged value type (std::variant under the hood) with a
+// cached envelope, mirroring how JTS/GEOS geometries carry their MBR. All
+// coordinate storage is contiguous (std::vector<Coord>) so predicate loops
+// are cache-friendly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "geom/envelope.hpp"
+
+namespace sjc::geom {
+
+enum class GeomType : std::uint8_t {
+  kPoint = 0,
+  kLineString = 1,
+  kPolygon = 2,
+  kMultiLineString = 3,
+  kMultiPolygon = 4,
+};
+
+/// Human-readable tag name ("POINT", "POLYGON", ...).
+const char* geom_type_name(GeomType type);
+
+/// A closed ring is a coordinate sequence whose first and last coordinates
+/// are equal; Polygon validation enforces this.
+using Ring = std::vector<Coord>;
+
+struct LineString {
+  std::vector<Coord> coords;
+
+  friend bool operator==(const LineString&, const LineString&) = default;
+};
+
+struct Polygon {
+  Ring shell;
+  std::vector<Ring> holes;
+
+  friend bool operator==(const Polygon&, const Polygon&) = default;
+};
+
+struct MultiLineString {
+  std::vector<LineString> parts;
+
+  friend bool operator==(const MultiLineString&, const MultiLineString&) = default;
+};
+
+struct MultiPolygon {
+  std::vector<Polygon> parts;
+
+  friend bool operator==(const MultiPolygon&, const MultiPolygon&) = default;
+};
+
+/// Signed area of a ring (positive = counter-clockwise).
+double ring_signed_area(const Ring& ring);
+
+class Geometry {
+ public:
+  /// Default geometry is an empty point at the origin (needed for
+  /// container resizing); prefer the factory functions.
+  Geometry();
+
+  static Geometry point(double x, double y);
+  /// Requires at least 2 coordinates.
+  static Geometry line_string(std::vector<Coord> coords);
+  /// Requires a closed shell ring of >= 4 coordinates; holes likewise.
+  static Geometry polygon(Ring shell, std::vector<Ring> holes = {});
+  static Geometry multi_line_string(std::vector<LineString> parts);
+  static Geometry multi_polygon(std::vector<Polygon> parts);
+
+  GeomType type() const { return type_; }
+  const Envelope& envelope() const { return envelope_; }
+
+  const Coord& as_point() const;
+  const LineString& as_line_string() const;
+  const Polygon& as_polygon() const;
+  const MultiLineString& as_multi_line_string() const;
+  const MultiPolygon& as_multi_polygon() const;
+
+  /// Total coordinate count across all parts/rings.
+  std::size_t num_coords() const;
+
+  /// Approximate in-memory footprint in bytes (used by the RDD memory
+  /// manager and DFS block accounting).
+  std::size_t size_bytes() const;
+
+  /// True for polygons / multipolygons (areal geometry).
+  bool is_areal() const {
+    return type_ == GeomType::kPolygon || type_ == GeomType::kMultiPolygon;
+  }
+
+  /// Structural equality (same type, same coordinates).
+  friend bool operator==(const Geometry& a, const Geometry& b);
+
+ private:
+  using Storage =
+      std::variant<Coord, LineString, Polygon, MultiLineString, MultiPolygon>;
+
+  Geometry(GeomType type, Storage storage);
+  void compute_envelope();
+
+  GeomType type_;
+  Storage storage_;
+  Envelope envelope_;
+};
+
+/// Record = geometry + stable 64-bit id (+ the source dataset assigns ids
+/// densely so ids double as array offsets).
+struct Feature {
+  std::uint64_t id = 0;
+  Geometry geometry;
+};
+
+}  // namespace sjc::geom

@@ -1,0 +1,169 @@
+#include "geom/measures.hpp"
+
+#include <cmath>
+
+namespace sjc::geom {
+
+namespace {
+
+double path_length(const std::vector<Coord>& path) {
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const double dx = path[i + 1].x - path[i].x;
+    const double dy = path[i + 1].y - path[i].y;
+    total += std::sqrt(dx * dx + dy * dy);
+  }
+  return total;
+}
+
+double polygon_area(const Polygon& poly) {
+  double total = std::abs(ring_signed_area(poly.shell));
+  for (const auto& hole : poly.holes) total -= std::abs(ring_signed_area(hole));
+  return total;
+}
+
+// Length-weighted centroid of a path; weight returned via `weight`.
+Coord path_centroid(const std::vector<Coord>& path, double& weight) {
+  double cx = 0.0;
+  double cy = 0.0;
+  weight = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const double dx = path[i + 1].x - path[i].x;
+    const double dy = path[i + 1].y - path[i].y;
+    const double len = std::sqrt(dx * dx + dy * dy);
+    cx += (path[i].x + path[i + 1].x) / 2.0 * len;
+    cy += (path[i].y + path[i + 1].y) / 2.0 * len;
+    weight += len;
+  }
+  if (weight == 0.0) return path.empty() ? Coord{0, 0} : path.front();
+  return {cx / weight, cy / weight};
+}
+
+// Signed-area-weighted ring centroid (standard shoelace centroid); the sign
+// of the returned weight follows the ring orientation so holes subtract.
+Coord ring_centroid(const Ring& ring, double& signed_weight) {
+  double cx = 0.0;
+  double cy = 0.0;
+  signed_weight = ring_signed_area(ring);
+  if (signed_weight == 0.0) return ring.empty() ? Coord{0, 0} : ring.front();
+  for (std::size_t i = 0; i + 1 < ring.size(); ++i) {
+    const double cross = ring[i].x * ring[i + 1].y - ring[i + 1].x * ring[i].y;
+    cx += (ring[i].x + ring[i + 1].x) * cross;
+    cy += (ring[i].y + ring[i + 1].y) * cross;
+  }
+  return {cx / (6.0 * signed_weight), cy / (6.0 * signed_weight)};
+}
+
+Coord polygon_centroid(const Polygon& poly, double& weight) {
+  double shell_w = 0.0;
+  const Coord shell_c = ring_centroid(poly.shell, shell_w);
+  double cx = shell_c.x * std::abs(shell_w);
+  double cy = shell_c.y * std::abs(shell_w);
+  weight = std::abs(shell_w);
+  for (const auto& hole : poly.holes) {
+    double hole_w = 0.0;
+    const Coord hole_c = ring_centroid(hole, hole_w);
+    cx -= hole_c.x * std::abs(hole_w);
+    cy -= hole_c.y * std::abs(hole_w);
+    weight -= std::abs(hole_w);
+  }
+  if (weight <= 0.0) return poly.shell.front();
+  return {cx / weight, cy / weight};
+}
+
+}  // namespace
+
+double length(const Geometry& geometry) {
+  switch (geometry.type()) {
+    case GeomType::kPoint:
+      return 0.0;
+    case GeomType::kLineString:
+      return path_length(geometry.as_line_string().coords);
+    case GeomType::kPolygon: {
+      const auto& poly = geometry.as_polygon();
+      double total = path_length(poly.shell);
+      for (const auto& hole : poly.holes) total += path_length(hole);
+      return total;
+    }
+    case GeomType::kMultiLineString: {
+      double total = 0.0;
+      for (const auto& part : geometry.as_multi_line_string().parts) {
+        total += path_length(part.coords);
+      }
+      return total;
+    }
+    case GeomType::kMultiPolygon: {
+      double total = 0.0;
+      for (const auto& part : geometry.as_multi_polygon().parts) {
+        total += path_length(part.shell);
+        for (const auto& hole : part.holes) total += path_length(hole);
+      }
+      return total;
+    }
+  }
+  return 0.0;
+}
+
+double area(const Geometry& geometry) {
+  switch (geometry.type()) {
+    case GeomType::kPolygon:
+      return polygon_area(geometry.as_polygon());
+    case GeomType::kMultiPolygon: {
+      double total = 0.0;
+      for (const auto& part : geometry.as_multi_polygon().parts) {
+        total += polygon_area(part);
+      }
+      return total;
+    }
+    default:
+      return 0.0;
+  }
+}
+
+Coord centroid(const Geometry& geometry) {
+  switch (geometry.type()) {
+    case GeomType::kPoint:
+      return geometry.as_point();
+    case GeomType::kLineString: {
+      double w = 0.0;
+      return path_centroid(geometry.as_line_string().coords, w);
+    }
+    case GeomType::kPolygon: {
+      double w = 0.0;
+      return polygon_centroid(geometry.as_polygon(), w);
+    }
+    case GeomType::kMultiLineString: {
+      double cx = 0.0;
+      double cy = 0.0;
+      double total = 0.0;
+      for (const auto& part : geometry.as_multi_line_string().parts) {
+        double w = 0.0;
+        const Coord c = path_centroid(part.coords, w);
+        cx += c.x * w;
+        cy += c.y * w;
+        total += w;
+      }
+      if (total == 0.0) {
+        return geometry.as_multi_line_string().parts.front().coords.front();
+      }
+      return {cx / total, cy / total};
+    }
+    case GeomType::kMultiPolygon: {
+      double cx = 0.0;
+      double cy = 0.0;
+      double total = 0.0;
+      for (const auto& part : geometry.as_multi_polygon().parts) {
+        double w = 0.0;
+        const Coord c = polygon_centroid(part, w);
+        cx += c.x * w;
+        cy += c.y * w;
+        total += w;
+      }
+      if (total <= 0.0) return geometry.as_multi_polygon().parts.front().shell.front();
+      return {cx / total, cy / total};
+    }
+  }
+  return {0, 0};
+}
+
+}  // namespace sjc::geom

@@ -1,0 +1,27 @@
+// Geometric measures: length, area, centroid.
+//
+// Downstream analyses (the example applications, partition statistics)
+// need scalar summaries of geometries; these are the standard planar
+// formulas (shoelace area with hole subtraction, polyline arc length,
+// area-weighted centroids).
+#pragma once
+
+#include "geom/geometry.hpp"
+
+namespace sjc::geom {
+
+/// Total arc length of linework: polyline length for (multi)linestrings,
+/// ring perimeter for (multi)polygons, 0 for points.
+double length(const Geometry& geometry);
+
+/// Planar area: polygon area minus holes (summed over multipolygon parts);
+/// 0 for points and linework.
+double area(const Geometry& geometry);
+
+/// Centroid: the point itself for points; length-weighted midpoint for
+/// linework; area-weighted ring centroid (holes subtracted) for areal
+/// geometry. Degenerate geometry (zero length/area) falls back to the
+/// first coordinate.
+Coord centroid(const Geometry& geometry);
+
+}  // namespace sjc::geom

@@ -1,0 +1,31 @@
+// Exact spatial predicates over full geometries (naive evaluation).
+//
+// These free functions are the *reference* implementations: every predicate
+// is evaluated by scanning all coordinates with the kernels in
+// algorithms.hpp, with no caching or indexing. The Simple ("GEOS-analog")
+// engine calls them directly; the Prepared ("JTS-analog") engine must agree
+// with them bit-for-bit (enforced by property tests).
+//
+// Semantics follow DE-9IM "intersects"/"covers" conventions:
+//  - boundary contact counts as intersecting;
+//  - contains() here is "covers": boundary points are contained.
+#pragma once
+
+#include "geom/geometry.hpp"
+
+namespace sjc::geom {
+
+/// True when geometries a and b share at least one point.
+bool intersects_naive(const Geometry& a, const Geometry& b);
+
+/// True when areal geometry `a` covers geometry `b` entirely.
+/// Supported `a` types: POLYGON, MULTIPOLYGON. Any `b` type.
+bool contains_naive(const Geometry& a, const Geometry& b);
+
+/// Minimum euclidean distance between a and b (0 when intersecting).
+double distance_naive(const Geometry& a, const Geometry& b);
+
+/// True when distance(a, b) <= d.
+bool within_distance_naive(const Geometry& a, const Geometry& b, double d);
+
+}  // namespace sjc::geom

@@ -1,0 +1,479 @@
+#include "geom/prepared.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geom/algorithms.hpp"
+#include "geom/predicates.hpp"
+#include "geom/simple_parts.hpp"
+#include "util/status.hpp"
+
+namespace sjc::geom {
+
+namespace {
+
+// Collects the coordinate paths (linestrings + rings) of a geometry.
+void collect_paths(const Geometry& g, std::vector<const std::vector<Coord>*>& out) {
+  switch (g.type()) {
+    case GeomType::kPoint:
+      break;
+    case GeomType::kLineString:
+      out.push_back(&g.as_line_string().coords);
+      break;
+    case GeomType::kPolygon: {
+      const auto& poly = g.as_polygon();
+      out.push_back(&poly.shell);
+      for (const auto& hole : poly.holes) out.push_back(&hole);
+      break;
+    }
+    case GeomType::kMultiLineString:
+      for (const auto& part : g.as_multi_line_string().parts) out.push_back(&part.coords);
+      break;
+    case GeomType::kMultiPolygon:
+      for (const auto& part : g.as_multi_polygon().parts) {
+        out.push_back(&part.shell);
+        for (const auto& hole : part.holes) out.push_back(&hole);
+      }
+      break;
+  }
+}
+
+bool strict_crossing(const Coord& a1, const Coord& a2, const Coord& b1,
+                     const Coord& b2) {
+  const double d1 = orientation(b1, b2, a1);
+  const double d2 = orientation(b1, b2, a2);
+  const double d3 = orientation(a1, a2, b1);
+  const double d4 = orientation(a1, a2, b2);
+  return ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+         ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+PreparedGeometry::PreparedGeometry(const Geometry& geometry) : geometry_(&geometry) {
+  switch (geometry.type()) {
+    case GeomType::kPoint:
+      break;
+    case GeomType::kPolygon:
+      add_areal_part(geometry.as_polygon());
+      break;
+    case GeomType::kMultiPolygon:
+      for (const auto& part : geometry.as_multi_polygon().parts) add_areal_part(part);
+      break;
+    default:
+      break;
+  }
+  std::vector<const std::vector<Coord>*> paths;
+  collect_paths(geometry, paths);
+  for (const auto* path : paths) add_linework(*path);
+  build_grid();
+}
+
+void PreparedGeometry::add_areal_part(const Polygon& poly) {
+  ArealPart part;
+  const auto add_ring = [&part](const Ring& ring) {
+    for (std::size_t i = 0; i + 1 < ring.size(); ++i) {
+      part.edges.push_back({ring[i], ring[i + 1]});
+    }
+  };
+  add_ring(poly.shell);
+  for (const auto& hole : poly.holes) add_ring(hole);
+
+  double y_min = std::numeric_limits<double>::infinity();
+  double y_max = -std::numeric_limits<double>::infinity();
+  for (const auto& e : part.edges) {
+    y_min = std::min({y_min, e.a.y, e.b.y});
+    y_max = std::max({y_max, e.a.y, e.b.y});
+  }
+  part.y_min = y_min;
+  part.y_max = y_max;
+  const double span = y_max - y_min;
+  part.bucket_count = static_cast<std::uint32_t>(
+      std::clamp<std::size_t>(part.edges.size() / 2, 1, 4096));
+  part.y_inv_step = span > 0.0 ? part.bucket_count / span : 0.0;
+
+  // CSR fill: count, prefix-sum, scatter.
+  std::vector<std::uint32_t> counts(part.bucket_count, 0);
+  const auto bucket_range = [&part](const Segment& e) {
+    double lo = std::min(e.a.y, e.b.y);
+    double hi = std::max(e.a.y, e.b.y);
+    auto b0 = static_cast<std::int64_t>((lo - part.y_min) * part.y_inv_step);
+    auto b1 = static_cast<std::int64_t>((hi - part.y_min) * part.y_inv_step);
+    b0 = std::clamp<std::int64_t>(b0, 0, part.bucket_count - 1);
+    b1 = std::clamp<std::int64_t>(b1, 0, part.bucket_count - 1);
+    return std::pair<std::uint32_t, std::uint32_t>(static_cast<std::uint32_t>(b0),
+                                                   static_cast<std::uint32_t>(b1));
+  };
+  for (const auto& e : part.edges) {
+    const auto [b0, b1] = bucket_range(e);
+    for (std::uint32_t b = b0; b <= b1; ++b) ++counts[b];
+  }
+  part.bucket_offsets.assign(part.bucket_count + 1, 0);
+  for (std::uint32_t b = 0; b < part.bucket_count; ++b) {
+    part.bucket_offsets[b + 1] = part.bucket_offsets[b] + counts[b];
+  }
+  part.bucket_edges.resize(part.bucket_offsets.back());
+  std::vector<std::uint32_t> cursor(part.bucket_offsets.begin(),
+                                    part.bucket_offsets.end() - 1);
+  for (std::uint32_t i = 0; i < part.edges.size(); ++i) {
+    const auto [b0, b1] = bucket_range(part.edges[i]);
+    for (std::uint32_t b = b0; b <= b1; ++b) part.bucket_edges[cursor[b]++] = i;
+  }
+  areal_parts_.push_back(std::move(part));
+}
+
+void PreparedGeometry::add_linework(const std::vector<Coord>& path) {
+  if (!path.empty()) path_reps_.push_back(path.front());
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    segments_.push_back({path[i], path[i + 1]});
+  }
+}
+
+void PreparedGeometry::build_grid() {
+  grid_env_ = geometry_->envelope();
+  if (segments_.empty()) {
+    grid_w_ = grid_h_ = 0;
+    return;
+  }
+  const auto target_cells =
+      std::clamp<std::size_t>(segments_.size() / 2, 1, 64 * 64);
+  const auto side = static_cast<std::uint32_t>(
+      std::max<std::size_t>(1, static_cast<std::size_t>(std::sqrt(
+                                   static_cast<double>(target_cells)))));
+  grid_w_ = grid_h_ = side;
+  const double w = grid_env_.width();
+  const double h = grid_env_.height();
+  cell_w_inv_ = w > 0.0 ? grid_w_ / w : 0.0;
+  cell_h_inv_ = h > 0.0 ? grid_h_ / h : 0.0;
+
+  const auto cell_range = [this](const Envelope& e, std::uint32_t& x0, std::uint32_t& x1,
+                                 std::uint32_t& y0, std::uint32_t& y1) {
+    const auto clamp_cell = [](double v, std::uint32_t n) {
+      auto i = static_cast<std::int64_t>(v);
+      return static_cast<std::uint32_t>(std::clamp<std::int64_t>(i, 0, n - 1));
+    };
+    x0 = clamp_cell((e.min_x() - grid_env_.min_x()) * cell_w_inv_, grid_w_);
+    x1 = clamp_cell((e.max_x() - grid_env_.min_x()) * cell_w_inv_, grid_w_);
+    y0 = clamp_cell((e.min_y() - grid_env_.min_y()) * cell_h_inv_, grid_h_);
+    y1 = clamp_cell((e.max_y() - grid_env_.min_y()) * cell_h_inv_, grid_h_);
+  };
+
+  const std::size_t cells = static_cast<std::size_t>(grid_w_) * grid_h_;
+  std::vector<std::uint32_t> counts(cells, 0);
+  const auto seg_env = [](const Segment& s) {
+    Envelope e;
+    e.expand_to_include(s.a.x, s.a.y);
+    e.expand_to_include(s.b.x, s.b.y);
+    return e;
+  };
+  for (const auto& s : segments_) {
+    std::uint32_t x0, x1, y0, y1;
+    cell_range(seg_env(s), x0, x1, y0, y1);
+    for (std::uint32_t y = y0; y <= y1; ++y) {
+      for (std::uint32_t x = x0; x <= x1; ++x) ++counts[y * grid_w_ + x];
+    }
+  }
+  cell_offsets_.assign(cells + 1, 0);
+  for (std::size_t c = 0; c < cells; ++c) cell_offsets_[c + 1] = cell_offsets_[c] + counts[c];
+  cell_segments_.resize(cell_offsets_.back());
+  std::vector<std::uint32_t> cursor(cell_offsets_.begin(), cell_offsets_.end() - 1);
+  for (std::uint32_t i = 0; i < segments_.size(); ++i) {
+    std::uint32_t x0, x1, y0, y1;
+    cell_range(seg_env(segments_[i]), x0, x1, y0, y1);
+    for (std::uint32_t y = y0; y <= y1; ++y) {
+      for (std::uint32_t x = x0; x <= x1; ++x) cell_segments_[cursor[y * grid_w_ + x]++] = i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+template <typename Fn>
+void PreparedGeometry::for_cells(const Envelope& e, Fn&& fn) const {
+  if (grid_w_ == 0) return;
+  const auto clamp_cell = [](double v, std::uint32_t n) {
+    auto i = static_cast<std::int64_t>(v);
+    return static_cast<std::uint32_t>(std::clamp<std::int64_t>(i, 0, n - 1));
+  };
+  const std::uint32_t x0 = clamp_cell((e.min_x() - grid_env_.min_x()) * cell_w_inv_, grid_w_);
+  const std::uint32_t x1 = clamp_cell((e.max_x() - grid_env_.min_x()) * cell_w_inv_, grid_w_);
+  const std::uint32_t y0 = clamp_cell((e.min_y() - grid_env_.min_y()) * cell_h_inv_, grid_h_);
+  const std::uint32_t y1 = clamp_cell((e.max_y() - grid_env_.min_y()) * cell_h_inv_, grid_h_);
+  for (std::uint32_t y = y0; y <= y1; ++y) {
+    for (std::uint32_t x = x0; x <= x1; ++x) {
+      fn(static_cast<std::size_t>(y) * grid_w_ + x);
+    }
+  }
+}
+
+bool PreparedGeometry::ArealPart::point_covered(const Coord& p) const {
+  bool inside = false;
+  const auto scan_edge = [&](const Segment& e) -> int {
+    if (point_on_segment(p, e.a, e.b)) return 1;  // boundary: covered
+    if ((e.a.y > p.y) != (e.b.y > p.y)) {
+      const double x_cross = e.a.x + (p.y - e.a.y) * (e.b.x - e.a.x) / (e.b.y - e.a.y);
+      if (x_cross > p.x) inside = !inside;
+    }
+    return 0;
+  };
+  if (p.y < y_min || p.y > y_max) return false;
+  if (bucket_count == 0 || y_inv_step == 0.0) {
+    for (const auto& e : edges) {
+      if (scan_edge(e) == 1) return true;
+    }
+    return inside;
+  }
+  const auto b = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>((p.y - y_min) * y_inv_step), 0, bucket_count - 1);
+  const std::uint32_t begin = bucket_offsets[static_cast<std::size_t>(b)];
+  const std::uint32_t end = bucket_offsets[static_cast<std::size_t>(b) + 1];
+  for (std::uint32_t i = begin; i < end; ++i) {
+    if (scan_edge(edges[bucket_edges[i]]) == 1) return true;
+  }
+  return inside;
+}
+
+bool PreparedGeometry::covers_point(const Coord& p) const {
+  if (!geometry_->envelope().contains(p.x, p.y)) return false;
+  for (const auto& part : areal_parts_) {
+    if (part.point_covered(p)) return true;
+  }
+  return false;
+}
+
+bool PreparedGeometry::any_segment_intersecting(const Coord& a, const Coord& b) const {
+  Envelope probe;
+  probe.expand_to_include(a.x, a.y);
+  probe.expand_to_include(b.x, b.y);
+  bool hit = false;
+  for_cells(probe, [&](std::size_t cell) {
+    if (hit) return;
+    for (std::uint32_t i = cell_offsets_[cell]; i < cell_offsets_[cell + 1]; ++i) {
+      const Segment& s = segments_[cell_segments_[i]];
+      if (segments_intersect(a, b, s.a, s.b)) {
+        hit = true;
+        return;
+      }
+    }
+  });
+  return hit;
+}
+
+bool PreparedGeometry::ArealPart::strictly_crossed(const Coord& a, const Coord& b) const {
+  // Any edge that strictly crosses [a, b] has a y-span overlapping the
+  // segment's y-span, so scanning the overlapped buckets is exhaustive.
+  const double lo = std::min(a.y, b.y);
+  const double hi = std::max(a.y, b.y);
+  if (hi < y_min || lo > y_max) return false;
+  if (bucket_count == 0 || y_inv_step == 0.0) {
+    for (const auto& e : edges) {
+      if (strict_crossing(a, b, e.a, e.b)) return true;
+    }
+    return false;
+  }
+  const auto b0 = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>((lo - y_min) * y_inv_step), 0, bucket_count - 1);
+  const auto b1 = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>((hi - y_min) * y_inv_step), 0, bucket_count - 1);
+  for (std::int64_t bk = b0; bk <= b1; ++bk) {
+    const std::uint32_t begin = bucket_offsets[static_cast<std::size_t>(bk)];
+    const std::uint32_t end = bucket_offsets[static_cast<std::size_t>(bk) + 1];
+    for (std::uint32_t i = begin; i < end; ++i) {
+      if (strict_crossing(a, b, edges[bucket_edges[i]].a, edges[bucket_edges[i]].b)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool PreparedGeometry::ArealPart::covers_path(std::span<const Coord> path) const {
+  for (const auto& c : path) {
+    if (!point_covered(c)) return false;
+  }
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (strictly_crossed(path[i], path[i + 1])) return false;
+    const Coord mid{(path[i].x + path[i + 1].x) / 2.0,
+                    (path[i].y + path[i + 1].y) / 2.0};
+    if (!point_covered(mid)) return false;
+  }
+  return true;
+}
+
+namespace {
+// Path/vertex enumeration over an arbitrary probe geometry.
+template <typename Fn>
+void for_each_probe_path(const Geometry& g, Fn&& fn) {
+  std::vector<const std::vector<Coord>*> paths;
+  collect_paths(g, paths);
+  for (const auto* p : paths) fn(*p);
+}
+}  // namespace
+
+bool PreparedGeometry::intersects(const Geometry& other) const {
+  if (!geometry_->envelope().intersects(other.envelope())) return false;
+
+  if (other.type() == GeomType::kPoint) {
+    const Coord& p = other.as_point();
+    if (!areal_parts_.empty() && covers_point(p)) return true;
+    if (geometry_->type() == GeomType::kPoint) return geometry_->as_point() == p;
+    // Point-on-linework via the grid.
+    bool hit = false;
+    for_cells(Envelope::of_point(p.x, p.y), [&](std::size_t cell) {
+      if (hit) return;
+      for (std::uint32_t i = cell_offsets_[cell]; i < cell_offsets_[cell + 1]; ++i) {
+        const Segment& s = segments_[cell_segments_[i]];
+        if (point_on_segment(p, s.a, s.b)) {
+          hit = true;
+          return;
+        }
+      }
+    });
+    return hit;
+  }
+
+  if (geometry_->type() == GeomType::kPoint) {
+    return intersects_naive(*geometry_, other);
+  }
+
+  // 1) Any boundary/linework crossing?
+  bool crossing = false;
+  for_each_probe_path(other, [&](const std::vector<Coord>& path) {
+    if (crossing) return;
+    for (std::size_t i = 0; i + 1 < path.size() && !crossing; ++i) {
+      crossing = any_segment_intersecting(path[i], path[i + 1]);
+    }
+  });
+  if (crossing) return true;
+
+  // 2) No crossings: containment one way or the other decides.
+  if (!areal_parts_.empty()) {
+    // A representative vertex of `other` inside us?
+    bool inside = false;
+    for_each_probe_path(other, [&](const std::vector<Coord>& path) {
+      if (!inside && !path.empty()) inside = covers_point(path.front());
+    });
+    if (inside) return true;
+  }
+  if (other.is_areal()) {
+    // Any of our per-path representative vertices inside `other`? One vertex
+    // per path suffices because, absent crossings, each path lies entirely on
+    // one side of other's boundary. (`other` is un-prepared; use the naive
+    // hole-aware test.)
+    std::vector<Coord> reps = path_reps_;
+    if (reps.empty() && geometry_->type() == GeomType::kPoint) {
+      reps.push_back(geometry_->as_point());
+    }
+    const auto check_poly = [&](const Polygon& poly) {
+      for (const auto& rep : reps) {
+        if (point_in_polygon(rep, poly)) return true;
+      }
+      return false;
+    };
+    if (other.type() == GeomType::kPolygon) return check_poly(other.as_polygon());
+    for (const auto& part : other.as_multi_polygon().parts) {
+      if (check_poly(part)) return true;
+    }
+  }
+  return false;
+}
+
+bool PreparedGeometry::contains(const Geometry& other) const {
+  require(geometry_->is_areal(), "PreparedGeometry::contains: target must be areal");
+  if (!geometry_->envelope().contains(other.envelope())) return false;
+
+  // Mirror contains_naive exactly: every simple part of `other` must be
+  // covered by at least one areal part of the target, judged part-by-part.
+  std::vector<detail::SimplePart> probe_parts;
+  detail::collect_parts(other, probe_parts);
+  for (const auto& pb : probe_parts) {
+    bool covered = false;
+    for (const auto& part : areal_parts_) {
+      if (pb.point != nullptr) {
+        covered = part.point_covered(*pb.point);
+      } else if (pb.line != nullptr) {
+        covered = part.covers_path(pb.line->coords);
+      } else {
+        covered = part.covers_path(pb.polygon->shell);
+      }
+      if (covered) break;
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+double PreparedGeometry::min_sqdist_to_segments(const Coord& p) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& s : segments_) {
+    best = std::min(best, squared_distance_point_segment(p, s.a, s.b));
+    if (best == 0.0) break;
+  }
+  return best;
+}
+
+double PreparedGeometry::min_sqdist_seg_to_segments(const Coord& a, const Coord& b) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& s : segments_) {
+    best = std::min(best, squared_distance_segments(a, b, s.a, s.b));
+    if (best == 0.0) break;
+  }
+  return best;
+}
+
+double PreparedGeometry::distance(const Geometry& other) const {
+  if (intersects(other)) return 0.0;
+
+  // Disjoint: the distance is realized between linework (or isolated
+  // points). Scan our flattened segments against the probe's paths.
+  double best = std::numeric_limits<double>::infinity();
+
+  if (other.type() == GeomType::kPoint) {
+    const Coord& p = other.as_point();
+    if (geometry_->type() == GeomType::kPoint) {
+      return std::sqrt(squared_distance(geometry_->as_point(), p));
+    }
+    return std::sqrt(min_sqdist_to_segments(p));
+  }
+
+  if (geometry_->type() == GeomType::kPoint) {
+    const Coord& p = geometry_->as_point();
+    for_each_probe_path(other, [&](const std::vector<Coord>& path) {
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        best = std::min(best, squared_distance_point_segment(p, path[i], path[i + 1]));
+      }
+      if (path.size() == 1) best = std::min(best, squared_distance(p, path.front()));
+    });
+    return std::sqrt(best);
+  }
+
+  for_each_probe_path(other, [&](const std::vector<Coord>& path) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      best = std::min(best, min_sqdist_seg_to_segments(path[i], path[i + 1]));
+      if (best == 0.0) return;
+    }
+  });
+  return std::sqrt(best);
+}
+
+std::size_t PreparedGeometry::index_size_bytes() const {
+  std::size_t bytes = sizeof(*this);
+  for (const auto& part : areal_parts_) {
+    bytes += part.edges.size() * sizeof(Segment) +
+             part.bucket_offsets.size() * sizeof(std::uint32_t) +
+             part.bucket_edges.size() * sizeof(std::uint32_t);
+  }
+  bytes += segments_.size() * sizeof(Segment) +
+           cell_offsets_.size() * sizeof(std::uint32_t) +
+           cell_segments_.size() * sizeof(std::uint32_t);
+  return bytes;
+}
+
+}  // namespace sjc::geom

@@ -1,0 +1,105 @@
+// PreparedGeometry: per-geometry acceleration structures, in the spirit of
+// JTS's PreparedGeometry.
+//
+// A prepared geometry is built once and queried many times — exactly the
+// access pattern of the local-join refinement step, where each polygon (or
+// polyline) on the indexed side is tested against many candidates. Two
+// structures are precomputed from the geometry's linework:
+//
+//  * a y-bucket table per areal part: point-in-polygon ray casting only
+//    visits edges whose y-span overlaps the query row (O(edges/buckets)
+//    instead of O(edges));
+//  * a uniform segment grid over the envelope: segment-intersection and
+//    covers tests only visit segments in the cells the probe segment
+//    overlaps.
+//
+// All query answers are identical to the naive predicates in
+// predicates.hpp; only the candidate enumeration differs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "geom/geometry.hpp"
+
+namespace sjc::geom {
+
+class PreparedGeometry {
+ public:
+  /// Prepares `geometry`; the reference must outlive this object (geometry
+  /// storage in dataset vectors is stable for the duration of a join).
+  explicit PreparedGeometry(const Geometry& geometry);
+
+  const Geometry& geometry() const { return *geometry_; }
+
+  /// Same answer as intersects_naive(geometry(), other).
+  bool intersects(const Geometry& other) const;
+
+  /// Same answer as contains_naive(geometry(), other); requires areal target.
+  bool contains(const Geometry& other) const;
+
+  /// Same answer as distance_naive(geometry(), other).
+  double distance(const Geometry& other) const;
+
+  /// Hole-aware covered test against the areal parts of the target.
+  bool covers_point(const Coord& p) const;
+
+  /// Approximate bytes used by the acceleration structures.
+  std::size_t index_size_bytes() const;
+
+ private:
+  struct Segment {
+    Coord a;
+    Coord b;
+  };
+
+  // Per-areal-part point-in-polygon accelerator: all ring edges of one
+  // polygon part, bucketed by y.
+  struct ArealPart {
+    std::vector<Segment> edges;
+    double y_min = 0.0;
+    double y_max = 0.0;
+    double y_inv_step = 0.0;  // buckets / (y_max - y_min)
+    std::uint32_t bucket_count = 0;
+    std::vector<std::uint32_t> bucket_offsets;  // CSR offsets, size+1
+    std::vector<std::uint32_t> bucket_edges;    // edge ids per bucket
+    bool point_covered(const Coord& p) const;
+    /// True when [a, b] strictly crosses any edge of this part.
+    bool strictly_crossed(const Coord& a, const Coord& b) const;
+    /// Indexed twin of predicates.cpp's polygon_covers_path.
+    bool covers_path(std::span<const Coord> path) const;
+  };
+
+  void add_areal_part(const Polygon& poly);
+  void add_linework(const std::vector<Coord>& path);
+  void build_grid();
+
+  // Enumerates grid cells overlapped by envelope `e`, invoking fn(cell).
+  template <typename Fn>
+  void for_cells(const Envelope& e, Fn&& fn) const;
+
+  bool any_segment_intersecting(const Coord& a, const Coord& b) const;
+  double min_sqdist_to_segments(const Coord& p) const;
+  double min_sqdist_seg_to_segments(const Coord& a, const Coord& b) const;
+
+  const Geometry* geometry_;
+  std::vector<ArealPart> areal_parts_;
+
+  // First vertex of every coordinate path (one per part component); used as
+  // representative points for the no-crossing containment fallback.
+  std::vector<Coord> path_reps_;
+
+  // Flattened linework (linestring segments + ring edges) and its grid.
+  std::vector<Segment> segments_;
+  Envelope grid_env_;
+  std::uint32_t grid_w_ = 0;
+  std::uint32_t grid_h_ = 0;
+  double cell_w_inv_ = 0.0;
+  double cell_h_inv_ = 0.0;
+  std::vector<std::uint32_t> cell_offsets_;  // CSR offsets, grid_w*grid_h+1
+  std::vector<std::uint32_t> cell_segments_;
+};
+
+}  // namespace sjc::geom

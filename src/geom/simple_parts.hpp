@@ -1,0 +1,49 @@
+// Internal helper: decomposition of a Geometry into "simple parts".
+//
+// A simple part is a point, a linestring, or a single (holed) polygon.
+// Predicates over arbitrary geometry pairs are defined over the cross
+// product of their simple parts; both engines use this same decomposition so
+// their answers coincide by construction.
+//
+// This header is an implementation detail of sjc_geom (not part of the
+// public API surface) but lives alongside the public headers because the
+// library does not install.
+#pragma once
+
+#include <vector>
+
+#include "geom/geometry.hpp"
+
+namespace sjc::geom::detail {
+
+struct SimplePart {
+  const Coord* point = nullptr;
+  const LineString* line = nullptr;
+  const Polygon* polygon = nullptr;
+};
+
+inline void collect_parts(const Geometry& g, std::vector<SimplePart>& out) {
+  switch (g.type()) {
+    case GeomType::kPoint:
+      out.push_back({.point = &g.as_point()});
+      break;
+    case GeomType::kLineString:
+      out.push_back({.line = &g.as_line_string()});
+      break;
+    case GeomType::kPolygon:
+      out.push_back({.polygon = &g.as_polygon()});
+      break;
+    case GeomType::kMultiLineString:
+      for (const auto& part : g.as_multi_line_string().parts) {
+        out.push_back({.line = &part});
+      }
+      break;
+    case GeomType::kMultiPolygon:
+      for (const auto& part : g.as_multi_polygon().parts) {
+        out.push_back({.polygon = &part});
+      }
+      break;
+  }
+}
+
+}  // namespace sjc::geom::detail

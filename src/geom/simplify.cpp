@@ -1,0 +1,121 @@
+#include "geom/simplify.hpp"
+
+#include <cmath>
+
+#include "geom/algorithms.hpp"
+#include "util/status.hpp"
+
+namespace sjc::geom {
+
+namespace {
+
+void douglas_peucker(const std::vector<Coord>& path, std::size_t first, std::size_t last,
+                     double tol_sq, std::vector<bool>& keep) {
+  if (last <= first + 1) return;
+  double worst = -1.0;
+  std::size_t worst_idx = first;
+  for (std::size_t i = first + 1; i < last; ++i) {
+    const double d = squared_distance_point_segment(path[i], path[first], path[last]);
+    if (d > worst) {
+      worst = d;
+      worst_idx = i;
+    }
+  }
+  if (worst > tol_sq) {
+    keep[worst_idx] = true;
+    douglas_peucker(path, first, worst_idx, tol_sq, keep);
+    douglas_peucker(path, worst_idx, last, tol_sq, keep);
+  }
+}
+
+Ring simplify_ring(const Ring& ring, double tolerance) {
+  // Simplify the open path (first == last removed), then re-close. Keep an
+  // interior anchor so the ring cannot collapse to a segment: the vertex
+  // farthest from the first point always survives.
+  if (ring.size() <= 4) return ring;
+  std::vector<Coord> open(ring.begin(), ring.end() - 1);
+
+  std::size_t anchor = 1;
+  double best = -1.0;
+  for (std::size_t i = 1; i < open.size(); ++i) {
+    const double d = squared_distance(open[0], open[i]);
+    if (d > best) {
+      best = d;
+      anchor = i;
+    }
+  }
+  std::vector<bool> keep(open.size(), false);
+  keep[0] = keep[anchor] = true;
+  const double tol_sq = tolerance * tolerance;
+  douglas_peucker(open, 0, anchor, tol_sq, keep);
+  // Second half wraps around: simplify anchor..end treating open[0] as the
+  // far endpoint by appending it temporarily.
+  std::vector<Coord> tail(open.begin() + static_cast<std::ptrdiff_t>(anchor), open.end());
+  tail.push_back(open[0]);
+  std::vector<bool> tail_keep(tail.size(), false);
+  tail_keep.front() = tail_keep.back() = true;
+  douglas_peucker(tail, 0, tail.size() - 1, tol_sq, tail_keep);
+
+  Ring out;
+  for (std::size_t i = 0; i <= anchor; ++i) {
+    if (keep[i]) out.push_back(open[i]);
+  }
+  for (std::size_t i = 1; i + 1 < tail.size(); ++i) {
+    if (tail_keep[i]) out.push_back(tail[i]);
+  }
+  out.push_back(out.front());
+  if (out.size() < 4) return ring;  // too aggressive: keep the original
+  return out;
+}
+
+}  // namespace
+
+std::vector<Coord> simplify_path(const std::vector<Coord>& path, double tolerance) {
+  require(tolerance >= 0.0, "simplify_path: tolerance must be non-negative");
+  if (path.size() <= 2) return path;
+  std::vector<bool> keep(path.size(), false);
+  keep.front() = keep.back() = true;
+  douglas_peucker(path, 0, path.size() - 1, tolerance * tolerance, keep);
+  std::vector<Coord> out;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (keep[i]) out.push_back(path[i]);
+  }
+  return out;
+}
+
+Geometry simplify(const Geometry& geometry, double tolerance) {
+  require(tolerance >= 0.0, "simplify: tolerance must be non-negative");
+  switch (geometry.type()) {
+    case GeomType::kPoint:
+      return geometry;
+    case GeomType::kLineString:
+      return Geometry::line_string(
+          simplify_path(geometry.as_line_string().coords, tolerance));
+    case GeomType::kPolygon: {
+      const auto& poly = geometry.as_polygon();
+      std::vector<Ring> holes;
+      holes.reserve(poly.holes.size());
+      for (const auto& hole : poly.holes) holes.push_back(simplify_ring(hole, tolerance));
+      return Geometry::polygon(simplify_ring(poly.shell, tolerance), std::move(holes));
+    }
+    case GeomType::kMultiLineString: {
+      std::vector<LineString> parts;
+      for (const auto& part : geometry.as_multi_line_string().parts) {
+        parts.push_back(LineString{simplify_path(part.coords, tolerance)});
+      }
+      return Geometry::multi_line_string(std::move(parts));
+    }
+    case GeomType::kMultiPolygon: {
+      std::vector<Polygon> parts;
+      for (const auto& part : geometry.as_multi_polygon().parts) {
+        std::vector<Ring> holes;
+        for (const auto& hole : part.holes) holes.push_back(simplify_ring(hole, tolerance));
+        parts.push_back(Polygon{simplify_ring(part.shell, tolerance), std::move(holes)});
+      }
+      return Geometry::multi_polygon(std::move(parts));
+    }
+  }
+  return geometry;
+}
+
+}  // namespace sjc::geom

@@ -1,0 +1,25 @@
+// Douglas-Peucker geometry simplification.
+//
+// Refinement cost scales with vertex count (see bench_geom_engines), so
+// real pipelines routinely simplify dense geometry before joining;
+// bench_vertex_complexity uses this to sweep the complexity axis of the
+// engine-gap analysis.
+#pragma once
+
+#include "geom/geometry.hpp"
+
+namespace sjc::geom {
+
+/// Simplifies a coordinate path with the Douglas-Peucker algorithm: keeps
+/// every vertex farther than `tolerance` from the chord of its retained
+/// neighbours; endpoints always survive. tolerance 0 removes only exactly
+/// collinear vertices.
+std::vector<Coord> simplify_path(const std::vector<Coord>& path, double tolerance);
+
+/// Simplifies any geometry: points unchanged; polylines per path; polygon
+/// rings per ring while keeping them closed with >= 4 coordinates (rings
+/// that would collapse below that are kept at their minimal shape).
+/// Throws InvalidArgument on negative tolerance.
+Geometry simplify(const Geometry& geometry, double tolerance);
+
+}  // namespace sjc::geom

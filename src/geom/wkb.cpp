@@ -1,0 +1,245 @@
+#include "geom/wkb.hpp"
+
+#include <cstring>
+
+#include "util/status.hpp"
+
+namespace sjc::geom {
+
+namespace {
+
+// OGC geometry type tags.
+enum WkbTag : std::uint32_t {
+  kTagPoint = 1,
+  kTagLineString = 2,
+  kTagPolygon = 3,
+  kTagMultiLineString = 5,
+  kTagMultiPolygon = 6,
+};
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+    }
+  }
+
+  void coords(const std::vector<Coord>& cs) {
+    u32(static_cast<std::uint32_t>(cs.size()));
+    for (const auto& c : cs) {
+      f64(c.x);
+      f64(c.y);
+    }
+  }
+
+  void polygon_body(const Polygon& poly) {
+    u32(static_cast<std::uint32_t>(1 + poly.holes.size()));
+    coords(poly.shell);
+    for (const auto& hole : poly.holes) coords(hole);
+  }
+
+  void header(std::uint32_t tag) {
+    u8(1);  // little-endian
+    u32(tag);
+  }
+
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  double f64() {
+    need(8);
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) bits |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::vector<Coord> coords() {
+    const std::uint32_t n = u32();
+    // Sanity bound before allocating: each coord needs 16 bytes.
+    if (static_cast<std::size_t>(n) * 16 > data_.size() - pos_) {
+      throw ParseError("WKB: coordinate count exceeds payload");
+    }
+    std::vector<Coord> cs;
+    cs.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const double x = f64();
+      const double y = f64();
+      cs.push_back({x, y});
+    }
+    return cs;
+  }
+
+  Polygon polygon_body() {
+    const std::uint32_t rings = u32();
+    if (rings == 0) throw ParseError("WKB: polygon with zero rings");
+    Polygon poly;
+    poly.shell = coords();
+    for (std::uint32_t r = 1; r < rings; ++r) poly.holes.push_back(coords());
+    return poly;
+  }
+
+  std::uint32_t header() {
+    const std::uint8_t order = u8();
+    if (order != 1) throw ParseError("WKB: only little-endian (NDR) supported");
+    return u32();
+  }
+
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) {
+    if (pos_ + n > data_.size()) throw ParseError("WKB: truncated payload");
+  }
+
+  const std::vector<std::uint8_t>& data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> to_wkb(const Geometry& geometry) {
+  Writer w;
+  switch (geometry.type()) {
+    case GeomType::kPoint: {
+      w.header(kTagPoint);
+      w.f64(geometry.as_point().x);
+      w.f64(geometry.as_point().y);
+      break;
+    }
+    case GeomType::kLineString:
+      w.header(kTagLineString);
+      w.coords(geometry.as_line_string().coords);
+      break;
+    case GeomType::kPolygon:
+      w.header(kTagPolygon);
+      w.polygon_body(geometry.as_polygon());
+      break;
+    case GeomType::kMultiLineString: {
+      const auto& parts = geometry.as_multi_line_string().parts;
+      w.header(kTagMultiLineString);
+      w.u32(static_cast<std::uint32_t>(parts.size()));
+      for (const auto& part : parts) {
+        w.header(kTagLineString);
+        w.coords(part.coords);
+      }
+      break;
+    }
+    case GeomType::kMultiPolygon: {
+      const auto& parts = geometry.as_multi_polygon().parts;
+      w.header(kTagMultiPolygon);
+      w.u32(static_cast<std::uint32_t>(parts.size()));
+      for (const auto& part : parts) {
+        w.header(kTagPolygon);
+        w.polygon_body(part);
+      }
+      break;
+    }
+  }
+  return w.take();
+}
+
+Geometry from_wkb(const std::vector<std::uint8_t>& wkb) {
+  Reader r(wkb);
+  const std::uint32_t tag = r.header();
+  Geometry result = [&]() -> Geometry {
+    switch (tag) {
+      case kTagPoint: {
+        const double x = r.f64();
+        const double y = r.f64();
+        return Geometry::point(x, y);
+      }
+      case kTagLineString:
+        return Geometry::line_string(r.coords());
+      case kTagPolygon: {
+        Polygon poly = r.polygon_body();
+        return Geometry::polygon(std::move(poly.shell), std::move(poly.holes));
+      }
+      case kTagMultiLineString: {
+        const std::uint32_t n = r.u32();
+        if (n == 0) throw ParseError("WKB: empty multilinestring");
+        std::vector<LineString> parts;
+        for (std::uint32_t i = 0; i < n; ++i) {
+          if (r.header() != kTagLineString) {
+            throw ParseError("WKB: multilinestring part is not a linestring");
+          }
+          parts.push_back(LineString{r.coords()});
+        }
+        return Geometry::multi_line_string(std::move(parts));
+      }
+      case kTagMultiPolygon: {
+        const std::uint32_t n = r.u32();
+        if (n == 0) throw ParseError("WKB: empty multipolygon");
+        std::vector<Polygon> parts;
+        for (std::uint32_t i = 0; i < n; ++i) {
+          if (r.header() != kTagPolygon) {
+            throw ParseError("WKB: multipolygon part is not a polygon");
+          }
+          parts.push_back(r.polygon_body());
+        }
+        return Geometry::multi_polygon(std::move(parts));
+      }
+      default:
+        throw ParseError("WKB: unknown geometry tag " + std::to_string(tag));
+    }
+  }();
+  if (!r.exhausted()) throw ParseError("WKB: trailing bytes after geometry");
+  return result;
+}
+
+std::size_t wkb_size(const Geometry& geometry) {
+  constexpr std::size_t kHeader = 1 + 4;
+  switch (geometry.type()) {
+    case GeomType::kPoint:
+      return kHeader + 16;
+    case GeomType::kLineString:
+      return kHeader + 4 + geometry.num_coords() * 16;
+    case GeomType::kPolygon: {
+      const auto& poly = geometry.as_polygon();
+      return kHeader + 4 + (1 + poly.holes.size()) * 4 + geometry.num_coords() * 16;
+    }
+    case GeomType::kMultiLineString: {
+      const auto& parts = geometry.as_multi_line_string().parts;
+      return kHeader + 4 + parts.size() * (kHeader + 4) + geometry.num_coords() * 16;
+    }
+    case GeomType::kMultiPolygon: {
+      const auto& parts = geometry.as_multi_polygon().parts;
+      std::size_t rings = 0;
+      for (const auto& p : parts) rings += 1 + p.holes.size();
+      return kHeader + 4 + parts.size() * (kHeader + 4) + rings * 4 +
+             geometry.num_coords() * 16;
+    }
+  }
+  return 0;
+}
+
+}  // namespace sjc::geom

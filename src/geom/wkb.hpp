@@ -1,0 +1,29 @@
+// Well-Known Binary reader/writer.
+//
+// The streaming (HadoopGIS) path moves WKT text, but SpatialHadoop stores
+// its partition block files in binary — which is a large part of why its
+// local joins skip the parse tax. WKB is that binary form: the standard
+// little-endian OGC encoding (byte order marker, uint32 type tag,
+// double coordinates), restricted to the five 2-D types this library
+// supports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/geometry.hpp"
+
+namespace sjc::geom {
+
+/// Serializes to little-endian WKB.
+std::vector<std::uint8_t> to_wkb(const Geometry& geometry);
+
+/// Parses little-endian WKB; throws ParseError on malformed or truncated
+/// input, unknown type tags, or big-endian payloads.
+Geometry from_wkb(const std::vector<std::uint8_t>& wkb);
+
+/// Exact encoded size in bytes (without encoding).
+std::size_t wkb_size(const Geometry& geometry);
+
+}  // namespace sjc::geom

@@ -1,0 +1,97 @@
+#include "index/grid_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.hpp"
+
+namespace sjc::index {
+
+GridIndex::GridIndex(std::vector<IndexEntry> entries, std::uint32_t cols,
+                     std::uint32_t rows)
+    : entries_(std::move(entries)), cols_(cols), rows_(rows) {
+  require(cols >= 1 && rows >= 1, "GridIndex: grid must be at least 1x1");
+  for (const auto& e : entries_) bounds_.expand_to_include(e.env);
+
+  const double w = bounds_.width();
+  const double h = bounds_.height();
+  inv_cell_w_ = w > 0.0 ? cols_ / w : 0.0;
+  inv_cell_h_ = h > 0.0 ? rows_ / h : 0.0;
+
+  const std::size_t cells = static_cast<std::size_t>(cols_) * rows_;
+  std::vector<std::uint32_t> counts(cells, 0);
+  for (const auto& e : entries_) {
+    std::uint32_t x0, x1, y0, y1;
+    cell_range(e.env, x0, x1, y0, y1);
+    for (std::uint32_t y = y0; y <= y1; ++y) {
+      for (std::uint32_t x = x0; x <= x1; ++x) ++counts[y * cols_ + x];
+    }
+  }
+  cell_offsets_.assign(cells + 1, 0);
+  for (std::size_t c = 0; c < cells; ++c) {
+    cell_offsets_[c + 1] = cell_offsets_[c] + counts[c];
+  }
+  cell_items_.resize(cell_offsets_.back());
+  std::vector<std::uint32_t> cursor(cell_offsets_.begin(), cell_offsets_.end() - 1);
+  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+    std::uint32_t x0, x1, y0, y1;
+    cell_range(entries_[i].env, x0, x1, y0, y1);
+    for (std::uint32_t y = y0; y <= y1; ++y) {
+      for (std::uint32_t x = x0; x <= x1; ++x) cell_items_[cursor[y * cols_ + x]++] = i;
+    }
+  }
+  stamps_.assign(entries_.size(), 0);
+}
+
+GridIndex GridIndex::with_target_occupancy(std::vector<IndexEntry> entries,
+                                           double cell_occupancy) {
+  require(cell_occupancy > 0.0, "GridIndex: cell_occupancy must be positive");
+  const double cells =
+      std::max(1.0, static_cast<double>(entries.size()) / cell_occupancy);
+  const auto side = static_cast<std::uint32_t>(std::max(1.0, std::sqrt(cells)));
+  return GridIndex(std::move(entries), side, side);
+}
+
+void GridIndex::cell_range(const geom::Envelope& e, std::uint32_t& x0, std::uint32_t& x1,
+                           std::uint32_t& y0, std::uint32_t& y1) const {
+  const auto clamp_cell = [](double v, std::uint32_t n) {
+    const auto i = static_cast<std::int64_t>(v);
+    return static_cast<std::uint32_t>(std::clamp<std::int64_t>(i, 0, n - 1));
+  };
+  x0 = clamp_cell((e.min_x() - bounds_.min_x()) * inv_cell_w_, cols_);
+  x1 = clamp_cell((e.max_x() - bounds_.min_x()) * inv_cell_w_, cols_);
+  y0 = clamp_cell((e.min_y() - bounds_.min_y()) * inv_cell_h_, rows_);
+  y1 = clamp_cell((e.max_y() - bounds_.min_y()) * inv_cell_h_, rows_);
+}
+
+void GridIndex::query(const geom::Envelope& query,
+                      const std::function<void(std::uint32_t)>& fn) const {
+  if (entries_.empty() || !bounds_.intersects(query)) return;
+  ++stamp_version_;
+  if (stamp_version_ == 0) {  // wrapped: reset stamps once per 2^32 queries
+    std::fill(stamps_.begin(), stamps_.end(), 0);
+    stamp_version_ = 1;
+  }
+  std::uint32_t x0, x1, y0, y1;
+  cell_range(query.intersection(bounds_), x0, x1, y0, y1);
+  for (std::uint32_t y = y0; y <= y1; ++y) {
+    for (std::uint32_t x = x0; x <= x1; ++x) {
+      const std::size_t cell = static_cast<std::size_t>(y) * cols_ + x;
+      for (std::uint32_t k = cell_offsets_[cell]; k < cell_offsets_[cell + 1]; ++k) {
+        const std::uint32_t item = cell_items_[k];
+        if (stamps_[item] == stamp_version_) continue;
+        stamps_[item] = stamp_version_;
+        if (entries_[item].env.intersects(query)) fn(entries_[item].id);
+      }
+    }
+  }
+}
+
+std::size_t GridIndex::size_bytes() const {
+  return sizeof(*this) + entries_.size() * sizeof(IndexEntry) +
+         cell_offsets_.size() * sizeof(std::uint32_t) +
+         cell_items_.size() * sizeof(std::uint32_t) +
+         stamps_.size() * sizeof(std::uint32_t);
+}
+
+}  // namespace sjc::index

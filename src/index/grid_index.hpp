@@ -1,0 +1,52 @@
+// Uniform grid index (CSR layout).
+//
+// SpatialHadoop's default partitioner assigns sampled points to uniform grid
+// cells; the same structure doubles as a cheap spatial index when entries
+// are spread evenly. Entries overlapping several cells are replicated into
+// each, so queries deduplicate via a stamp array.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "index/spatial_index.hpp"
+
+namespace sjc::index {
+
+class GridIndex final : public SpatialIndex {
+ public:
+  /// Builds a `cols` x `rows` grid over the entries' bounds.
+  GridIndex(std::vector<IndexEntry> entries, std::uint32_t cols, std::uint32_t rows);
+
+  /// Convenience: picks a near-square grid with ~entries/cell_occupancy
+  /// cells.
+  static GridIndex with_target_occupancy(std::vector<IndexEntry> entries,
+                                         double cell_occupancy = 8.0);
+
+  void query(const geom::Envelope& query,
+             const std::function<void(std::uint32_t)>& fn) const override;
+  std::size_t size() const override { return entries_.size(); }
+  std::size_t size_bytes() const override;
+  const geom::Envelope& bounds() const override { return bounds_; }
+
+  std::uint32_t cols() const { return cols_; }
+  std::uint32_t rows() const { return rows_; }
+
+ private:
+  void cell_range(const geom::Envelope& e, std::uint32_t& x0, std::uint32_t& x1,
+                  std::uint32_t& y0, std::uint32_t& y1) const;
+
+  std::vector<IndexEntry> entries_;
+  geom::Envelope bounds_;
+  std::uint32_t cols_ = 1;
+  std::uint32_t rows_ = 1;
+  double inv_cell_w_ = 0.0;
+  double inv_cell_h_ = 0.0;
+  std::vector<std::uint32_t> cell_offsets_;
+  std::vector<std::uint32_t> cell_items_;  // indexes into entries_
+  // Query-time dedup: stamp per entry, versioned to avoid clearing.
+  mutable std::vector<std::uint32_t> stamps_;
+  mutable std::uint32_t stamp_version_ = 0;
+};
+
+}  // namespace sjc::index

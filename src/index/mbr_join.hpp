@@ -1,0 +1,54 @@
+// MBR (filter-phase) join algorithms.
+//
+// Section II.C of the paper: within a partition pair, SpatialHadoop offers
+// plane-sweep and synchronized R-tree traversal joins, while SpatialSpark
+// uses an indexed nested-loop join; HadoopGIS also builds an R-tree per
+// task. All three are provided here over plain (Envelope, id) entry lists
+// so the systems and bench_localjoin can mix and match. Every algorithm
+// emits exactly the set of pairs whose envelopes intersect; order differs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "index/spatial_index.hpp"
+#include "index/str_tree.hpp"
+
+namespace sjc::index {
+
+/// Callback receives (left id, right id) for each intersecting MBR pair.
+using PairSink = std::function<void(std::uint32_t, std::uint32_t)>;
+
+enum class LocalJoinAlgorithm {
+  kPlaneSweep = 0,
+  kSyncTraversal = 1,
+  kIndexedNestedLoop = 2,         // bulk-loaded STR tree (SpatialSpark)
+  kIndexedNestedLoopDynamic = 3,  // insert-built R-tree (HadoopGIS /
+                                  // libspatialindex style)
+  kNestedLoop = 4,                // baseline for tests/benches only
+};
+
+const char* local_join_algorithm_name(LocalJoinAlgorithm algo);
+
+/// Sort-both-sides plane sweep along x (the classic serial spatial join).
+void plane_sweep_join(const std::vector<IndexEntry>& left,
+                      const std::vector<IndexEntry>& right, const PairSink& sink);
+
+/// Synchronized descent of two STR trees.
+void sync_traversal_join(const StrTree& left, const StrTree& right,
+                         const PairSink& sink);
+
+/// Probes `index` (built over the right side) with every left entry.
+void indexed_nested_loop_join(const std::vector<IndexEntry>& left,
+                              const SpatialIndex& right_index, const PairSink& sink);
+
+/// O(n*m) reference implementation.
+void nested_loop_join(const std::vector<IndexEntry>& left,
+                      const std::vector<IndexEntry>& right, const PairSink& sink);
+
+/// Dispatches on `algo`, building whatever index the algorithm needs.
+void local_mbr_join(LocalJoinAlgorithm algo, const std::vector<IndexEntry>& left,
+                    const std::vector<IndexEntry>& right, const PairSink& sink);
+
+}  // namespace sjc::index

@@ -1,0 +1,41 @@
+// Best-first nearest-neighbor search over an STR tree.
+//
+// The paper's opening example is "matching taxi pickup/drop-off locations
+// with road segments through point-to-nearest-polyline distance
+// computation". The distributed systems evaluate it as a within-distance
+// join; this module provides the exact k-NN primitive (classic
+// Hjaltason–Samet best-first traversal over MBR distances) used by the
+// serial nearest-neighbor join in core/nn_join.hpp and by callers that
+// need candidate ranking.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "index/str_tree.hpp"
+
+namespace sjc::index {
+
+struct NearestHit {
+  std::uint32_t id = 0;
+  double distance = 0.0;  // envelope distance (lower bound on exact)
+};
+
+/// The k entries whose ENVELOPES are nearest to `query` (ties broken by
+/// id), in ascending distance order. Returns fewer than k when the tree is
+/// smaller.
+std::vector<NearestHit> k_nearest_envelopes(const StrTree& tree,
+                                            const geom::Envelope& query,
+                                            std::size_t k);
+
+/// Incremental best-first traversal with exact re-ranking: `exact_distance`
+/// maps an entry id to its true distance; the function returns the id with
+/// the smallest exact distance (and that distance), or {UINT32_MAX, inf}
+/// for an empty tree. Envelope distances prune: an entry is only scored
+/// exactly while its envelope distance can still beat the best exact
+/// distance found.
+NearestHit nearest_exact(const StrTree& tree, const geom::Envelope& query,
+                         const std::function<double(std::uint32_t)>& exact_distance);
+
+}  // namespace sjc::index

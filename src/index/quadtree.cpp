@@ -1,0 +1,98 @@
+#include "index/quadtree.hpp"
+
+#include "util/status.hpp"
+
+namespace sjc::index {
+
+Quadtree::Quadtree(std::vector<IndexEntry> entries, geom::Envelope world,
+                   std::uint32_t leaf_capacity, std::uint32_t max_depth)
+    : world_(world), leaf_capacity_(leaf_capacity), max_depth_(max_depth) {
+  require(leaf_capacity >= 1, "Quadtree: leaf_capacity must be >= 1");
+  for (const auto& e : entries) world_.expand_to_include(e.env);
+  if (world_.empty()) world_ = geom::Envelope(0, 0, 1, 1);
+  nodes_.push_back(Node{.quadrant = world_, .items = {}, .children = 0, .depth = 0});
+  for (const auto& e : entries) {
+    insert(0, e);
+    ++total_entries_;
+  }
+}
+
+void Quadtree::subdivide(std::uint32_t node_id) {
+  const geom::Envelope q = nodes_[node_id].quadrant;
+  const double cx = q.center_x();
+  const double cy = q.center_y();
+  const std::uint32_t depth = nodes_[node_id].depth + 1;
+  const std::uint32_t first = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{.quadrant = {q.min_x(), q.min_y(), cx, cy}, .items = {}, .children = 0, .depth = depth});
+  nodes_.push_back(Node{.quadrant = {cx, q.min_y(), q.max_x(), cy}, .items = {}, .children = 0, .depth = depth});
+  nodes_.push_back(Node{.quadrant = {q.min_x(), cy, cx, q.max_y()}, .items = {}, .children = 0, .depth = depth});
+  nodes_.push_back(Node{.quadrant = {cx, cy, q.max_x(), q.max_y()}, .items = {}, .children = 0, .depth = depth});
+  nodes_[node_id].children = first;
+
+  // Re-sink items that now fit entirely within a child quadrant.
+  std::vector<IndexEntry> keep;
+  std::vector<IndexEntry> moved = std::move(nodes_[node_id].items);
+  for (const auto& item : moved) {
+    bool sunk = false;
+    for (std::uint32_t c = 0; c < 4; ++c) {
+      if (nodes_[first + c].quadrant.contains(item.env)) {
+        insert(first + c, item);
+        sunk = true;
+        break;
+      }
+    }
+    if (!sunk) keep.push_back(item);
+  }
+  nodes_[node_id].items = std::move(keep);
+}
+
+void Quadtree::insert(std::uint32_t node_id, const IndexEntry& entry) {
+  while (true) {
+    if (nodes_[node_id].children != 0) {
+      const std::uint32_t first = nodes_[node_id].children;
+      bool descended = false;
+      for (std::uint32_t c = 0; c < 4; ++c) {
+        if (nodes_[first + c].quadrant.contains(entry.env)) {
+          node_id = first + c;
+          descended = true;
+          break;
+        }
+      }
+      if (descended) continue;
+      nodes_[node_id].items.push_back(entry);  // straddles children: pin here
+      return;
+    }
+    // Leaf.
+    nodes_[node_id].items.push_back(entry);
+    if (nodes_[node_id].items.size() > leaf_capacity_ &&
+        nodes_[node_id].depth < max_depth_) {
+      subdivide(node_id);
+    }
+    return;
+  }
+}
+
+void Quadtree::query(const geom::Envelope& query,
+                     const std::function<void(std::uint32_t)>& fn) const {
+  if (total_entries_ == 0 || !world_.intersects(query)) return;
+  std::vector<std::uint32_t> stack{0};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (!node.quadrant.intersects(query)) continue;
+    for (const auto& item : node.items) {
+      if (item.env.intersects(query)) fn(item.id);
+    }
+    if (node.children != 0) {
+      for (std::uint32_t c = 0; c < 4; ++c) stack.push_back(node.children + c);
+    }
+  }
+}
+
+std::size_t Quadtree::size_bytes() const {
+  std::size_t bytes = sizeof(*this) + nodes_.capacity() * sizeof(Node);
+  for (const auto& node : nodes_) bytes += node.items.capacity() * sizeof(IndexEntry);
+  return bytes;
+}
+
+}  // namespace sjc::index

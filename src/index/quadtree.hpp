@@ -1,0 +1,51 @@
+// Region quadtree over envelopes.
+//
+// Included as the third index family the spatial-partitioning literature the
+// paper builds on (SATO, SpatialHadoop's indexing modes) commonly offers.
+// Entries live in the deepest node whose quadrant fully contains their
+// envelope (an "MX-CIF" style quadtree), so no entry is duplicated and no
+// query-time dedup is needed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "index/spatial_index.hpp"
+
+namespace sjc::index {
+
+class Quadtree final : public SpatialIndex {
+ public:
+  /// Builds over `entries`; `world` must contain all entry envelopes (it is
+  /// expanded to fit if not). Leaves split at `leaf_capacity` entries until
+  /// `max_depth`.
+  Quadtree(std::vector<IndexEntry> entries, geom::Envelope world,
+           std::uint32_t leaf_capacity = 16, std::uint32_t max_depth = 12);
+
+  void query(const geom::Envelope& query,
+             const std::function<void(std::uint32_t)>& fn) const override;
+  std::size_t size() const override { return total_entries_; }
+  std::size_t size_bytes() const override;
+  const geom::Envelope& bounds() const override { return world_; }
+
+  std::uint32_t node_count() const { return static_cast<std::uint32_t>(nodes_.size()); }
+
+ private:
+  struct Node {
+    geom::Envelope quadrant;
+    std::vector<IndexEntry> items;     // entries pinned at this node
+    std::uint32_t children = 0;        // id of first of 4 children, 0 = leaf
+    std::uint32_t depth = 0;
+  };
+
+  void insert(std::uint32_t node_id, const IndexEntry& entry);
+  void subdivide(std::uint32_t node_id);
+
+  std::vector<Node> nodes_;
+  geom::Envelope world_;
+  std::uint32_t leaf_capacity_;
+  std::uint32_t max_depth_;
+  std::size_t total_entries_ = 0;
+};
+
+}  // namespace sjc::index

@@ -1,0 +1,99 @@
+#include "index/str_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.hpp"
+
+namespace sjc::index {
+
+StrTree::StrTree(std::vector<IndexEntry> entries, std::uint32_t fanout)
+    : entries_(std::move(entries)) {
+  require(fanout >= 2, "StrTree: fanout must be >= 2");
+  for (const auto& e : entries_) bounds_.expand_to_include(e.env);
+  if (entries_.empty()) return;
+
+  // --- Leaf level: STR packing --------------------------------------------
+  // Sort entries by x-center into ceil(sqrt(n/fanout)) vertical slices, then
+  // by y-center within each slice, and cut runs of `fanout` into leaves.
+  const std::size_t n = entries_.size();
+  const auto leaf_count = (n + fanout - 1) / fanout;
+  const auto slice_count = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(leaf_count))));
+  const std::size_t slice_size =
+      ((leaf_count + slice_count - 1) / slice_count) * fanout;
+
+  std::sort(entries_.begin(), entries_.end(), [](const IndexEntry& a, const IndexEntry& b) {
+    return a.env.center_x() < b.env.center_x();
+  });
+  for (std::size_t begin = 0; begin < n; begin += slice_size) {
+    const std::size_t end = std::min(begin + slice_size, n);
+    std::sort(entries_.begin() + static_cast<std::ptrdiff_t>(begin),
+              entries_.begin() + static_cast<std::ptrdiff_t>(end),
+              [](const IndexEntry& a, const IndexEntry& b) {
+                return a.env.center_y() < b.env.center_y();
+              });
+  }
+
+  for (std::size_t begin = 0; begin < n; begin += fanout) {
+    const std::size_t end = std::min<std::size_t>(begin + fanout, n);
+    Node leaf;
+    leaf.leaf = true;
+    leaf.first = static_cast<std::uint32_t>(begin);
+    leaf.count = static_cast<std::uint32_t>(end - begin);
+    for (std::size_t i = begin; i < end; ++i) leaf.env.expand_to_include(entries_[i].env);
+    nodes_.push_back(leaf);
+  }
+  height_ = 1;
+
+  // --- Inner levels: pack runs of `fanout` children ------------------------
+  std::uint32_t level_begin = 0;
+  auto level_count = static_cast<std::uint32_t>(nodes_.size());
+  while (level_count > 1) {
+    const std::uint32_t next_begin = level_begin + level_count;
+    for (std::uint32_t begin = 0; begin < level_count; begin += fanout) {
+      const std::uint32_t end = std::min(begin + fanout, level_count);
+      Node inner;
+      inner.leaf = false;
+      inner.first = level_begin + begin;
+      inner.count = end - begin;
+      for (std::uint32_t i = begin; i < end; ++i) {
+        inner.env.expand_to_include(nodes_[level_begin + i].env);
+      }
+      nodes_.push_back(inner);
+    }
+    level_begin = next_begin;
+    level_count = static_cast<std::uint32_t>(nodes_.size()) - next_begin;
+    ++height_;
+  }
+}
+
+void StrTree::query(const geom::Envelope& query,
+                    const std::function<void(std::uint32_t)>& fn) const {
+  if (entries_.empty() || !bounds_.intersects(query)) return;
+  // Explicit stack; worst case is (fanout-1) * height + 1 frames, far below
+  // 512 for any in-memory tree (height <= ~8 at fanout 16 even for 10^9
+  // entries).
+  std::uint32_t stack[512];
+  std::size_t top = 0;
+  stack[top++] = static_cast<std::uint32_t>(nodes_.size() - 1);
+  while (top > 0) {
+    const Node& node = nodes_[stack[--top]];
+    if (!node.env.intersects(query)) continue;
+    if (node.leaf) {
+      for (std::uint32_t i = 0; i < node.count; ++i) {
+        const IndexEntry& e = entries_[node.first + i];
+        if (e.env.intersects(query)) fn(e.id);
+      }
+    } else {
+      for (std::uint32_t i = 0; i < node.count; ++i) stack[top++] = node.first + i;
+    }
+  }
+}
+
+std::size_t StrTree::size_bytes() const {
+  return sizeof(*this) + entries_.size() * sizeof(IndexEntry) +
+         nodes_.size() * sizeof(Node);
+}
+
+}  // namespace sjc::index

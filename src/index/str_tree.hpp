@@ -1,0 +1,54 @@
+// Bulk-loaded R-tree using Sort-Tile-Recursive packing.
+//
+// STR is the workhorse index of all three systems' local joins (and of the
+// broadcast partition index in the SpatialSpark analog): the entry set is
+// known up front, so packing beats dynamic insertion in both build time and
+// query quality. Nodes are stored in a flat array with contiguous children,
+// so traversal is pointer-chase-free — important because local joins probe
+// the tree millions of times.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "index/spatial_index.hpp"
+
+namespace sjc::index {
+
+class StrTree final : public SpatialIndex {
+ public:
+  /// Builds a packed tree over `entries`. `fanout` is the max children per
+  /// node (default 16, a good trade-off for in-memory trees).
+  explicit StrTree(std::vector<IndexEntry> entries, std::uint32_t fanout = 16);
+
+  void query(const geom::Envelope& query,
+             const std::function<void(std::uint32_t)>& fn) const override;
+  std::size_t size() const override { return entries_.size(); }
+  std::size_t size_bytes() const override;
+  const geom::Envelope& bounds() const override { return bounds_; }
+
+  /// Tree height (0 for an empty tree, 1 for a single leaf level).
+  std::uint32_t height() const { return height_; }
+
+  // --- Introspection for the synchronized-traversal join -------------------
+
+  struct Node {
+    geom::Envelope env;
+    std::uint32_t first = 0;  // first child node id, or first entry id (leaf)
+    std::uint32_t count = 0;  // child/entry count
+    bool leaf = false;
+  };
+
+  bool empty() const { return entries_.empty(); }
+  const Node& root() const { return nodes_.back(); }
+  const Node& node(std::uint32_t id) const { return nodes_[id]; }
+  const IndexEntry& entry(std::uint32_t id) const { return entries_[id]; }
+
+ private:
+  std::vector<IndexEntry> entries_;  // permuted into leaf order
+  std::vector<Node> nodes_;          // leaves first, root last
+  geom::Envelope bounds_;
+  std::uint32_t height_ = 0;
+};
+
+}  // namespace sjc::index

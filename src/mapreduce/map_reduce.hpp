@@ -1,0 +1,275 @@
+// Typed (native) MapReduce job — the SpatialHadoop execution model.
+//
+// A full MR job: map over input splits, hash-partition intermediate (K, V)
+// pairs into R reduce tasks, sort-group within each reduce task (Hadoop's
+// sort-based shuffle), reduce, write output to DFS. User code runs for real
+// (its CPU time is measured); disk/network volumes are charged through the
+// context's cost model. Header-only because it is templated over the record
+// types.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mapreduce/mr_context.hpp"
+#include "util/status.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sjc::mapreduce {
+
+template <typename In, typename K, typename V, typename Out>
+struct MapReduceSpec {
+  std::string name;
+
+  /// map(record, emit): called once per input record.
+  std::function<void(const In&, const std::function<void(K, V)>&)> map;
+
+  /// reduce(key, values, out): called once per distinct key; values arrive
+  /// in map-emission order within a key (Hadoop makes no cross-mapper
+  /// ordering promise and neither do we).
+  std::function<void(const K&, std::vector<V>&, std::vector<Out>&)> reduce;
+
+  /// Optional combiner, run on each map task's output before the shuffle:
+  /// combine(key, values, combined) replaces that key's values with
+  /// `combined`. Must be associative/commutative in the usual Hadoop sense;
+  /// cuts shuffle volume (and is charged accordingly).
+  std::function<void(const K&, std::vector<V>&, std::vector<V>&)> combine;
+
+  /// Byte sizers (scaled magnitude) for cost accounting.
+  std::function<std::uint64_t(const In&)> input_bytes;
+  std::function<std::uint64_t(const K&, const V&)> pair_bytes;
+  std::function<std::uint64_t(const Out&)> output_bytes;
+
+  /// Key ordering (for sort-based grouping) and hashing (for the reduce
+  /// partitioner).
+  std::function<bool(const K&, const K&)> key_less;
+  std::function<std::size_t(const K&)> key_hash;
+
+  MrConfig config;
+};
+
+/// Runs the job over `splits` (one map task per split). Returns all reduce
+/// outputs, ordered by (reduce task, key).
+template <typename In, typename K, typename V, typename Out>
+std::vector<Out> run_map_reduce(MrContext& ctx,
+                                const MapReduceSpec<In, K, V, Out>& spec,
+                                const std::vector<std::vector<In>>& splits) {
+  require(ctx.cluster != nullptr && ctx.dfs != nullptr && ctx.metrics != nullptr,
+          "run_map_reduce: incomplete context");
+  require(static_cast<bool>(spec.map) && static_cast<bool>(spec.reduce),
+          "run_map_reduce: map and reduce must be set");
+
+  const std::uint32_t reduce_tasks = spec.config.reduce_tasks != 0
+                                         ? spec.config.reduce_tasks
+                                         : ctx.cluster->total_slots();
+
+  // ---- Map phase -----------------------------------------------------------
+  struct MapResult {
+    // Pairs pre-bucketed by reduce task.
+    std::vector<std::vector<std::pair<K, V>>> buckets;
+    cluster::SimTask task;
+  };
+  std::vector<MapResult> map_results(splits.size());
+
+  ThreadPool::shared().parallel_for(splits.size(), [&](std::size_t s) {
+    MapResult& result = map_results[s];
+    result.buckets.resize(reduce_tasks);
+    CpuStopwatch cpu;
+    std::uint64_t in_bytes = 0;
+    std::uint64_t out_bytes = 0;
+    const auto emit = [&](K key, V value) {
+      out_bytes += spec.pair_bytes(key, value);
+      const std::size_t bucket = spec.key_hash(key) % reduce_tasks;
+      result.buckets[bucket].emplace_back(std::move(key), std::move(value));
+    };
+    for (const auto& record : splits[s]) {
+      in_bytes += spec.input_bytes(record);
+      spec.map(record, emit);
+    }
+    if (spec.combine) {
+      // Map-side combine: group each bucket by key, fold values, recompute
+      // the spill volume.
+      out_bytes = 0;
+      for (auto& bucket : result.buckets) {
+        std::stable_sort(bucket.begin(), bucket.end(),
+                         [&](const auto& a, const auto& b) {
+                           return spec.key_less(a.first, b.first);
+                         });
+        std::vector<std::pair<K, V>> combined_bucket;
+        std::size_t i = 0;
+        while (i < bucket.size()) {
+          std::size_t j = i + 1;
+          while (j < bucket.size() && !spec.key_less(bucket[i].first, bucket[j].first) &&
+                 !spec.key_less(bucket[j].first, bucket[i].first)) {
+            ++j;
+          }
+          std::vector<V> values;
+          values.reserve(j - i);
+          for (std::size_t k = i; k < j; ++k) {
+            values.push_back(std::move(bucket[k].second));
+          }
+          std::vector<V> combined;
+          spec.combine(bucket[i].first, values, combined);
+          for (auto& v : combined) {
+            out_bytes += spec.pair_bytes(bucket[i].first, v);
+            combined_bucket.emplace_back(bucket[i].first, std::move(v));
+          }
+          i = j;
+        }
+        bucket = std::move(combined_bucket);
+      }
+    }
+    result.task.cpu_seconds = cpu.seconds() / spec.config.cpu_efficiency;
+    const auto rc = ctx.dfs->read_cost(in_bytes);
+    result.task.disk_read = rc.disk_read;
+    result.task.network = rc.network;
+    result.task.disk_write = out_bytes;  // map spill to local disk
+    result.task.fixed_overhead = spec.config.task_overhead_s;
+  });
+
+  std::uint64_t map_in_bytes = 0;
+  std::uint64_t map_out_bytes = 0;
+  {
+    std::vector<cluster::SimTask> tasks;
+    tasks.reserve(map_results.size());
+    for (const auto& r : map_results) {
+      tasks.push_back(r.task);
+      map_in_bytes += r.task.disk_read;
+      map_out_bytes += r.task.disk_write;
+    }
+    record_phase(ctx, spec.name + "/map", tasks, map_in_bytes, map_out_bytes, 0,
+                 spec.config.job_startup_s);
+  }
+
+  // ---- Shuffle + reduce phase ---------------------------------------------
+  std::vector<std::vector<Out>> reduce_outputs(reduce_tasks);
+  std::vector<cluster::SimTask> reduce_task_costs(reduce_tasks);
+  const double remote_fraction = ctx.remote_fraction();
+
+  ThreadPool::shared().parallel_for(reduce_tasks, [&](std::size_t r) {
+    CpuStopwatch cpu;
+    // Fetch this reducer's bucket from every map task (the shuffle).
+    std::vector<std::pair<K, V>> pairs;
+    std::uint64_t shuffle_bytes = 0;
+    for (auto& mr : map_results) {
+      for (auto& kv : mr.buckets[r]) {
+        shuffle_bytes += spec.pair_bytes(kv.first, kv.second);
+        pairs.push_back(std::move(kv));
+      }
+      mr.buckets[r].clear();
+    }
+    // Sort-based grouping (what Hadoop's merge sort does).
+    std::stable_sort(pairs.begin(), pairs.end(),
+                     [&](const auto& a, const auto& b) {
+                       return spec.key_less(a.first, b.first);
+                     });
+    std::uint64_t out_bytes = 0;
+    std::size_t i = 0;
+    while (i < pairs.size()) {
+      std::size_t j = i + 1;
+      while (j < pairs.size() && !spec.key_less(pairs[i].first, pairs[j].first) &&
+             !spec.key_less(pairs[j].first, pairs[i].first)) {
+        ++j;
+      }
+      std::vector<V> values;
+      values.reserve(j - i);
+      for (std::size_t k = i; k < j; ++k) values.push_back(std::move(pairs[k].second));
+      const std::size_t before = reduce_outputs[r].size();
+      spec.reduce(pairs[i].first, values, reduce_outputs[r]);
+      for (std::size_t k = before; k < reduce_outputs[r].size(); ++k) {
+        out_bytes += spec.output_bytes(reduce_outputs[r][k]);
+      }
+      i = j;
+    }
+    cluster::SimTask& task = reduce_task_costs[r];
+    task.cpu_seconds = cpu.seconds() / spec.config.cpu_efficiency;
+    task.fixed_overhead = spec.config.task_overhead_s;
+    // Shuffle: read map spills from their disks, move across the network,
+    // then write the job output to DFS (replicated). On multi-node clusters
+    // every reducer opens one fetch connection per mapper.
+    if (ctx.cluster->node_count > 1) {
+      task.fixed_overhead +=
+          spec.config.shuffle_fetch_latency_s * static_cast<double>(map_results.size());
+    }
+    task.disk_read = shuffle_bytes;
+    task.network = static_cast<std::uint64_t>(static_cast<double>(shuffle_bytes) *
+                                              remote_fraction);
+    const auto wc = ctx.dfs->write_cost(out_bytes);
+    task.disk_write = wc.disk_write;
+    task.network += wc.network;
+  });
+
+  std::uint64_t total_shuffle = 0;
+  std::uint64_t total_out = 0;
+  for (const auto& t : reduce_task_costs) {
+    total_shuffle += t.disk_read;
+    total_out += t.disk_write;
+  }
+  record_phase(ctx, spec.name + "/reduce", reduce_task_costs, total_shuffle, total_out,
+               total_shuffle, 0.0);
+
+  std::vector<Out> all;
+  for (auto& out : reduce_outputs) {
+    for (auto& o : out) all.push_back(std::move(o));
+  }
+  return all;
+}
+
+/// Runs a map-only job (SpatialHadoop's distributed-join pattern: the
+/// global join happens in getSplits on the master, then one map task per
+/// partition pair does the local join; no shuffle, no reduce). The caller
+/// provides the splits; per-split input bytes come from `split_bytes`.
+template <typename Split, typename Out>
+struct MapOnlySpec {
+  std::string name;
+  std::function<void(const Split&, std::vector<Out>&)> map;
+  std::function<std::uint64_t(const Split&)> split_bytes;
+  std::function<std::uint64_t(const Out&)> output_bytes;
+  MrConfig config;
+};
+
+template <typename Split, typename Out>
+std::vector<Out> run_map_only(MrContext& ctx, const MapOnlySpec<Split, Out>& spec,
+                              const std::vector<Split>& splits) {
+  require(ctx.cluster != nullptr && ctx.dfs != nullptr && ctx.metrics != nullptr,
+          "run_map_only: incomplete context");
+  std::vector<std::vector<Out>> outputs(splits.size());
+  std::vector<cluster::SimTask> tasks(splits.size());
+
+  ThreadPool::shared().parallel_for(splits.size(), [&](std::size_t s) {
+    CpuStopwatch cpu;
+    spec.map(splits[s], outputs[s]);
+    std::uint64_t out_bytes = 0;
+    for (const auto& o : outputs[s]) out_bytes += spec.output_bytes(o);
+    cluster::SimTask& task = tasks[s];
+    task.cpu_seconds = cpu.seconds() / spec.config.cpu_efficiency;
+    const auto rc = ctx.dfs->read_cost(spec.split_bytes(splits[s]));
+    const auto wc = ctx.dfs->write_cost(out_bytes);
+    task.disk_read = rc.disk_read;
+    task.disk_write = wc.disk_write;
+    task.network = rc.network + wc.network;
+    task.fixed_overhead = spec.config.task_overhead_s;
+  });
+
+  std::uint64_t in_bytes = 0;
+  std::uint64_t out_bytes = 0;
+  for (std::size_t s = 0; s < splits.size(); ++s) {
+    in_bytes += spec.split_bytes(splits[s]);
+    out_bytes += tasks[s].disk_write;
+  }
+  record_phase(ctx, spec.name + "/map", tasks, in_bytes, out_bytes, 0,
+               spec.config.job_startup_s);
+
+  std::vector<Out> all;
+  for (auto& out : outputs) {
+    for (auto& o : out) all.push_back(std::move(o));
+  }
+  return all;
+}
+
+}  // namespace sjc::mapreduce

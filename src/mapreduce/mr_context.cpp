@@ -1,0 +1,56 @@
+#include "mapreduce/mr_context.hpp"
+
+#include "cluster/scheduler.hpp"
+#include "util/status.hpp"
+
+namespace sjc::mapreduce {
+
+void charge_master_step(MrContext& ctx, const std::string& name, double cpu_seconds,
+                        std::uint64_t read_bytes, std::uint64_t write_bytes,
+                        double cpu_efficiency) {
+  require(ctx.cluster != nullptr && ctx.metrics != nullptr,
+          "charge_master_step: incomplete context");
+  require(cpu_efficiency > 0.0, "charge_master_step: cpu_efficiency must be positive");
+  cluster::SimTask task;
+  task.cpu_seconds = cpu_seconds / cpu_efficiency;
+  if (ctx.dfs != nullptr) {
+    const auto rc = ctx.dfs->read_cost(read_bytes);
+    const auto wc = ctx.dfs->write_cost(write_bytes);
+    task.disk_read = rc.disk_read;
+    task.disk_write = wc.disk_write;
+    task.network = rc.network + wc.network;
+  } else {
+    task.disk_read = read_bytes;
+    task.disk_write = write_bytes;
+  }
+  cluster::PhaseReport phase;
+  phase.name = name;
+  phase.sim_seconds = task.duration(*ctx.cluster, ctx.data_scale);
+  phase.bytes_read = read_bytes;
+  phase.bytes_written = write_bytes;
+  phase.task_count = 1;
+  ctx.metrics->add_phase(std::move(phase));
+}
+
+void record_phase(MrContext& ctx, const std::string& name,
+                  const std::vector<cluster::SimTask>& tasks,
+                  std::uint64_t bytes_read, std::uint64_t bytes_written,
+                  std::uint64_t bytes_shuffled, double extra_seconds) {
+  std::vector<double> durations;
+  durations.reserve(tasks.size());
+  for (const auto& t : tasks) {
+    durations.push_back(t.duration(*ctx.cluster, ctx.data_scale));
+  }
+  cluster::PhaseReport phase;
+  phase.name = name;
+  phase.sim_seconds =
+      cluster::list_schedule_makespan(durations, ctx.cluster->total_slots()) +
+      extra_seconds;
+  phase.bytes_read = bytes_read;
+  phase.bytes_written = bytes_written;
+  phase.bytes_shuffled = bytes_shuffled;
+  phase.task_count = tasks.size();
+  ctx.metrics->add_phase(std::move(phase));
+}
+
+}  // namespace sjc::mapreduce

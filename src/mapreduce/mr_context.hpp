@@ -1,0 +1,75 @@
+// Shared execution context for simulated MapReduce jobs.
+//
+// MrContext bundles what every job run needs: the cluster it "runs on", the
+// data scale that converts measured quantities to paper magnitude, the DFS
+// (for read/write cost structure) and the metrics sink. MrConfig carries
+// the Hadoop framework constants the paper's analysis repeatedly invokes:
+// per-job startup overhead (why many small MR jobs hurt HadoopGIS, and why
+// Hadoop "infrastructure overheads for small datasets" show in Table 3) and
+// per-task scheduling/JVM overhead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/cluster_spec.hpp"
+#include "cluster/counters.hpp"
+#include "cluster/metrics.hpp"
+#include "cluster/sim_task.hpp"
+#include "dfs/sim_dfs.hpp"
+
+namespace sjc::mapreduce {
+
+struct MrConfig {
+  /// Seconds (paper units) to submit+launch one MR job (JobTracker/YARN
+  /// round-trips, container allocation).
+  double job_startup_s = 12.0;
+  /// Seconds (paper units) per task for scheduling + JVM spin-up.
+  double task_overhead_s = 1.5;
+  /// Number of reduce tasks; 0 = one per cluster slot.
+  std::uint32_t reduce_tasks = 0;
+  /// Ratio of this simulator's native C++ throughput to the modeled
+  /// system's software stack (JVM geometry libraries, boxing, streaming
+  /// glue). Measured CPU seconds are divided by this before scaling.
+  double cpu_efficiency = 0.2;
+  /// Per-reduce-task fetch setup latency for each map output segment, on
+  /// multi-node clusters only (paper units): a reducer opens one connection
+  /// per mapper, which is why the paper finds distributed shuffles during
+  /// indexing "very expensive" on EC2 while nearly free on the workstation.
+  double shuffle_fetch_latency_s = 0.8;
+};
+
+struct MrContext {
+  const cluster::ClusterSpec* cluster = nullptr;
+  double data_scale = 1.0;
+  dfs::SimDfs* dfs = nullptr;
+  cluster::RunMetrics* metrics = nullptr;
+  /// Optional named-counter sink (Hadoop-style job counters).
+  cluster::Counters* counters = nullptr;
+
+  /// Fraction of shuffled bytes that cross the network (a reducer co-hosted
+  /// with a mapper reads locally): (nodes-1)/nodes.
+  double remote_fraction() const {
+    return cluster->node_count <= 1
+               ? 0.0
+               : static_cast<double>(cluster->node_count - 1) /
+                     static_cast<double>(cluster->node_count);
+  }
+};
+
+/// Charges a serial master-node step (e.g. HadoopGIS's local partition
+/// generation, SpatialHadoop's getSplits MBR join): one task on one slot,
+/// with DFS read/write of the given byte volumes. `cpu_seconds` is raw
+/// measured time; it is divided by `cpu_efficiency`.
+void charge_master_step(MrContext& ctx, const std::string& name, double cpu_seconds,
+                        std::uint64_t read_bytes, std::uint64_t write_bytes,
+                        double cpu_efficiency = 0.2);
+
+/// Records a phase from a set of simulated tasks: computes the FIFO
+/// makespan over the cluster's slots and appends a PhaseReport.
+void record_phase(MrContext& ctx, const std::string& name,
+                  const std::vector<cluster::SimTask>& tasks,
+                  std::uint64_t bytes_read, std::uint64_t bytes_written,
+                  std::uint64_t bytes_shuffled, double extra_seconds);
+
+}  // namespace sjc::mapreduce

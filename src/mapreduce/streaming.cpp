@@ -1,0 +1,238 @@
+#include "mapreduce/streaming.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sjc::mapreduce {
+
+namespace {
+
+void check_pipe(const StreamingConfig& config, double data_scale,
+                std::uint64_t pipe_bytes, const std::string& where) {
+  if (config.pipe_capacity_bytes == 0) return;
+  const auto paper_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(pipe_bytes) * data_scale);
+  if (paper_bytes > config.pipe_capacity_bytes) {
+    throw BrokenPipe("streaming task pipe overflow in " + where + ": " +
+                     std::to_string(paper_bytes) + " bytes > capacity " +
+                     std::to_string(config.pipe_capacity_bytes));
+  }
+}
+
+double pipe_seconds(const StreamingConfig& config, std::uint64_t bytes) {
+  // Paper-unit seconds are computed by the caller's duration(); here we
+  // pre-divide by bandwidth so the cost rides in fixed_overhead after being
+  // scaled. To keep scaling consistent we instead fold pipe bytes into
+  // cpu_seconds at scaled magnitude: seconds(scaled) = bytes / bandwidth.
+  return static_cast<double>(bytes) / config.pipe_bandwidth;
+}
+
+}  // namespace
+
+std::string_view streaming_key(const std::string& line) {
+  const auto tab = line.find('\t');
+  return tab == std::string::npos ? std::string_view(line)
+                                  : std::string_view(line.data(), tab);
+}
+
+std::vector<std::string> run_streaming(MrContext& ctx, const StreamingSpec& spec,
+                                       const std::vector<std::vector<std::string>>& splits) {
+  require(ctx.cluster != nullptr && ctx.dfs != nullptr && ctx.metrics != nullptr,
+          "run_streaming: incomplete context");
+  require((static_cast<bool>(spec.map) || static_cast<bool>(spec.make_mapper)) &&
+              static_cast<bool>(spec.reduce),
+          "run_streaming: map(per or factory) and reduce must be set");
+
+  const std::uint32_t reduce_tasks = spec.config.mr.reduce_tasks != 0
+                                         ? spec.config.mr.reduce_tasks
+                                         : ctx.cluster->total_slots();
+
+  // ---- Map phase (mapper subprocess per split) -----------------------------
+  struct MapResult {
+    std::vector<std::vector<std::string>> buckets;
+    cluster::SimTask task;
+    std::uint64_t pipe_bytes = 0;
+  };
+  std::vector<MapResult> map_results(splits.size());
+  // Failures inside parallel_for propagate after all bodies ran; BrokenPipe
+  // from any task aborts the job, like a failed streaming attempt does
+  // (Hadoop retries, then kills the job; we skip the futile retries).
+  ThreadPool::shared().parallel_for(splits.size(), [&](std::size_t s) {
+    MapResult& result = map_results[s];
+    result.buckets.resize(reduce_tasks);
+    CpuStopwatch cpu;
+    const StreamingMapFn mapper = spec.make_mapper ? spec.make_mapper(s) : spec.map;
+    std::uint64_t in_bytes = 0;
+    std::uint64_t out_bytes = 0;
+    std::vector<std::string> emitted;
+    for (const auto& line : splits[s]) {
+      in_bytes += line.size() + 1;
+      emitted.clear();
+      mapper(line, emitted);
+      for (auto& out : emitted) {
+        out_bytes += out.size() + 1;
+        const std::size_t bucket =
+            std::hash<std::string_view>{}(streaming_key(out)) % reduce_tasks;
+        result.buckets[bucket].push_back(std::move(out));
+      }
+    }
+    const std::uint64_t pipe_bytes = in_bytes + out_bytes;
+    result.pipe_bytes = pipe_bytes;
+    check_pipe(spec.config, ctx.data_scale, pipe_bytes, spec.name + "/map");
+    result.task.cpu_seconds = cpu.seconds() / spec.config.mr.cpu_efficiency +
+                              pipe_seconds(spec.config, pipe_bytes);
+    const auto rc = ctx.dfs->read_cost(in_bytes);
+    result.task.disk_read = rc.disk_read;
+    result.task.network = rc.network;
+    result.task.disk_write = out_bytes;
+    result.task.fixed_overhead = spec.config.mr.task_overhead_s;
+  });
+
+  std::uint64_t map_in = 0;
+  std::uint64_t map_out = 0;
+  {
+    std::vector<cluster::SimTask> tasks;
+    tasks.reserve(map_results.size());
+    std::uint64_t max_pipe = 0;
+    for (const auto& r : map_results) {
+      tasks.push_back(r.task);
+      map_in += r.task.disk_read;
+      map_out += r.task.disk_write;
+      max_pipe = std::max(max_pipe, r.pipe_bytes);
+    }
+    record_phase(ctx, spec.name + "/map", tasks, map_in, map_out, 0,
+                 spec.config.mr.job_startup_s);
+    ctx.metrics->last_phase().max_task_pipe_bytes =
+        static_cast<std::uint64_t>(static_cast<double>(max_pipe) * ctx.data_scale);
+  }
+
+  // ---- Shuffle + reduce (reducer subprocess per bucket) --------------------
+  std::vector<std::vector<std::string>> outputs(reduce_tasks);
+  std::vector<cluster::SimTask> reduce_costs(reduce_tasks);
+  std::vector<std::uint64_t> reduce_pipe_bytes(reduce_tasks, 0);
+  const double remote_fraction = ctx.remote_fraction();
+
+  ThreadPool::shared().parallel_for(reduce_tasks, [&](std::size_t r) {
+    CpuStopwatch cpu;
+    std::vector<std::string> lines;
+    std::uint64_t shuffle_bytes = 0;
+    for (auto& mr : map_results) {
+      for (auto& line : mr.buckets[r]) {
+        shuffle_bytes += line.size() + 1;
+        lines.push_back(std::move(line));
+      }
+      mr.buckets[r].clear();
+    }
+    // Hadoop streaming feeds the reducer lines sorted by key; plain
+    // byte-wise sort of whole lines matches `sort` and groups equal keys.
+    std::sort(lines.begin(), lines.end());
+    const std::size_t before = outputs[r].size();
+    spec.reduce(lines, outputs[r]);
+    std::uint64_t out_bytes = 0;
+    for (std::size_t i = before; i < outputs[r].size(); ++i) {
+      out_bytes += outputs[r][i].size() + 1;
+    }
+    const std::uint64_t pipe_bytes = shuffle_bytes + out_bytes;
+    reduce_pipe_bytes[r] = pipe_bytes;
+    check_pipe(spec.config, ctx.data_scale, pipe_bytes, spec.name + "/reduce");
+    cluster::SimTask& task = reduce_costs[r];
+    task.cpu_seconds = cpu.seconds() / spec.config.mr.cpu_efficiency +
+                       pipe_seconds(spec.config, pipe_bytes);
+    task.fixed_overhead = spec.config.mr.task_overhead_s;
+    if (ctx.cluster->node_count > 1) {
+      task.fixed_overhead +=
+          spec.config.mr.shuffle_fetch_latency_s * static_cast<double>(map_results.size());
+    }
+    task.disk_read = shuffle_bytes;
+    task.network = static_cast<std::uint64_t>(static_cast<double>(shuffle_bytes) *
+                                              remote_fraction);
+    const auto wc = ctx.dfs->write_cost(out_bytes);
+    task.disk_write = wc.disk_write;
+    task.network += wc.network;
+  });
+
+  std::uint64_t total_shuffle = 0;
+  std::uint64_t total_out = 0;
+  for (const auto& t : reduce_costs) {
+    total_shuffle += t.disk_read;
+    total_out += t.disk_write;
+  }
+  record_phase(ctx, spec.name + "/reduce", reduce_costs, total_shuffle, total_out,
+               total_shuffle, 0.0);
+  ctx.metrics->last_phase().max_task_pipe_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(*std::max_element(reduce_pipe_bytes.begin(),
+                                            reduce_pipe_bytes.end())) *
+      ctx.data_scale);
+
+  std::vector<std::string> all;
+  for (auto& out : outputs) {
+    for (auto& line : out) all.push_back(std::move(line));
+  }
+  return all;
+}
+
+std::vector<std::string> run_streaming_map_only(
+    MrContext& ctx, const StreamingSpec& spec,
+    const std::vector<std::vector<std::string>>& splits) {
+  require(ctx.cluster != nullptr && ctx.dfs != nullptr && ctx.metrics != nullptr,
+          "run_streaming_map_only: incomplete context");
+  require(static_cast<bool>(spec.map) || static_cast<bool>(spec.make_mapper),
+          "run_streaming_map_only: map must be set");
+
+  std::vector<std::vector<std::string>> outputs(splits.size());
+  std::vector<cluster::SimTask> tasks(splits.size());
+  std::vector<std::uint64_t> task_pipe_bytes(splits.size(), 0);
+
+  ThreadPool::shared().parallel_for(splits.size(), [&](std::size_t s) {
+    CpuStopwatch cpu;
+    const StreamingMapFn mapper = spec.make_mapper ? spec.make_mapper(s) : spec.map;
+    std::uint64_t in_bytes = 0;
+    std::uint64_t out_bytes = 0;
+    std::vector<std::string> emitted;
+    for (const auto& line : splits[s]) {
+      in_bytes += line.size() + 1;
+      emitted.clear();
+      mapper(line, emitted);
+      for (auto& out : emitted) {
+        out_bytes += out.size() + 1;
+        outputs[s].push_back(std::move(out));
+      }
+    }
+    const std::uint64_t pipe_bytes = in_bytes + out_bytes;
+    task_pipe_bytes[s] = pipe_bytes;
+    check_pipe(spec.config, ctx.data_scale, pipe_bytes, spec.name + "/map");
+    cluster::SimTask& task = tasks[s];
+    task.cpu_seconds = cpu.seconds() / spec.config.mr.cpu_efficiency +
+                       pipe_seconds(spec.config, pipe_bytes);
+    const auto rc = ctx.dfs->read_cost(in_bytes);
+    const auto wc = ctx.dfs->write_cost(out_bytes);
+    task.disk_read = rc.disk_read;
+    task.disk_write = wc.disk_write;
+    task.network = rc.network + wc.network;
+    task.fixed_overhead = spec.config.mr.task_overhead_s;
+  });
+
+  std::uint64_t total_in = 0;
+  std::uint64_t total_out = 0;
+  for (const auto& t : tasks) {
+    total_in += t.disk_read;
+    total_out += t.disk_write;
+  }
+  record_phase(ctx, spec.name + "/map", tasks, total_in, total_out, 0,
+               spec.config.mr.job_startup_s);
+  ctx.metrics->last_phase().max_task_pipe_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(*std::max_element(task_pipe_bytes.begin(),
+                                            task_pipe_bytes.end())) *
+      ctx.data_scale);
+
+  std::vector<std::string> all;
+  for (auto& out : outputs) {
+    for (auto& line : out) all.push_back(std::move(line));
+  }
+  return all;
+}
+
+}  // namespace sjc::mapreduce

@@ -1,0 +1,69 @@
+// Hadoop Streaming job — the HadoopGIS execution model.
+//
+// Under Hadoop Streaming, mapper and reducer are external processes wired
+// up with text pipes: every record crosses each stage boundary as one tab-
+// separated line, is re-serialized and re-parsed on each side, and the
+// framework only sees opaque lines whose key is the text before the first
+// tab. This module reproduces the three consequences the paper highlights:
+//
+//  * string serialization overhead — user map/reduce functions receive and
+//    emit std::string lines, and the very real parse cost lands in measured
+//    task CPU time;
+//  * pipe copy overhead — bytes crossing a task's stdin+stdout are charged
+//    at `pipe_bandwidth`;
+//  * broken pipes — a task whose pipe volume (at paper magnitude) exceeds
+//    `pipe_capacity_bytes` throws BrokenPipe, which is how HadoopGIS dies
+//    on the full datasets (Table 2) and on EC2 for the samples (Table 3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mapreduce/mr_context.hpp"
+
+namespace sjc::mapreduce {
+
+struct StreamingConfig {
+  MrConfig mr;
+  /// Bytes/sec a task's pipe sustains (paper units).
+  double pipe_bandwidth = 180.0 * 1024 * 1024;
+  /// Max bytes (paper units) through one task's pipes before it breaks;
+  /// 0 disables the check. Systems derive this from per-slot memory.
+  std::uint64_t pipe_capacity_bytes = 0;
+};
+
+using StreamingMapFn = std::function<void(const std::string&, std::vector<std::string>&)>;
+
+struct StreamingSpec {
+  std::string name;
+  /// Mapper process: one input line -> zero or more "key\tvalue" lines.
+  StreamingMapFn map;
+  /// Optional per-task mapper factory. When set it is invoked once per map
+  /// task *inside the task's timing*, so per-task setup (e.g. HadoopGIS
+  /// rebuilding its partition R-tree in every mapper) is charged
+  /// faithfully. Takes precedence over `map`.
+  std::function<StreamingMapFn(std::size_t task_id)> make_mapper;
+  /// Reducer process: all lines of its bucket, sorted by key (whole line
+  /// order, as `sort` would produce) -> output lines.
+  std::function<void(const std::vector<std::string>&, std::vector<std::string>&)> reduce;
+  StreamingConfig config;
+};
+
+/// Runs the streaming job over line-splits. Throws BrokenPipe when any
+/// task's pipe volume exceeds the configured capacity.
+std::vector<std::string> run_streaming(MrContext& ctx, const StreamingSpec& spec,
+                                       const std::vector<std::vector<std::string>>& splits);
+
+/// Map-only variant (identity reducer short-circuited, as "-numReduceTasks
+/// 0" does in Hadoop Streaming).
+std::vector<std::string> run_streaming_map_only(
+    MrContext& ctx, const StreamingSpec& spec,
+    const std::vector<std::vector<std::string>>& splits);
+
+/// Key of a streaming line: the text before the first tab (whole line when
+/// no tab).
+std::string_view streaming_key(const std::string& line);
+
+}  // namespace sjc::mapreduce

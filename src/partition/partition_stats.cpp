@@ -1,0 +1,33 @@
+#include "partition/partition_stats.hpp"
+
+#include <algorithm>
+
+namespace sjc::partition {
+
+PartitionStats compute_partition_stats(const PartitionScheme& scheme,
+                                       const std::vector<geom::Envelope>& items) {
+  PartitionStats stats;
+  stats.cell_count = scheme.cell_count();
+  stats.item_count = items.size();
+  stats.per_cell.assign(scheme.cell_count(), 0);
+  for (const auto& env : items) {
+    const auto pids = scheme.assign(env);
+    stats.assignment_count += pids.size();
+    for (const auto pid : pids) ++stats.per_cell[pid];
+  }
+  if (stats.item_count > 0) {
+    stats.replication_factor =
+        static_cast<double>(stats.assignment_count) / static_cast<double>(stats.item_count);
+  }
+  if (!stats.per_cell.empty()) {
+    stats.max_cell_items = *std::max_element(stats.per_cell.begin(), stats.per_cell.end());
+    stats.mean_cell_items = static_cast<double>(stats.assignment_count) /
+                            static_cast<double>(stats.per_cell.size());
+    if (stats.mean_cell_items > 0.0) {
+      stats.skew = static_cast<double>(stats.max_cell_items) / stats.mean_cell_items;
+    }
+  }
+  return stats;
+}
+
+}  // namespace sjc::partition

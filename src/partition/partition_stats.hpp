@@ -1,0 +1,35 @@
+// Partition-quality statistics.
+//
+// Partition skew and duplication directly drive distributed join cost: the
+// slowest partition pair bounds the final wave, and duplicated items inflate
+// shuffle volume and force post-join dedup. bench_samplerate sweeps sample
+// rates and reports these numbers, explaining the paper's observation that
+// sampling quality matters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/envelope.hpp"
+#include "partition/partitioner.hpp"
+
+namespace sjc::partition {
+
+struct PartitionStats {
+  std::size_t cell_count = 0;
+  std::size_t item_count = 0;        // distinct input items
+  std::size_t assignment_count = 0;  // item->cell assignments (>= item_count)
+  double replication_factor = 0.0;   // assignment_count / item_count
+  std::size_t max_cell_items = 0;
+  double mean_cell_items = 0.0;
+  /// max / mean; 1.0 is perfectly balanced.
+  double skew = 0.0;
+  /// Count per cell (index = partition id).
+  std::vector<std::size_t> per_cell;
+};
+
+/// Assigns every envelope through `scheme` and accumulates the statistics.
+PartitionStats compute_partition_stats(const PartitionScheme& scheme,
+                                       const std::vector<geom::Envelope>& items);
+
+}  // namespace sjc::partition

@@ -1,0 +1,264 @@
+#include "partition/partitioner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/status.hpp"
+
+namespace sjc::partition {
+
+const char* partitioner_kind_name(PartitionerKind kind) {
+  switch (kind) {
+    case PartitionerKind::kFixedGrid: return "fixed-grid";
+    case PartitionerKind::kStr: return "str";
+    case PartitionerKind::kBsp: return "bsp";
+    case PartitionerKind::kQuadtree: return "quadtree";
+  }
+  return "?";
+}
+
+PartitionScheme::PartitionScheme(std::vector<geom::Envelope> cells,
+                                 geom::Envelope extent)
+    : cells_(std::move(cells)), extent_(extent) {
+  require(!cells_.empty(), "PartitionScheme: needs at least one cell");
+  std::vector<index::IndexEntry> entries;
+  entries.reserve(cells_.size());
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+    entries.push_back({cells_[i], i});
+  }
+  cell_index_ = std::make_unique<index::StrTree>(std::move(entries));
+}
+
+std::vector<std::uint32_t> PartitionScheme::assign(const geom::Envelope& env) const {
+  std::vector<std::uint32_t> out = cell_index_->query_ids(env);
+  if (!out.empty()) return out;
+  // Sample under-coverage: route to the nearest cell so no item is dropped.
+  std::uint32_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+    const double d = cells_[i].distance(env);
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  out.push_back(best);
+  return out;
+}
+
+std::size_t PartitionScheme::size_bytes() const {
+  return cells_.size() * (sizeof(geom::Envelope) + sizeof(std::uint32_t));
+}
+
+PartitionScheme make_fixed_grid(const geom::Envelope& extent, std::uint32_t cols,
+                                std::uint32_t rows) {
+  require(cols >= 1 && rows >= 1, "make_fixed_grid: grid must be at least 1x1");
+  require(!extent.empty(), "make_fixed_grid: extent must be non-empty");
+  std::vector<geom::Envelope> cells;
+  cells.reserve(static_cast<std::size_t>(cols) * rows);
+  const double cw = extent.width() / cols;
+  const double ch = extent.height() / rows;
+  for (std::uint32_t y = 0; y < rows; ++y) {
+    for (std::uint32_t x = 0; x < cols; ++x) {
+      cells.emplace_back(extent.min_x() + cw * x, extent.min_y() + ch * y,
+                         x + 1 == cols ? extent.max_x() : extent.min_x() + cw * (x + 1),
+                         y + 1 == rows ? extent.max_y() : extent.min_y() + ch * (y + 1));
+    }
+  }
+  return PartitionScheme(std::move(cells), extent);
+}
+
+PartitionScheme make_str_partitions(const std::vector<geom::Envelope>& sample,
+                                    const geom::Envelope& extent,
+                                    std::uint32_t target_cells) {
+  require(target_cells >= 1, "make_str_partitions: target_cells must be >= 1");
+  if (sample.empty()) return make_fixed_grid(extent, 1, 1);
+
+  // STR tiling of sample centers: slice by x, tile by y within each slice.
+  struct Center {
+    double x;
+    double y;
+  };
+  std::vector<Center> centers;
+  centers.reserve(sample.size());
+  for (const auto& e : sample) centers.push_back({e.center_x(), e.center_y()});
+
+  const auto slices = static_cast<std::uint32_t>(std::max(
+      1.0, std::round(std::sqrt(static_cast<double>(target_cells)))));
+  const std::uint32_t tiles_per_slice = (target_cells + slices - 1) / slices;
+
+  std::sort(centers.begin(), centers.end(),
+            [](const Center& a, const Center& b) { return a.x < b.x; });
+
+  std::vector<geom::Envelope> cells;
+  const std::size_t per_slice = (centers.size() + slices - 1) / slices;
+  for (std::uint32_t s = 0; s < slices; ++s) {
+    const std::size_t begin = std::min<std::size_t>(s * per_slice, centers.size());
+    const std::size_t end = std::min<std::size_t>(begin + per_slice, centers.size());
+    if (begin >= end) break;
+    // Slice x-range: extend the first/last slice to the extent edge so the
+    // tiles jointly cover it.
+    const double x_lo = s == 0 ? extent.min_x() : centers[begin].x;
+    const double x_hi = s + 1 == slices || end == centers.size()
+                            ? extent.max_x()
+                            : centers[end].x;
+    std::sort(centers.begin() + static_cast<std::ptrdiff_t>(begin),
+              centers.begin() + static_cast<std::ptrdiff_t>(end),
+              [](const Center& a, const Center& b) { return a.y < b.y; });
+    const std::size_t slice_n = end - begin;
+    const std::size_t per_tile = (slice_n + tiles_per_slice - 1) / tiles_per_slice;
+    for (std::uint32_t t = 0; t < tiles_per_slice; ++t) {
+      const std::size_t tb = begin + std::min<std::size_t>(t * per_tile, slice_n);
+      const std::size_t te = begin + std::min<std::size_t>((t + 1) * per_tile, slice_n);
+      if (tb >= te) break;
+      const double y_lo = t == 0 ? extent.min_y() : centers[tb].y;
+      const double y_hi = t + 1 == tiles_per_slice || te == end ? extent.max_y()
+                                                                : centers[te].y;
+      cells.emplace_back(x_lo, y_lo, x_hi, y_hi);
+    }
+  }
+  if (cells.empty()) return make_fixed_grid(extent, 1, 1);
+  return PartitionScheme(std::move(cells), extent);
+}
+
+namespace {
+
+struct BspBox {
+  geom::Envelope box;
+  std::vector<std::uint32_t> samples;  // indices into the sample vector
+};
+
+}  // namespace
+
+PartitionScheme make_bsp_partitions(const std::vector<geom::Envelope>& sample,
+                                    const geom::Envelope& extent,
+                                    std::uint32_t target_cells) {
+  require(target_cells >= 1, "make_bsp_partitions: target_cells must be >= 1");
+  if (sample.empty()) return make_fixed_grid(extent, 1, 1);
+
+  const std::size_t leaf_cap = std::max<std::size_t>(
+      1, (sample.size() + target_cells - 1) / target_cells);
+
+  std::vector<std::uint32_t> all(sample.size());
+  for (std::uint32_t i = 0; i < sample.size(); ++i) all[i] = i;
+
+  std::vector<BspBox> work{{extent, std::move(all)}};
+  std::vector<geom::Envelope> cells;
+  while (!work.empty()) {
+    BspBox current = std::move(work.back());
+    work.pop_back();
+    if (current.samples.size() <= leaf_cap) {
+      cells.push_back(current.box);
+      continue;
+    }
+    // Split the longer axis at the median sample center.
+    const bool split_x = current.box.width() >= current.box.height();
+    const auto center = [&](std::uint32_t idx) {
+      return split_x ? sample[idx].center_x() : sample[idx].center_y();
+    };
+    auto mid = current.samples.begin() +
+               static_cast<std::ptrdiff_t>(current.samples.size() / 2);
+    std::nth_element(current.samples.begin(), mid, current.samples.end(),
+                     [&](std::uint32_t a, std::uint32_t b) { return center(a) < center(b); });
+    const double cut = center(*mid);
+
+    BspBox lo;
+    BspBox hi;
+    if (split_x) {
+      lo.box = geom::Envelope(current.box.min_x(), current.box.min_y(), cut,
+                              current.box.max_y());
+      hi.box = geom::Envelope(cut, current.box.min_y(), current.box.max_x(),
+                              current.box.max_y());
+    } else {
+      lo.box = geom::Envelope(current.box.min_x(), current.box.min_y(),
+                              current.box.max_x(), cut);
+      hi.box = geom::Envelope(current.box.min_x(), cut, current.box.max_x(),
+                              current.box.max_y());
+    }
+    for (const auto idx : current.samples) {
+      (center(idx) < cut ? lo.samples : hi.samples).push_back(idx);
+    }
+    // Degenerate cut (all centers equal): stop splitting this box.
+    if (lo.samples.empty() || hi.samples.empty()) {
+      cells.push_back(current.box);
+      continue;
+    }
+    work.push_back(std::move(lo));
+    work.push_back(std::move(hi));
+  }
+  return PartitionScheme(std::move(cells), extent);
+}
+
+namespace {
+
+struct QuadBox {
+  geom::Envelope box;
+  std::vector<std::uint32_t> samples;
+  std::uint32_t depth = 0;
+};
+
+}  // namespace
+
+PartitionScheme make_quadtree_partitions(const std::vector<geom::Envelope>& sample,
+                                         const geom::Envelope& extent,
+                                         std::uint32_t target_cells) {
+  require(target_cells >= 1, "make_quadtree_partitions: target_cells must be >= 1");
+  if (sample.empty()) return make_fixed_grid(extent, 1, 1);
+
+  const std::size_t leaf_cap = std::max<std::size_t>(
+      1, (sample.size() + target_cells - 1) / target_cells);
+  constexpr std::uint32_t kMaxDepth = 12;
+
+  std::vector<std::uint32_t> all(sample.size());
+  for (std::uint32_t i = 0; i < sample.size(); ++i) all[i] = i;
+
+  std::vector<QuadBox> work{{extent, std::move(all), 0}};
+  std::vector<geom::Envelope> cells;
+  while (!work.empty()) {
+    QuadBox current = std::move(work.back());
+    work.pop_back();
+    if (current.samples.size() <= leaf_cap || current.depth >= kMaxDepth) {
+      cells.push_back(current.box);
+      continue;
+    }
+    const double cx = current.box.center_x();
+    const double cy = current.box.center_y();
+    QuadBox quads[4] = {
+        {{current.box.min_x(), current.box.min_y(), cx, cy}, {}, current.depth + 1},
+        {{cx, current.box.min_y(), current.box.max_x(), cy}, {}, current.depth + 1},
+        {{current.box.min_x(), cy, cx, current.box.max_y()}, {}, current.depth + 1},
+        {{cx, cy, current.box.max_x(), current.box.max_y()}, {}, current.depth + 1},
+    };
+    for (const auto idx : current.samples) {
+      const double x = sample[idx].center_x();
+      const double y = sample[idx].center_y();
+      const int q = (x >= cx ? 1 : 0) + (y >= cy ? 2 : 0);
+      quads[q].samples.push_back(idx);
+    }
+    for (auto& q : quads) work.push_back(std::move(q));
+  }
+  return PartitionScheme(std::move(cells), extent);
+}
+
+PartitionScheme make_partitions(PartitionerKind kind,
+                                const std::vector<geom::Envelope>& sample,
+                                const geom::Envelope& extent,
+                                std::uint32_t target_cells) {
+  switch (kind) {
+    case PartitionerKind::kFixedGrid: {
+      const auto side = static_cast<std::uint32_t>(std::max(
+          1.0, std::round(std::sqrt(static_cast<double>(target_cells)))));
+      return make_fixed_grid(extent, side, side);
+    }
+    case PartitionerKind::kStr:
+      return make_str_partitions(sample, extent, target_cells);
+    case PartitionerKind::kBsp:
+      return make_bsp_partitions(sample, extent, target_cells);
+    case PartitionerKind::kQuadtree:
+      return make_quadtree_partitions(sample, extent, target_cells);
+  }
+  throw InvalidArgument("make_partitions: unknown partitioner kind");
+}
+
+}  // namespace sjc::partition

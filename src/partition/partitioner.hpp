@@ -1,0 +1,93 @@
+// Spatial partitioners: sample MBRs in, partition cells out.
+//
+// The preprocessing stage of every system (Section II.A) boils down to:
+// sample the input, derive a set of partition cells from the sample, then
+// assign every data item to the cell(s) its MBR intersects. Three cell
+// derivation strategies are provided, mirroring the SATO/SpatialHadoop
+// partitioning families the paper references:
+//
+//  * FixedGrid  — uniform cols x rows tiling of the extent (SpatialHadoop's
+//                 default grid index);
+//  * Str        — Sort-Tile-Recursive tiles of the sample (balanced counts
+//                 under skew; SpatialHadoop's STR mode);
+//  * Bsp        — recursive median binary splits (SATO-style, exact tiling
+//                 of the extent with balanced sample counts).
+//
+// A PartitionScheme assigns an item to *every* cell its MBR intersects
+// (multi-assignment duplication, deduplicated after the join), which is the
+// semantics all three evaluated systems use.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geom/envelope.hpp"
+#include "index/str_tree.hpp"
+
+namespace sjc::partition {
+
+enum class PartitionerKind {
+  kFixedGrid = 0,
+  kStr = 1,
+  kBsp = 2,
+  kQuadtree = 3,
+};
+
+const char* partitioner_kind_name(PartitionerKind kind);
+
+class PartitionScheme {
+ public:
+  /// `cells` are the partition MBRs; `extent` must cover them (items outside
+  /// every cell fall back to the nearest cell by envelope distance).
+  PartitionScheme(std::vector<geom::Envelope> cells, geom::Envelope extent);
+
+  const std::vector<geom::Envelope>& cells() const { return cells_; }
+  const geom::Envelope& extent() const { return extent_; }
+  std::size_t cell_count() const { return cells_.size(); }
+
+  /// Partition ids whose cell intersects `env`; falls back to the single
+  /// nearest cell when none intersect (sample under-coverage). Never empty.
+  std::vector<std::uint32_t> assign(const geom::Envelope& env) const;
+
+  /// Serialized footprint of the cell table (what gets broadcast /
+  /// written as the _master file).
+  std::size_t size_bytes() const;
+
+ private:
+  std::vector<geom::Envelope> cells_;
+  geom::Envelope extent_;
+  std::unique_ptr<index::StrTree> cell_index_;
+};
+
+/// Uniform cols x rows tiling of `extent`.
+PartitionScheme make_fixed_grid(const geom::Envelope& extent, std::uint32_t cols,
+                                std::uint32_t rows);
+
+/// STR tiles over `sample` MBRs targeting `target_cells` cells; tiles are
+/// expanded so that together they cover `extent`.
+PartitionScheme make_str_partitions(const std::vector<geom::Envelope>& sample,
+                                    const geom::Envelope& extent,
+                                    std::uint32_t target_cells);
+
+/// Recursive median splits of `sample` centers until each leaf holds at most
+/// ceil(sample/target_cells) samples; leaves tile `extent` exactly.
+PartitionScheme make_bsp_partitions(const std::vector<geom::Envelope>& sample,
+                                    const geom::Envelope& extent,
+                                    std::uint32_t target_cells);
+
+/// Quadtree leaves over `sample` centers (SpatialHadoop/SATO's quadtree
+/// mode): quadrants split while they hold more than sample/target_cells
+/// samples; the leaf quadrants tile `extent` exactly but cell counts run
+/// in powers of four.
+PartitionScheme make_quadtree_partitions(const std::vector<geom::Envelope>& sample,
+                                         const geom::Envelope& extent,
+                                         std::uint32_t target_cells);
+
+/// Dispatch over `kind` with a uniform interface.
+PartitionScheme make_partitions(PartitionerKind kind,
+                                const std::vector<geom::Envelope>& sample,
+                                const geom::Envelope& extent,
+                                std::uint32_t target_cells);
+
+}  // namespace sjc::partition

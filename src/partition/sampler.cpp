@@ -1,0 +1,40 @@
+#include "partition/sampler.hpp"
+
+#include "util/status.hpp"
+
+namespace sjc::partition {
+
+std::vector<std::uint32_t> bernoulli_sample(std::size_t n, double rate, Rng& rng) {
+  require(rate >= 0.0 && rate <= 1.0, "bernoulli_sample: rate must be in [0, 1]");
+  std::vector<std::uint32_t> out;
+  out.reserve(static_cast<std::size_t>(static_cast<double>(n) * rate * 1.1) + 8);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.bernoulli(rate)) out.push_back(static_cast<std::uint32_t>(i));
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> reservoir_sample(std::size_t n, std::size_t k, Rng& rng) {
+  require(k > 0, "reservoir_sample: k must be positive");
+  std::vector<std::uint32_t> reservoir;
+  reservoir.reserve(std::min(n, k));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (reservoir.size() < k) {
+      reservoir.push_back(static_cast<std::uint32_t>(i));
+    } else {
+      const std::uint64_t j = rng.next_below(i + 1);
+      if (j < k) reservoir[j] = static_cast<std::uint32_t>(i);
+    }
+  }
+  return reservoir;
+}
+
+std::vector<geom::Envelope> gather_envelopes(const std::vector<geom::Envelope>& envs,
+                                             const std::vector<std::uint32_t>& indices) {
+  std::vector<geom::Envelope> out;
+  out.reserve(indices.size());
+  for (const auto i : indices) out.push_back(envs[i]);
+  return out;
+}
+
+}  // namespace sjc::partition

@@ -1,0 +1,31 @@
+// Samplers for partition-boundary estimation.
+//
+// All three systems derive partition boundaries from a sample of the input
+// (Section II.A): HadoopGIS and SpatialHadoop sample via extra MR jobs,
+// SpatialSpark via Spark's built-in sample(). Two classic schemes are
+// provided: Bernoulli (each item kept independently with probability p —
+// what Spark's sample() does) and reservoir (exact k-sized sample in one
+// pass — what you want when k must be bounded).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/envelope.hpp"
+#include "util/rng.hpp"
+
+namespace sjc::partition {
+
+/// Bernoulli-samples indices [0, n): every index kept with probability
+/// `rate`.
+std::vector<std::uint32_t> bernoulli_sample(std::size_t n, double rate, Rng& rng);
+
+/// Reservoir-samples exactly min(k, n) indices from [0, n), uniformly
+/// without replacement (Vitter's Algorithm R).
+std::vector<std::uint32_t> reservoir_sample(std::size_t n, std::size_t k, Rng& rng);
+
+/// Gathers the envelopes at `indices` from `envs`.
+std::vector<geom::Envelope> gather_envelopes(const std::vector<geom::Envelope>& envs,
+                                             const std::vector<std::uint32_t>& indices);
+
+}  // namespace sjc::partition

@@ -1,0 +1,55 @@
+// Executor memory accounting for the RDD engine.
+//
+// The paper's headline robustness result is that SpatialSpark fails with
+// out-of-memory on EC2-8/EC2-6 while succeeding on the workstation (128 GB)
+// and EC2-10 (150 GB aggregate): Spark 1.1's in-memory pipeline for this
+// workload cannot spill. MemoryManager is that gate: every materialized
+// RDD, shuffle buffer and broadcast registers its bytes; exceeding the
+// usable fraction of aggregate cluster memory throws SimOutOfMemory.
+//
+// Raw bytes are converted to paper magnitude (x data_scale) and inflated by
+// a JVM object-overhead factor (boxed records, pointer-heavy Scala
+// collections) before being charged against capacity.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace sjc::rdd {
+
+class MemoryManager {
+ public:
+  /// `capacity_bytes` is usable executor memory at paper magnitude
+  /// (aggregate memory x memory_fraction).
+  MemoryManager(std::uint64_t capacity_bytes, double data_scale, double jvm_inflation);
+
+  /// Registers `raw_bytes` (scaled magnitude) of live data; throws
+  /// SimOutOfMemory when the inflated paper-magnitude total would exceed
+  /// capacity.
+  void allocate(std::uint64_t raw_bytes, const std::string& what);
+
+  /// Releases a previous allocation.
+  void release(std::uint64_t raw_bytes);
+
+  /// Live raw bytes (scaled magnitude).
+  std::uint64_t live_raw_bytes() const;
+
+  /// High-water mark at paper magnitude (inflated).
+  std::uint64_t peak_paper_bytes() const;
+
+  std::uint64_t capacity_bytes() const { return capacity_; }
+
+  /// Paper-magnitude inflated size of `raw_bytes`.
+  std::uint64_t to_paper_bytes(std::uint64_t raw_bytes) const;
+
+ private:
+  std::uint64_t capacity_;
+  double data_scale_;
+  double jvm_inflation_;
+  mutable std::mutex mutex_;
+  std::uint64_t live_ = 0;  // raw (scaled) bytes
+  std::uint64_t peak_paper_ = 0;
+};
+
+}  // namespace sjc::rdd

@@ -1,0 +1,123 @@
+#include "rdd/spark_runtime.hpp"
+#include <algorithm>
+
+#include "cluster/scheduler.hpp"
+#include "util/status.hpp"
+
+namespace sjc::rdd {
+
+SparkRuntime::SparkRuntime(const cluster::ClusterSpec& cluster, double data_scale,
+                           dfs::SimDfs* dfs, cluster::RunMetrics* metrics,
+                           SparkConfig config)
+    : cluster_(cluster),
+      data_scale_(data_scale),
+      dfs_(dfs),
+      metrics_(metrics),
+      config_(config),
+      memory_(
+          [&] {
+            const double per_node =
+                static_cast<double>(cluster.node.memory_bytes) * config.memory_fraction -
+                static_cast<double>(config.memory_reserve_per_node);
+            return static_cast<std::uint64_t>(std::max(per_node, 0.0) *
+                                              cluster.node_count);
+          }(),
+          data_scale, config.jvm_inflation) {
+  require(metrics != nullptr, "SparkRuntime: metrics sink required");
+}
+
+void SparkRuntime::record(const std::string& name, std::vector<cluster::SimTask> tasks,
+                          std::uint64_t bytes_read, std::uint64_t bytes_written,
+                          std::uint64_t bytes_shuffled) {
+  std::vector<double> durations;
+  durations.reserve(tasks.size());
+  for (const auto& t : tasks) durations.push_back(t.duration(cluster_, data_scale_));
+  cluster::PhaseReport phase;
+  phase.name = name;
+  phase.sim_seconds =
+      cluster::list_schedule_makespan(durations, cluster_.total_slots()) +
+      config_.stage_overhead_s;
+  phase.bytes_read = bytes_read;
+  phase.bytes_written = bytes_written;
+  phase.bytes_shuffled = bytes_shuffled;
+  phase.task_count = tasks.size();
+  metrics_->add_phase(std::move(phase));
+}
+
+void SparkRuntime::record_narrow_stage(const std::string& name,
+                                       const std::vector<double>& task_cpu) {
+  std::vector<cluster::SimTask> tasks;
+  tasks.reserve(task_cpu.size());
+  for (const double cpu : task_cpu) {
+    cluster::SimTask t;
+    t.cpu_seconds = cpu / config_.cpu_efficiency;
+    t.fixed_overhead = config_.task_overhead_s;
+    tasks.push_back(t);
+  }
+  record(name, std::move(tasks), 0, 0, 0);
+}
+
+void SparkRuntime::record_shuffle_stage(const std::string& name,
+                                        const std::vector<double>& task_cpu,
+                                        std::uint64_t shuffle_bytes) {
+  std::vector<cluster::SimTask> tasks;
+  tasks.reserve(task_cpu.size());
+  const std::size_t n = task_cpu.empty() ? 1 : task_cpu.size();
+  const auto per_task_shuffle = shuffle_bytes / n;
+  for (const double cpu : task_cpu) {
+    cluster::SimTask t;
+    t.cpu_seconds = cpu / config_.cpu_efficiency;
+    t.network = static_cast<std::uint64_t>(static_cast<double>(per_task_shuffle) *
+                                           remote_fraction());
+    t.disk_write = static_cast<std::uint64_t>(static_cast<double>(per_task_shuffle) *
+                                              config_.shuffle_spill_fraction);
+    t.disk_read = t.disk_write;  // spill files are read back during the fetch
+    t.fixed_overhead = config_.task_overhead_s;
+    tasks.push_back(t);
+  }
+  record(name, std::move(tasks), 0, 0, shuffle_bytes);
+}
+
+void SparkRuntime::record_input_read(const std::string& name, std::uint64_t bytes,
+                                     std::size_t tasks) {
+  const std::size_t n = std::max<std::size_t>(tasks, 1);
+  std::vector<cluster::SimTask> sim_tasks;
+  sim_tasks.reserve(n);
+  const std::uint64_t per_task = bytes / n;
+  for (std::size_t i = 0; i < n; ++i) {
+    cluster::SimTask t;
+    if (dfs_ != nullptr) {
+      const auto rc = dfs_->read_cost(per_task);
+      t.disk_read = rc.disk_read;
+      t.network = rc.network;
+    } else {
+      t.disk_read = per_task;
+    }
+    t.fixed_overhead = config_.task_overhead_s;
+    sim_tasks.push_back(t);
+  }
+  record(name, std::move(sim_tasks), bytes, 0, 0);
+}
+
+void SparkRuntime::record_broadcast(const std::string& name, std::uint64_t bytes) {
+  // Torrent broadcast: every node pulls one copy concurrently at full NIC
+  // bandwidth (unlike task I/O, which shares the NIC across busy slots), so
+  // the transfer time is one copy's worth of wire time. Computed directly
+  // into fixed_overhead (already paper-magnitude).
+  cluster::SimTask t;
+  if (cluster_.node_count > 1) {
+    t.fixed_overhead = static_cast<double>(bytes) * data_scale_ /
+                       cluster_.node.network_bw;
+  }
+  record(name, {t}, 0, 0, 0);
+}
+
+void SparkRuntime::record_collect(const std::string& name, std::uint64_t bytes) {
+  // Driver gather: remote partitions stream in over the driver's NIC.
+  cluster::SimTask t;
+  t.fixed_overhead = static_cast<double>(bytes) * data_scale_ * remote_fraction() /
+                     cluster_.node.network_bw;
+  record(name, {t}, bytes, 0, 0);
+}
+
+}  // namespace sjc::rdd

@@ -1,0 +1,26 @@
+// Implements the SystemKind dispatcher declared in core/spatial_join.hpp.
+// Lives in sjc_systems (not sjc_core) so the core library does not depend
+// on the three system libraries.
+#include "core/spatial_join.hpp"
+#include "systems/hadoopgis/hadoop_gis.hpp"
+#include "systems/spatialhadoop/spatial_hadoop.hpp"
+#include "systems/spatialspark/spatial_spark.hpp"
+#include "util/status.hpp"
+
+namespace sjc::core {
+
+RunReport run_spatial_join(SystemKind system, const workload::Dataset& left,
+                           const workload::Dataset& right, const JoinQueryConfig& query,
+                           const ExecutionConfig& exec) {
+  switch (system) {
+    case SystemKind::kHadoopGisSim:
+      return systems::run_hadoop_gis(left, right, query, exec);
+    case SystemKind::kSpatialHadoopSim:
+      return systems::run_spatial_hadoop(left, right, query, exec);
+    case SystemKind::kSpatialSparkSim:
+      return systems::run_spatial_spark(left, right, query, exec);
+  }
+  throw InvalidArgument("run_spatial_join: unknown system kind");
+}
+
+}  // namespace sjc::core

@@ -1,0 +1,70 @@
+// HadoopGIS analog: spatial joins over (simulated) Hadoop Streaming.
+//
+// Faithfully reproduces the pipeline the paper dissects in Section II —
+// including its inefficiencies, which are the point of the comparison:
+//
+//  Preprocessing, per dataset, as SIX separate jobs/steps (Section II.A):
+//   1. map-only convert-to-TSV job (reads and rewrites every record);
+//   2. map-only sample job (parses every record's WKT just to sample MBRs);
+//   3. MR job with a single reducer computing the dataset extent;
+//   4. map-only job normalizing the sampled MBRs;
+//   5. a *local serial program* generating partitions (samples copied from
+//      HDFS to the master and the partition file copied back);
+//   6. MR job assigning partition ids (every mapper re-parses records and
+//      queries a per-task index; the reducer deduplicates with the
+//      cat | sort | uniq idiom — a real string sort here).
+//
+//  Global join + local join (Section II.B/II.C): the partition ids from
+//  preprocessing CANNOT be reused (invisible to Hadoop Streaming), so a
+//  joint partition scheme is rebuilt on the master from the two sample
+//  files, every mapper of the join job rebuilds an R-tree from it
+//  (insert-built, libspatialindex-style), re-parses and re-assigns both
+//  datasets, and the reducers run the local join with the slow
+//  (GEOS-analog) geometry engine. Duplicated result pairs are removed by a
+//  final sort-unique streaming job.
+//
+// Every record crosses every stage boundary as a text line; the engine
+// enforces a per-task pipe capacity, so runs on large inputs die with
+// BrokenPipe exactly as HadoopGIS does in Tables 2-3.
+#pragma once
+
+#include "core/spatial_join.hpp"
+#include "mapreduce/streaming.hpp"
+
+namespace sjc::systems {
+
+struct HadoopGisConfig {
+  mapreduce::MrConfig mr{
+      // Streaming stacks text pipes, Python glue and the GEOS-analog on top
+      // of Hadoop: roughly half the effective CPU throughput of the native
+      // SpatialHadoop stack.
+      .cpu_efficiency = 0.1,
+  };
+  /// Streaming pipe throughput (paper units).
+  double pipe_bandwidth = 180.0 * 1024 * 1024;
+  /// Pipe capacity as a fraction of per-slot node memory (node memory /
+  /// cores). Calibrated so the failure matrix of Tables 2-3 reproduces:
+  /// full datasets overflow everywhere, sample datasets only on the
+  /// small-memory EC2 nodes. See DESIGN.md §5.
+  double pipe_capacity_fraction = 0.24;
+  /// Extra pipe-capacity derating on multi-node clusters: distributed
+  /// streaming reads shuffle data through network-attached pipes with
+  /// tighter buffers/timeouts, the fragile path behind HadoopGIS's EC2
+  /// failures. 1.0 disables.
+  double multi_node_pipe_derating = 0.17;
+  /// Local join algorithm (libspatialindex R-tree, insert-built per task).
+  index::LocalJoinAlgorithm local_algorithm =
+      index::LocalJoinAlgorithm::kIndexedNestedLoopDynamic;
+  /// Geometry engine for refinement. HadoopGIS ships GEOS (the Simple
+  /// analog); overriding to kPrepared answers the paper's what-if: how much
+  /// of HadoopGIS's slowness is the geometry library?
+  geom::EngineKind engine = geom::EngineKind::kSimple;
+};
+
+core::RunReport run_hadoop_gis(const workload::Dataset& left,
+                               const workload::Dataset& right,
+                               const core::JoinQueryConfig& query,
+                               const core::ExecutionConfig& exec,
+                               const HadoopGisConfig& config = {});
+
+}  // namespace sjc::systems

@@ -1,0 +1,350 @@
+#include "systems/spatialhadoop/spatial_hadoop.hpp"
+
+#include <memory>
+
+#include "core/local_join.hpp"
+#include "index/str_tree.hpp"
+#include "mapreduce/map_reduce.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/sampler.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace sjc::systems {
+
+namespace {
+
+using core::JoinPair;
+
+/// One partition block file: the records shuffled into a partition plus the
+/// STR index packed at the head of the block.
+struct PartBlock {
+  std::vector<geom::Feature> features;
+  std::uint64_t text_bytes = 0;
+};
+
+struct IndexedDataset {
+  partition::PartitionScheme scheme{std::vector<geom::Envelope>{geom::Envelope(0, 0, 1, 1)},
+                                    geom::Envelope(0, 0, 1, 1)};
+  std::vector<std::shared_ptr<PartBlock>> blocks;  // by partition id
+  std::string dfs_prefix;
+};
+
+std::uint32_t default_partitions(const core::JoinQueryConfig& query,
+                                 const core::ExecutionConfig& exec) {
+  return core::effective_target_partitions(query, exec.cluster);
+}
+
+/// The two preprocessing MR jobs for one dataset ("indexA"/"indexB" in the
+/// paper's Table 3 breakdown).
+IndexedDataset index_dataset(mapreduce::MrContext& ctx, const workload::Dataset& data,
+                             const std::string& tag, const core::JoinQueryConfig& query,
+                             const core::ExecutionConfig& exec,
+                             const SpatialHadoopConfig& config) {
+  IndexedDataset out;
+  out.dfs_prefix = tag + ".part/";
+  const std::uint32_t target_cells = default_partitions(query, exec);
+
+  // Raw input sits in HDFS.
+  ctx.dfs->put(tag + ".raw", std::any(), data.text_bytes());
+
+  // ---- Job 1: sample MBRs (map-only) + central partition generation ------
+  const auto ranges = data.split_ranges(std::max<std::size_t>(
+      ctx.dfs->block_count(tag + ".raw"), exec.cluster.total_slots()));
+  Rng sample_rng(query.seed ^ std::hash<std::string>{}(tag));
+
+  struct SampleSplit {
+    std::size_t begin;
+    std::size_t end;
+    Rng rng;
+  };
+  std::vector<SampleSplit> sample_splits;
+  sample_splits.reserve(ranges.size());
+  for (std::size_t s = 0; s < ranges.size(); ++s) {
+    sample_splits.push_back({ranges[s].first, ranges[s].second, sample_rng.fork(s)});
+  }
+
+  mapreduce::MapOnlySpec<SampleSplit, geom::Envelope> sample_spec;
+  sample_spec.name = tag + "/sample";
+  sample_spec.config = config.mr;
+  const double sample_rate =
+      core::effective_sample_rate(query.sample_rate, data.size(), target_cells);
+  sample_spec.map = [&data, sample_rate](const SampleSplit& split,
+                                         std::vector<geom::Envelope>& out_envs) {
+    Rng rng = split.rng;  // task-local copy keeps the job deterministic
+    for (std::size_t i = split.begin; i < split.end; ++i) {
+      if (rng.bernoulli(sample_rate)) {
+        out_envs.push_back(data.features()[i].geometry.envelope());
+      }
+    }
+  };
+  sample_spec.split_bytes = [&data](const SampleSplit& split) {
+    std::uint64_t bytes = 0;
+    for (std::size_t i = split.begin; i < split.end; ++i) {
+      bytes += data.record_text_bytes(i);
+    }
+    return bytes;
+  };
+  sample_spec.output_bytes = [](const geom::Envelope&) -> std::uint64_t { return 32; };
+  const auto sample = mapreduce::run_map_only(ctx, sample_spec, sample_splits);
+
+  // Central scheme derivation (the SpatialHadoop master writes the _master
+  // file that subsequent jobs read via HDFS).
+  CpuStopwatch master_cpu;
+  out.scheme = partition::make_partitions(query.partitioner, sample, data.extent(),
+                                          target_cells);
+  const std::uint64_t master_bytes = out.scheme.size_bytes();
+  ctx.dfs->put(tag + "._master", std::any(), master_bytes);
+  mapreduce::charge_master_step(ctx, tag + "/master-partition", master_cpu.seconds(),
+                                /*read=*/sample.size() * 32, /*write=*/master_bytes);
+
+  // ---- Job 2: partition + pack per-block index (full MR) ------------------
+  std::vector<std::vector<std::uint32_t>> idx_splits;
+  idx_splits.reserve(ranges.size());
+  for (const auto& [begin, end] : ranges) {
+    std::vector<std::uint32_t> split;
+    split.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) split.push_back(static_cast<std::uint32_t>(i));
+    idx_splits.push_back(std::move(split));
+  }
+
+  out.blocks.assign(out.scheme.cell_count(), nullptr);
+
+  mapreduce::MapReduceSpec<std::uint32_t, std::uint32_t, std::uint32_t, std::uint32_t> part_spec;
+  part_spec.name = tag + "/partition";
+  part_spec.config = config.mr;
+  const double expand = query.predicate == core::JoinPredicate::kWithinDistance
+                            ? query.within_distance / 2.0
+                            : 0.0;
+  part_spec.map = [&data, &out, expand, &ctx](
+                      const std::uint32_t& idx,
+                      const std::function<void(std::uint32_t, std::uint32_t)>& emit) {
+    const auto pids = out.scheme.assign(
+        data.features()[idx].geometry.envelope().expanded_by(expand));
+    for (const auto pid : pids) emit(pid, idx);
+    if (ctx.counters != nullptr) {
+      ctx.counters->add("partition.assignments", pids.size());
+      ctx.counters->add("partition.records", 1);
+    }
+  };
+  part_spec.reduce = [&data, &out, &ctx, tag](const std::uint32_t& pid,
+                                              std::vector<std::uint32_t>& idxs,
+                                              std::vector<std::uint32_t>& outv) {
+    auto block = std::make_shared<PartBlock>();
+    block->features.reserve(idxs.size());
+    for (const auto idx : idxs) {
+      block->features.push_back(data.features()[idx]);
+      block->text_bytes += data.record_text_bytes(idx);
+    }
+    // Pack an STR index into the block head (built while writing: "virtually
+    // for free" in disk terms, but its CPU cost is real and measured here).
+    std::vector<index::IndexEntry> entries;
+    entries.reserve(block->features.size());
+    for (std::uint32_t i = 0; i < block->features.size(); ++i) {
+      entries.push_back({block->features[i].geometry.envelope(), i});
+    }
+    const index::StrTree tree(std::move(entries));
+    block->text_bytes += tree.size_bytes() / 4;  // serialized index is compact
+    out.blocks[pid] = block;
+    outv.push_back(pid);
+  };
+  part_spec.input_bytes = [&data](const std::uint32_t& idx) {
+    return data.record_text_bytes(idx);
+  };
+  part_spec.pair_bytes = [&data](const std::uint32_t&, const std::uint32_t& idx) {
+    return 4 + data.record_text_bytes(idx);
+  };
+  part_spec.output_bytes = [&out](const std::uint32_t& pid) {
+    return out.blocks[pid] != nullptr ? out.blocks[pid]->text_bytes : 0;
+  };
+  part_spec.key_less = std::less<std::uint32_t>();
+  part_spec.key_hash = std::hash<std::uint32_t>();
+  mapreduce::run_map_reduce(ctx, part_spec, idx_splits);
+
+  // Record the block files in the DFS catalog.
+  for (std::uint32_t pid = 0; pid < out.blocks.size(); ++pid) {
+    if (out.blocks[pid] != nullptr) {
+      ctx.dfs->put(out.dfs_prefix + std::to_string(pid), std::any(out.blocks[pid]),
+                   out.blocks[pid]->text_bytes);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+core::RunReport run_spatial_hadoop(const workload::Dataset& left,
+                                   const workload::Dataset& right,
+                                   const core::JoinQueryConfig& query,
+                                   const core::ExecutionConfig& exec,
+                                   const SpatialHadoopConfig& config);
+
+namespace {
+
+dfs::DfsConfig dfs_config(const core::JoinQueryConfig& query,
+                          const core::ExecutionConfig& exec) {
+  return dfs::DfsConfig{
+      .block_size = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(64.0 * 1024 * 1024 / exec.data_scale)),
+      .replication = 3,
+      .datanode_count = exec.cluster.node_count,
+      .seed = query.seed,
+  };
+}
+
+/// The distributed-join stage shared by the end-to-end and pre-indexed
+/// entry points: getSplits on the master, then a map-only local-join job.
+std::vector<JoinPair> run_distributed_join(mapreduce::MrContext& ctx,
+                                           const IndexedDataset& ia,
+                                           const IndexedDataset& ib,
+                                           const core::JoinQueryConfig& query,
+                                           const SpatialHadoopConfig& config) {
+  // ---- Global join in getSplits(): master-side MBR join of partitions ------
+  CpuStopwatch splits_cpu;
+  struct JoinSplit {
+    std::uint32_t pa;
+    std::uint32_t pb;
+  };
+  std::vector<JoinSplit> join_splits;
+  {
+    std::vector<index::IndexEntry> cells_a;
+    std::vector<index::IndexEntry> cells_b;
+    for (std::uint32_t i = 0; i < ia.scheme.cell_count(); ++i) {
+      if (ia.blocks[i] != nullptr) cells_a.push_back({ia.scheme.cells()[i], i});
+    }
+    for (std::uint32_t i = 0; i < ib.scheme.cell_count(); ++i) {
+      if (ib.blocks[i] != nullptr) cells_b.push_back({ib.scheme.cells()[i], i});
+    }
+    index::plane_sweep_join(cells_a, cells_b, [&](std::uint32_t a, std::uint32_t b) {
+      join_splits.push_back({a, b});
+    });
+  }
+  mapreduce::charge_master_step(
+      ctx, "join/getSplits", splits_cpu.seconds(),
+      /*read=*/ia.scheme.size_bytes() + ib.scheme.size_bytes(), /*write=*/0);
+
+  // ---- Local join: map-only job, one task per partition pair ---------------
+  core::LocalJoinSpec local_spec;
+  local_spec.algorithm = query.local_algorithm.value_or(config.local_algorithm);
+  local_spec.engine = &geom::GeometryEngine::get(config.engine);
+  local_spec.predicate = query.predicate;
+  local_spec.within_distance = query.within_distance;
+
+  mapreduce::MapOnlySpec<JoinSplit, JoinPair> join_spec;
+  join_spec.name = "join/local";
+  join_spec.config = config.mr;
+  join_spec.map = [&](const JoinSplit& split, std::vector<JoinPair>& out_pairs) {
+    const PartBlock& block_a = *ia.blocks[split.pa];
+    const PartBlock& block_b = *ib.blocks[split.pb];
+    // Reference-point duplicate avoidance: emit only in the canonical
+    // (lowest-id) cell pair containing the reference point.
+    const auto accept = [&](const geom::Envelope& le, const geom::Envelope& re) {
+      const geom::Coord p = core::reference_point(le, re);
+      const geom::Envelope pe = geom::Envelope::of_point(p.x, p.y);
+      const auto cells_a = ia.scheme.assign(pe);
+      const auto cells_b = ib.scheme.assign(pe);
+      const std::uint32_t canon_a = *std::min_element(cells_a.begin(), cells_a.end());
+      const std::uint32_t canon_b = *std::min_element(cells_b.begin(), cells_b.end());
+      return canon_a == split.pa && canon_b == split.pb;
+    };
+    core::run_local_join(block_a.features, block_b.features, local_spec, accept,
+                         out_pairs);
+  };
+  join_spec.split_bytes = [&](const JoinSplit& split) {
+    return ia.blocks[split.pa]->text_bytes + ib.blocks[split.pb]->text_bytes;
+  };
+  join_spec.output_bytes = [](const JoinPair&) -> std::uint64_t { return 16; };
+  auto pairs = mapreduce::run_map_only(ctx, join_spec, join_splits);
+  if (ctx.counters != nullptr) {
+    ctx.counters->add("join.partition_pairs", join_splits.size());
+    ctx.counters->add("join.result_pairs", pairs.size());
+  }
+  return pairs;
+}
+
+void finalize_report(core::RunReport& report, std::vector<JoinPair> pairs,
+                     const core::ExecutionConfig& exec) {
+  report.success = true;
+  report.result_count = pairs.size();
+  report.result_hash = core::hash_pairs_unordered(pairs);
+  if (exec.collect_pairs) report.pairs = std::move(pairs);
+  report.index_a_seconds = report.metrics.seconds_with_prefix("A/");
+  report.index_b_seconds = report.metrics.seconds_with_prefix("B/");
+  report.join_seconds = report.metrics.seconds_with_prefix("join/");
+  report.total_seconds = report.metrics.total_seconds();
+}
+
+}  // namespace
+
+core::RunReport run_spatial_hadoop(const workload::Dataset& left,
+                                   const workload::Dataset& right,
+                                   const core::JoinQueryConfig& query,
+                                   const core::ExecutionConfig& exec,
+                                   const SpatialHadoopConfig& config) {
+  core::RunReport report;
+  dfs::SimDfs dfs(dfs_config(query, exec));
+  mapreduce::MrContext ctx{&exec.cluster, exec.data_scale, &dfs, &report.metrics,
+                           &report.counters};
+
+  // ---- Preprocessing: index both inputs (IA, IB) ---------------------------
+  const IndexedDataset ia = index_dataset(ctx, left, "A", query, exec, config);
+  const IndexedDataset ib = index_dataset(ctx, right, "B", query, exec, config);
+
+  finalize_report(report, run_distributed_join(ctx, ia, ib, query, config), exec);
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Pre-indexed ("re-partitioning skipped") path
+// ---------------------------------------------------------------------------
+
+struct SpatialHadoopIndex::Impl {
+  IndexedDataset data;
+};
+
+double SpatialHadoopIndex::build_seconds() const { return metrics_.total_seconds(); }
+
+std::size_t SpatialHadoopIndex::partition_count() const {
+  std::size_t n = 0;
+  for (const auto& block : impl_->data.blocks) {
+    if (block != nullptr) ++n;
+  }
+  return n;
+}
+
+SpatialHadoopIndex spatial_hadoop_build_index(const workload::Dataset& data,
+                                              const core::JoinQueryConfig& query,
+                                              const core::ExecutionConfig& exec,
+                                              const SpatialHadoopConfig& config) {
+  SpatialHadoopIndex index;
+  index.name_ = data.name();
+  dfs::SimDfs dfs(dfs_config(query, exec));
+  mapreduce::MrContext ctx{&exec.cluster, exec.data_scale, &dfs, &index.metrics_,
+                           nullptr};
+  auto impl = std::make_shared<SpatialHadoopIndex::Impl>();
+  impl->data = index_dataset(ctx, data, data.name(), query, exec, config);
+  index.impl_ = std::move(impl);
+  return index;
+}
+
+core::RunReport run_spatial_hadoop_indexed(const SpatialHadoopIndex& left,
+                                           const SpatialHadoopIndex& right,
+                                           const core::JoinQueryConfig& query,
+                                           const core::ExecutionConfig& exec,
+                                           const SpatialHadoopConfig& config) {
+  require(left.impl_ != nullptr && right.impl_ != nullptr,
+          "run_spatial_hadoop_indexed: indexes must be built first");
+  core::RunReport report;
+  dfs::SimDfs dfs(dfs_config(query, exec));
+  mapreduce::MrContext ctx{&exec.cluster, exec.data_scale, &dfs, &report.metrics,
+                           &report.counters};
+  finalize_report(
+      report, run_distributed_join(ctx, left.impl_->data, right.impl_->data, query, config),
+      exec);
+  // With re-partitioning skipped the run has no indexing phases.
+  report.index_a_seconds = 0.0;
+  report.index_b_seconds = 0.0;
+  return report;
+}
+
+}  // namespace sjc::systems

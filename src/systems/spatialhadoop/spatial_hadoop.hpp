@@ -1,0 +1,97 @@
+// SpatialHadoop analog: spatial joins tightly integrated with (simulated)
+// native Hadoop.
+//
+// Pipeline (paper Section II, Fig. 1b):
+//
+//  Preprocessing, per dataset (two MR jobs):
+//    1. sample job  — map-only scan that samples record MBRs; the partition
+//       scheme is then derived centrally and written as the "_master" file;
+//    2. partition job — full MR: map assigns each record to every partition
+//       cell its MBR intersects; shuffle groups records by partition id;
+//       reduce writes one block file per partition, with an STR index
+//       packed into the block ("indexes built virtually for free").
+//
+//  Global join:
+//    implemented *inside getSplits()* on the master node: read both
+//    _master files, plane-sweep join the partition MBRs, and emit one input
+//    split per overlapping (cellA, cellB) pair.
+//
+//  Local join (map-only job, no shuffle):
+//    each map task reads its two block files and performs the serial
+//    filter+refine join (plane-sweep by default, per the paper), using the
+//    fast (JTS-analog) geometry engine. Duplicate results from overlap
+//    partitioning are avoided with the reference-point technique, so no
+//    dedup pass is needed.
+//
+// SpatialHadoop never buffers a dataset in memory — every stage spills
+// through the DFS — which is exactly why it is the robustness winner in the
+// paper: this analog has no failure modes.
+#pragma once
+
+#include "core/spatial_join.hpp"
+#include "mapreduce/mr_context.hpp"
+
+namespace sjc::systems {
+
+struct SpatialHadoopConfig {
+  mapreduce::MrConfig mr;
+  /// Serial in-partition join algorithm; the paper names plane-sweep and
+  /// synchronized R-tree traversal as SpatialHadoop's options.
+  index::LocalJoinAlgorithm local_algorithm = index::LocalJoinAlgorithm::kPlaneSweep;
+  /// Geometry engine for refinement (JTS analog by default; override to
+  /// kSimple to measure what SpatialHadoop would lose on GEOS).
+  geom::EngineKind engine = geom::EngineKind::kPrepared;
+};
+
+core::RunReport run_spatial_hadoop(const workload::Dataset& left,
+                                   const workload::Dataset& right,
+                                   const core::JoinQueryConfig& query,
+                                   const core::ExecutionConfig& exec,
+                                   const SpatialHadoopConfig& config = {});
+
+/// A persisted SpatialHadoop index: the partition scheme plus the written
+/// block files, reusable across joins. The paper notes "SpatialHadoop can
+/// run faster when re-partitioning can be skipped" — i.e. when both inputs
+/// are already indexed, the distributed join starts directly at getSplits.
+/// (HadoopGIS cannot do this: its preprocessing partition ids are invisible
+/// to the streaming join and get recomputed every time.)
+class SpatialHadoopIndex {
+ public:
+  /// Cost of building this index (the IA or IB column).
+  double build_seconds() const;
+  const cluster::RunMetrics& build_metrics() const { return metrics_; }
+  const std::string& dataset_name() const { return name_; }
+  std::size_t partition_count() const;
+
+ private:
+  friend SpatialHadoopIndex spatial_hadoop_build_index(const workload::Dataset&,
+                                                       const core::JoinQueryConfig&,
+                                                       const core::ExecutionConfig&,
+                                                       const SpatialHadoopConfig&);
+  friend core::RunReport run_spatial_hadoop_indexed(const SpatialHadoopIndex&,
+                                                    const SpatialHadoopIndex&,
+                                                    const core::JoinQueryConfig&,
+                                                    const core::ExecutionConfig&,
+                                                    const SpatialHadoopConfig&);
+  struct Impl;
+  std::shared_ptr<const Impl> impl_;
+  cluster::RunMetrics metrics_;
+  std::string name_;
+};
+
+/// Runs the two preprocessing MR jobs for one dataset and returns the
+/// persisted index.
+SpatialHadoopIndex spatial_hadoop_build_index(const workload::Dataset& data,
+                                              const core::JoinQueryConfig& query,
+                                              const core::ExecutionConfig& exec,
+                                              const SpatialHadoopConfig& config = {});
+
+/// Joins two pre-indexed datasets: getSplits + the map-only local join,
+/// skipping both indexing phases. The report's IA/IB are 0 and DJ == TOT.
+core::RunReport run_spatial_hadoop_indexed(const SpatialHadoopIndex& left,
+                                           const SpatialHadoopIndex& right,
+                                           const core::JoinQueryConfig& query,
+                                           const core::ExecutionConfig& exec,
+                                           const SpatialHadoopConfig& config = {});
+
+}  // namespace sjc::systems

@@ -1,0 +1,15 @@
+#include "util/bench_io.hpp"
+
+#include <cstdlib>
+
+namespace sjc {
+
+std::string maybe_write_csv(const std::string& name, const CsvWriter& csv) {
+  const char* dir = std::getenv("SJC_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return {};
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  csv.write_file(path);
+  return path;
+}
+
+}  // namespace sjc

@@ -1,0 +1,91 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+#include "util/status.hpp"
+
+namespace sjc {
+
+namespace {
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& field) {
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+}  // namespace
+
+std::string csv_format_row(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += needs_quoting(fields[i]) ? quote(fields[i]) : fields[i];
+  }
+  return out;
+}
+
+std::vector<std::string> csv_parse_row(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+    ++i;
+  }
+  if (in_quotes) throw ParseError("csv_parse_row: unterminated quote");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {
+  require(!header_.empty(), "CsvWriter: header must be non-empty");
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  require(row.size() == header_.size(), "CsvWriter: row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::to_string() const {
+  std::string out = csv_format_row(header_) + "\n";
+  for (const auto& row : rows_) out += csv_format_row(row) + "\n";
+  return out;
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw SjcError("CsvWriter: cannot open " + path);
+  const std::string s = to_string();
+  const std::size_t written = std::fwrite(s.data(), 1, s.size(), f);
+  std::fclose(f);
+  if (written != s.size()) throw SjcError("CsvWriter: short write to " + path);
+}
+
+}  // namespace sjc

@@ -1,0 +1,38 @@
+// Tiny CSV writer/reader.
+//
+// Benches optionally dump their measurements as CSV (alongside the pretty
+// table) so results can be post-processed; the reader exists mainly so the
+// round-trip is testable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sjc {
+
+/// Escapes and joins one CSV record (RFC 4180 quoting).
+std::string csv_format_row(const std::vector<std::string>& fields);
+
+/// Parses one CSV record (RFC 4180 quoting). Throws ParseError on
+/// unterminated quotes.
+std::vector<std::string> csv_parse_row(const std::string& line);
+
+/// Accumulates rows and writes them to a file.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Serializes all rows (header first).
+  std::string to_string() const;
+
+  /// Writes to `path`; throws SjcError on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sjc

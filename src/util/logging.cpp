@@ -1,0 +1,60 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace sjc {
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = uninitialized, read SJC_LOG lazily
+std::mutex g_emit_mutex;
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("SJC_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace log_detail {
+
+LogLevel current_level() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = static_cast<int>(level_from_env());
+    g_level.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+void emit(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[sjc %s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace log_detail
+}  // namespace sjc

@@ -1,0 +1,57 @@
+// Minimal leveled logger.
+//
+// The simulator is a library first: logging defaults to WARN so tests and
+// benches stay quiet, and experiment drivers can raise verbosity to trace
+// job/stage execution (SJC_LOG=debug environment variable or set_level()).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sjc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace log_detail {
+LogLevel current_level();
+void emit(LogLevel level, const std::string& message);
+}  // namespace log_detail
+
+/// Sets the global log level programmatically (overrides SJC_LOG).
+void set_log_level(LogLevel level);
+
+/// True when messages at `level` would be emitted.
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_detail::current_level());
+}
+
+/// Stream-style log statement: SJC_LOG_AT(LogLevel::kInfo) << "x=" << x;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_detail::emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace sjc
+
+#define SJC_LOG_AT(level)            \
+  if (!::sjc::log_enabled(level)) {  \
+  } else                             \
+    ::sjc::LogLine(level)
+
+#define SJC_DEBUG SJC_LOG_AT(::sjc::LogLevel::kDebug)
+#define SJC_INFO SJC_LOG_AT(::sjc::LogLevel::kInfo)
+#define SJC_WARN SJC_LOG_AT(::sjc::LogLevel::kWarn)
+#define SJC_ERROR SJC_LOG_AT(::sjc::LogLevel::kError)

@@ -1,0 +1,59 @@
+// Error taxonomy shared across the sjc libraries.
+//
+// The simulator distinguishes *programming errors* (violated preconditions,
+// reported via SjcError) from *simulated runtime failures* (conditions the
+// paper's systems hit in production, e.g. a Hadoop Streaming broken pipe or
+// a Spark executor OOM). Simulated failures derive from SimFailure so that
+// benchmark harnesses can catch them and report "-" table cells the way the
+// paper does, while real bugs still propagate.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sjc {
+
+/// Base class for all errors raised by the sjc libraries.
+class SjcError : public std::runtime_error {
+ public:
+  explicit SjcError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Precondition/usage violation: indicates a bug in calling code.
+class InvalidArgument : public SjcError {
+ public:
+  explicit InvalidArgument(const std::string& what) : SjcError(what) {}
+};
+
+/// Parse failure (WKT, TSV record, ...).
+class ParseError : public SjcError {
+ public:
+  explicit ParseError(const std::string& what) : SjcError(what) {}
+};
+
+/// Base class for *simulated* runtime failures. These model failure modes
+/// of the paper's systems (broken pipes, OOM) and are expected to be caught
+/// by experiment drivers.
+class SimFailure : public SjcError {
+ public:
+  explicit SimFailure(const std::string& what) : SjcError(what) {}
+};
+
+/// Hadoop Streaming pipe overflow (HadoopGIS failure mode in Tables 2-3).
+class BrokenPipe : public SimFailure {
+ public:
+  explicit BrokenPipe(const std::string& what) : SimFailure(what) {}
+};
+
+/// Spark executor/aggregate memory exhaustion (SpatialSpark failure mode).
+class SimOutOfMemory : public SimFailure {
+ public:
+  explicit SimOutOfMemory(const std::string& what) : SimFailure(what) {}
+};
+
+/// Throws InvalidArgument with `what` when `cond` is false.
+inline void require(bool cond, const std::string& what) {
+  if (!cond) throw InvalidArgument(what);
+}
+
+}  // namespace sjc

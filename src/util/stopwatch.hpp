@@ -1,0 +1,48 @@
+// Wall-clock and CPU-time stopwatches.
+//
+// The cluster simulator charges *measured* CPU seconds for user code (map
+// functions, geometry predicates) and *modeled* seconds for I/O; Stopwatch
+// provides the former.
+#pragma once
+
+#include <chrono>
+#include <ctime>
+
+namespace sjc {
+
+/// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Per-thread CPU-time stopwatch (CLOCK_THREAD_CPUTIME_ID).
+class CpuStopwatch {
+ public:
+  CpuStopwatch() : start_(now()) {}
+
+  void reset() { start_ = now(); }
+
+  double seconds() const { return now() - start_; }
+
+ private:
+  static double now() {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+  }
+  double start_;
+};
+
+}  // namespace sjc

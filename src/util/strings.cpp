@@ -1,0 +1,113 @@
+#include "util/strings.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/status.hpp"
+
+namespace sjc {
+
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, begin);
+    if (pos == std::string_view::npos) {
+      out.push_back(text.substr(begin));
+      return out;
+    }
+    out.push_back(text.substr(begin, pos - begin));
+    begin = pos + 1;
+  }
+}
+
+std::vector<std::string> split_copy(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  for (auto part : split(text, sep)) out.emplace_back(part);
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, char sep) {
+  std::string out;
+  std::size_t total = parts.empty() ? 0 : parts.size() - 1;
+  for (const auto& p : parts) total += p.size();
+  out.reserve(total);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.push_back(sep);
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v';
+  };
+  std::size_t b = 0;
+  std::size_t e = text.size();
+  while (b < e && is_space(text[b])) ++b;
+  while (e > b && is_space(text[e - 1])) --e;
+  return text.substr(b, e - b);
+}
+
+double parse_double(std::string_view text) {
+  double value = 0.0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) {
+    throw ParseError("parse_double: malformed number: '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+std::uint64_t parse_u64(std::string_view text) {
+  std::uint64_t value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) {
+    throw ParseError("parse_u64: malformed integer: '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+std::string format_double(double value) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc()) return "nan";
+  return std::string(buf, ptr);
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), unit == 0 ? "%.0f %s" : "%.1f %s", v, kUnits[unit]);
+  return buf;
+}
+
+std::string format_seconds(double seconds) {
+  if (std::isnan(seconds)) return "-";
+  auto whole = static_cast<long long>(std::llround(seconds));
+  std::string digits = std::to_string(whole);
+  std::string out;
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace sjc

@@ -1,0 +1,48 @@
+// String utilities used by the text/streaming data paths.
+//
+// HadoopGIS-style streaming pipelines serialize every record as a TSV line
+// and reparse it at every stage boundary; these helpers are on that hot
+// path, so parsing avoids allocations where possible (string_view in,
+// from_chars-based numeric parsing).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sjc {
+
+/// Splits `text` on `sep`, returning views into `text` (no copies).
+/// Adjacent separators yield empty fields; an empty input yields one empty
+/// field, matching the semantics of common TSV tooling.
+std::vector<std::string_view> split(std::string_view text, char sep);
+
+/// Splits and copies (for callers that outlive the source buffer).
+std::vector<std::string> split_copy(std::string_view text, char sep);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, char sep);
+
+/// Trims ASCII whitespace from both ends (returns a view).
+std::string_view trim(std::string_view text);
+
+/// Parses a double; throws ParseError on malformed input or trailing junk.
+double parse_double(std::string_view text);
+
+/// Parses a non-negative integer; throws ParseError on malformed input.
+std::uint64_t parse_u64(std::string_view text);
+
+/// Fast double -> string with enough digits to round-trip.
+std::string format_double(double value);
+
+/// Formats a byte count as "12.3 MB" style human-readable text.
+std::string format_bytes(std::uint64_t bytes);
+
+/// Formats seconds as "1,234" style integer seconds (paper table style),
+/// or "-" for NaN (failed runs).
+std::string format_seconds(double seconds);
+
+/// true if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+}  // namespace sjc

@@ -1,0 +1,60 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/status.hpp"
+
+namespace sjc {
+
+TablePrinter::TablePrinter(std::vector<std::string> header) : header_(std::move(header)) {
+  require(!header_.empty(), "TablePrinter: header must be non-empty");
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  require(row.size() == header_.size(), "TablePrinter: row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::add_separator() { rows_.emplace_back(); }
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  const auto render_sep = [&] {
+    std::string line = "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      line += std::string(widths[c] + 2, '-') + "|";
+    }
+    return line + "\n";
+  };
+
+  std::string out = render_row(header_);
+  out += render_sep();
+  for (const auto& row : rows_) {
+    out += row.empty() ? render_sep() : render_row(row);
+  }
+  return out;
+}
+
+void TablePrinter::print() const {
+  const std::string s = to_string();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace sjc

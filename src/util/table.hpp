@@ -1,0 +1,35 @@
+// Plain-text table rendering for the benchmark harnesses.
+//
+// The experiment benches print tables in the same row/column layout as the
+// paper (Tables 1-3); TablePrinter handles alignment and markdown-ish
+// separators so every bench formats output identically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sjc {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator row.
+  void add_separator();
+
+  /// Renders the table with column alignment.
+  std::string to_string() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  // A row that is empty represents a separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sjc

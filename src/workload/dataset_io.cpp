@@ -1,0 +1,50 @@
+#include "workload/dataset_io.hpp"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+#include "workload/tsv.hpp"
+
+namespace sjc::workload {
+
+void write_tsv_file(const Dataset& dataset, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw SjcError("write_tsv_file: cannot open " + path);
+  for (const auto& feature : dataset.features()) {
+    const std::string line = feature_to_tsv(feature) + "\n";
+    if (std::fwrite(line.data(), 1, line.size(), f) != line.size()) {
+      std::fclose(f);
+      throw SjcError("write_tsv_file: short write to " + path);
+    }
+  }
+  if (std::fclose(f) != 0) throw SjcError("write_tsv_file: close failed for " + path);
+}
+
+Dataset read_tsv_file(const std::string& path, const std::string& name,
+                      std::uint64_t attr_pad_bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) throw SjcError("read_tsv_file: cannot open " + path);
+
+  std::vector<geom::Feature> features;
+  std::string line;
+  int c = 0;
+  while (c != EOF) {
+    line.clear();
+    while ((c = std::fgetc(f)) != EOF && c != '\n') {
+      line.push_back(static_cast<char>(c));
+    }
+    if (line.empty()) continue;
+    try {
+      features.push_back(feature_from_tsv(line));
+    } catch (...) {
+      std::fclose(f);
+      throw;
+    }
+  }
+  std::fclose(f);
+  return Dataset(name, std::move(features), attr_pad_bytes);
+}
+
+}  // namespace sjc::workload

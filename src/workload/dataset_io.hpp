@@ -1,0 +1,26 @@
+// Dataset file I/O: real TSV files on the local filesystem.
+//
+// The generators cover the paper's experiments, but a usable library must
+// ingest the user's own data. The format is the streaming pipeline's
+// record format — one "<id>\t<wkt>" line per feature — so exported files
+// are directly inspectable and round-trip exactly.
+#pragma once
+
+#include <string>
+
+#include "workload/dataset.hpp"
+
+namespace sjc::workload {
+
+/// Writes `dataset` to `path` as TSV ("<id>\t<wkt>" lines). Throws SjcError
+/// on I/O failure.
+void write_tsv_file(const Dataset& dataset, const std::string& path);
+
+/// Reads a TSV dataset written by write_tsv_file (or hand-made in the same
+/// format; blank lines are skipped). `name` labels the dataset;
+/// `attr_pad_bytes` sets the accounted per-record attribute footprint.
+/// Throws SjcError on I/O failure and ParseError on malformed lines.
+Dataset read_tsv_file(const std::string& path, const std::string& name,
+                      std::uint64_t attr_pad_bytes = 0);
+
+}  // namespace sjc::workload

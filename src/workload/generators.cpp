@@ -1,0 +1,334 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace sjc::workload {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Paper Table 1.
+struct PaperFacts {
+  std::uint64_t records;
+  std::uint64_t bytes;
+};
+
+PaperFacts paper_facts(DatasetId id) {
+  constexpr std::uint64_t kMB = 1024ULL * 1024ULL;
+  constexpr std::uint64_t kGB = 1024ULL * kMB;
+  switch (id) {
+    case DatasetId::kTaxi: return {169'720'892ULL, static_cast<std::uint64_t>(6.9 * kGB)};
+    case DatasetId::kTaxi1m:
+      return {169'720'892ULL / 12, static_cast<std::uint64_t>(0.575 * kGB)};
+    case DatasetId::kNycb: return {38'839ULL, 19 * kMB};
+    case DatasetId::kEdges: return {72'729'686ULL, static_cast<std::uint64_t>(23.8 * kGB)};
+    case DatasetId::kLinearwater:
+      return {5'857'442ULL, static_cast<std::uint64_t>(8.4 * kGB)};
+    case DatasetId::kEdges01: return {7'271'983ULL, static_cast<std::uint64_t>(2.3 * kGB)};
+    case DatasetId::kLinearwater01: return {585'809ULL, 852 * kMB};
+  }
+  return {0, 0};
+}
+
+// Urban hotspot mixture shared by taxi and edges (both follow population
+// density).
+struct Hotspots {
+  struct Spot {
+    double x;
+    double y;
+    double sigma;
+    double weight;  // cumulative
+  };
+  std::vector<Spot> spots;
+
+  static Hotspots make(const geom::Envelope& extent, std::uint64_t seed) {
+    Hotspots h;
+    Rng rng(seed ^ 0x9073507aULL);
+    const std::size_t k = 12;
+    double cumulative = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      Hotspots::Spot spot{};
+      // Cluster hotspots toward the center (Manhattan-like core).
+      spot.x = extent.center_x() + rng.normal(0.0, extent.width() / 6.0);
+      spot.y = extent.center_y() + rng.normal(0.0, extent.height() / 6.0);
+      spot.x = std::clamp(spot.x, extent.min_x(), extent.max_x());
+      spot.y = std::clamp(spot.y, extent.min_y(), extent.max_y());
+      spot.sigma = extent.width() * rng.uniform(0.01, 0.06);
+      cumulative += rng.uniform(0.4, 1.0);
+      spot.weight = cumulative;
+      h.spots.push_back(spot);
+    }
+    for (auto& s : h.spots) s.weight /= cumulative;
+    return h;
+  }
+
+  geom::Coord draw(Rng& rng, const geom::Envelope& extent, double skew_fraction) const {
+    if (rng.next_double() >= skew_fraction) {
+      return {rng.uniform(extent.min_x(), extent.max_x()),
+              rng.uniform(extent.min_y(), extent.max_y())};
+    }
+    const double u = rng.next_double();
+    const Spot* chosen = &spots.back();
+    for (const auto& s : spots) {
+      if (u <= s.weight) {
+        chosen = &s;
+        break;
+      }
+    }
+    const double x =
+        std::clamp(rng.normal(chosen->x, chosen->sigma), extent.min_x(), extent.max_x());
+    const double y =
+        std::clamp(rng.normal(chosen->y, chosen->sigma), extent.min_y(), extent.max_y());
+    return {x, y};
+  }
+};
+
+std::uint64_t scaled_count(DatasetId id, double scale) {
+  const auto n = static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(paper_facts(id).records) * scale));
+  return std::max<std::uint64_t>(n, 4);
+}
+
+Dataset generate_points(const std::string& name, DatasetId id,
+                        const WorkloadConfig& config, std::uint64_t seed_salt) {
+  const std::uint64_t n = scaled_count(id, config.scale);
+  const Hotspots hotspots = Hotspots::make(config.extent, config.seed);
+  Rng rng(config.seed ^ seed_salt);
+  std::vector<geom::Feature> features;
+  features.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const geom::Coord c = hotspots.draw(rng, config.extent, /*skew_fraction=*/0.75);
+    features.push_back({i, geom::Geometry::point(c.x, c.y)});
+  }
+  return Dataset(name, std::move(features), /*attr_pad_bytes=*/20);
+}
+
+// Deterministic jitter of a lattice corner, identical for all four adjacent
+// cells (keyed on the lattice coordinates) so polygons share corners and
+// the blocks tile without gaps or overlaps.
+geom::Coord lattice_corner(std::uint32_t i, std::uint32_t j, std::uint32_t grid,
+                           const geom::Envelope& extent, std::uint64_t seed) {
+  const double cw = extent.width() / grid;
+  const double ch = extent.height() / grid;
+  double x = extent.min_x() + cw * i;
+  double y = extent.min_y() + ch * j;
+  // Interior corners jitter by up to 30% of a cell; border corners stay put
+  // so the tiling still covers the full extent.
+  if (i > 0 && i < grid && j > 0 && j < grid) {
+    const std::uint64_t h = mix64(seed ^ (static_cast<std::uint64_t>(i) << 32 | j));
+    const double jx = (static_cast<double>(h & 0xffff) / 65535.0 - 0.5) * 0.6;
+    const double jy =
+        (static_cast<double>((h >> 16) & 0xffff) / 65535.0 - 0.5) * 0.6;
+    x += jx * cw;
+    y += jy * ch;
+  }
+  return {x, y};
+}
+
+// Densifies the edge between lattice corners (ai, aj) -> (bi, bj) with `k`
+// interior vertices jittered perpendicular to the edge. The chain is
+// computed in *canonical* (undirected) order and reversed to match the
+// traversal direction, so the two polygons sharing the edge emit identical
+// vertex chains and the tiling stays exact.
+void densify_edge(const geom::Coord& a, const geom::Coord& b, std::uint32_t ai,
+                  std::uint32_t aj, std::uint32_t bi, std::uint32_t bj, std::uint32_t k,
+                  double amplitude, std::uint64_t seed, std::uint32_t grid,
+                  std::vector<geom::Coord>& out) {
+  // Edges on the extent border stay straight (zero jitter): a jittered
+  // outer boundary would open gaps no neighbouring block covers.
+  const bool border = (ai == bi && (ai == 0 || ai == grid)) ||
+                      (aj == bj && (aj == 0 || aj == grid));
+  if (border) amplitude = 0.0;
+  const std::uint64_t key_a = static_cast<std::uint64_t>(ai) << 32 | aj;
+  const std::uint64_t key_b = static_cast<std::uint64_t>(bi) << 32 | bj;
+  const bool canonical = key_a <= key_b;
+  const geom::Coord& ca = canonical ? a : b;
+  const geom::Coord& cb = canonical ? b : a;
+  std::uint64_t h = mix64(seed ^ mix64(std::min(key_a, key_b)) ^
+                          (std::max(key_a, key_b) * 0x9e3779b97f4a7c15ULL));
+
+  std::vector<geom::Coord> chain;
+  chain.reserve(k);
+  const double dx = cb.x - ca.x;
+  const double dy = cb.y - ca.y;
+  const double len = std::sqrt(dx * dx + dy * dy);
+  const double nx = len > 0 ? -dy / len : 0.0;
+  const double ny = len > 0 ? dx / len : 0.0;
+  for (std::uint32_t s = 1; s <= k; ++s) {
+    const double t = static_cast<double>(s) / (k + 1);
+    const double off = (static_cast<double>(splitmix64(h) & 0xffff) / 65535.0 - 0.5) *
+                       2.0 * amplitude;
+    chain.push_back({ca.x + dx * t + nx * off, ca.y + dy * t + ny * off});
+  }
+  if (!canonical) std::reverse(chain.begin(), chain.end());
+  for (const auto& c : chain) out.push_back(c);
+}
+
+}  // namespace
+
+const char* dataset_id_name(DatasetId id) {
+  switch (id) {
+    case DatasetId::kTaxi: return "taxi";
+    case DatasetId::kTaxi1m: return "taxi1m";
+    case DatasetId::kNycb: return "nycb";
+    case DatasetId::kEdges: return "edges";
+    case DatasetId::kLinearwater: return "linearwater";
+    case DatasetId::kEdges01: return "edges0.1";
+    case DatasetId::kLinearwater01: return "linearwater0.1";
+  }
+  return "?";
+}
+
+std::uint64_t paper_record_count(DatasetId id) { return paper_facts(id).records; }
+std::uint64_t paper_size_bytes(DatasetId id) { return paper_facts(id).bytes; }
+
+Dataset generate_taxi(const WorkloadConfig& config) {
+  return generate_points("taxi", DatasetId::kTaxi, config, 0x7a5e1ULL);
+}
+
+Dataset generate_taxi1m(const WorkloadConfig& config) {
+  // One month of the same process: same spatial distribution, 1/12 volume.
+  return generate_points("taxi1m", DatasetId::kTaxi1m, config, 0x7a5e1ULL);
+}
+
+Dataset generate_nycb(const WorkloadConfig& config) {
+  // Use a full grid^2 block count (nearest square not exceeding the scaled
+  // target) so the blocks tile the entire extent — every taxi point falls
+  // in exactly one block, as with the real census blocks.
+  const std::uint64_t target = scaled_count(DatasetId::kNycb, config.scale);
+  const auto grid = static_cast<std::uint32_t>(
+      std::max(2.0, std::floor(std::sqrt(static_cast<double>(target)))));
+  const std::uint64_t n = static_cast<std::uint64_t>(grid) * grid;
+  const double cell_w = config.extent.width() / grid;
+  const std::uint64_t seed = config.seed ^ 0xb10c5ULL;
+
+  std::vector<geom::Feature> features;
+  features.reserve(n);
+  std::uint64_t id = 0;
+  for (std::uint32_t j = 0; j < grid && id < n; ++j) {
+    for (std::uint32_t i = 0; i < grid && id < n; ++i) {
+      // Quad corners (shared with neighbors), densified edges (shared
+      // chains), CCW shell.
+      const geom::Coord c00 = lattice_corner(i, j, grid, config.extent, seed);
+      const geom::Coord c10 = lattice_corner(i + 1, j, grid, config.extent, seed);
+      const geom::Coord c11 = lattice_corner(i + 1, j + 1, grid, config.extent, seed);
+      const geom::Coord c01 = lattice_corner(i, j + 1, grid, config.extent, seed);
+      const double amp = cell_w * 0.04;
+      constexpr std::uint32_t kDensify = 6;
+      geom::Ring shell;
+      shell.push_back(c00);
+      densify_edge(c00, c10, i, j, i + 1, j, kDensify, amp, seed, grid, shell);
+      shell.push_back(c10);
+      densify_edge(c10, c11, i + 1, j, i + 1, j + 1, kDensify, amp, seed, grid, shell);
+      shell.push_back(c11);
+      densify_edge(c11, c01, i + 1, j + 1, i, j + 1, kDensify, amp, seed, grid, shell);
+      shell.push_back(c01);
+      densify_edge(c01, c00, i, j + 1, i, j, kDensify, amp, seed, grid, shell);
+      shell.push_back(c00);
+      features.push_back({id, geom::Geometry::polygon(std::move(shell))});
+      ++id;
+    }
+  }
+  return Dataset("nycb", std::move(features), /*attr_pad_bytes=*/150);
+}
+
+Dataset generate_edges(const WorkloadConfig& config) {
+  const std::uint64_t n = scaled_count(DatasetId::kEdges, config.scale);
+  const Hotspots hotspots = Hotspots::make(config.extent, config.seed);
+  Rng rng(config.seed ^ 0xed6e5ULL);
+  std::vector<geom::Feature> features;
+  features.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    // Short street segment: 2-8 legs of 40-150 m, gentle direction jitter.
+    const geom::Coord start = hotspots.draw(rng, config.extent, 0.7);
+    double heading = rng.uniform(0.0, 2.0 * kPi);
+    const auto legs = static_cast<std::uint32_t>(2 + rng.next_below(7));
+    std::vector<geom::Coord> coords{start};
+    geom::Coord cur = start;
+    for (std::uint32_t leg = 0; leg < legs; ++leg) {
+      heading += rng.uniform(-0.5, 0.5);
+      const double step = rng.uniform(40.0, 150.0);
+      cur.x = std::clamp(cur.x + std::cos(heading) * step, config.extent.min_x(),
+                         config.extent.max_x());
+      cur.y = std::clamp(cur.y + std::sin(heading) * step, config.extent.min_y(),
+                         config.extent.max_y());
+      coords.push_back(cur);
+    }
+    features.push_back({i, geom::Geometry::line_string(std::move(coords))});
+  }
+  return Dataset("edges", std::move(features), /*attr_pad_bytes=*/200);
+}
+
+Dataset generate_linearwater(const WorkloadConfig& config) {
+  const std::uint64_t n = scaled_count(DatasetId::kLinearwater, config.scale);
+  Rng rng(config.seed ^ 0x3a7e6ULL);
+  std::vector<geom::Feature> features;
+  features.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    // Winding stream segment: 30-90 legs of 25-70 m with drifting heading
+    // (TIGER linearwater features are individual vertex-dense segments of a
+    // couple of km, not whole rivers); reflect off the extent borders to
+    // stay inside.
+    geom::Coord cur{rng.uniform(config.extent.min_x(), config.extent.max_x()),
+                    rng.uniform(config.extent.min_y(), config.extent.max_y())};
+    double heading = rng.uniform(0.0, 2.0 * kPi);
+    const auto legs = static_cast<std::uint32_t>(30 + rng.next_below(61));
+    std::vector<geom::Coord> coords{cur};
+    for (std::uint32_t leg = 0; leg < legs; ++leg) {
+      heading += rng.uniform(-0.35, 0.35);
+      const double step = rng.uniform(25.0, 70.0);
+      double nx = cur.x + std::cos(heading) * step;
+      double ny = cur.y + std::sin(heading) * step;
+      if (nx < config.extent.min_x() || nx > config.extent.max_x()) {
+        heading = kPi - heading;
+        nx = std::clamp(nx, config.extent.min_x(), config.extent.max_x());
+      }
+      if (ny < config.extent.min_y() || ny > config.extent.max_y()) {
+        heading = -heading;
+        ny = std::clamp(ny, config.extent.min_y(), config.extent.max_y());
+      }
+      cur = {nx, ny};
+      coords.push_back(cur);
+    }
+    features.push_back({i, geom::Geometry::line_string(std::move(coords))});
+  }
+  return Dataset("linearwater", std::move(features), /*attr_pad_bytes=*/120);
+}
+
+Dataset sample_fraction(const Dataset& source, const std::string& name, double fraction,
+                        std::uint64_t seed) {
+  require(fraction > 0.0 && fraction <= 1.0,
+          "sample_fraction: fraction must be in (0, 1]");
+  Rng rng(seed);
+  std::vector<geom::Feature> kept;
+  kept.reserve(static_cast<std::size_t>(static_cast<double>(source.size()) * fraction) + 8);
+  for (const auto& f : source.features()) {
+    if (rng.bernoulli(fraction)) kept.push_back(f);
+  }
+  if (kept.empty()) kept.push_back(source.features().front());
+  return Dataset(name, std::move(kept), source.attr_pad_bytes());
+}
+
+Dataset generate(DatasetId id, const WorkloadConfig& config) {
+  switch (id) {
+    case DatasetId::kTaxi: return generate_taxi(config);
+    case DatasetId::kTaxi1m: return generate_taxi1m(config);
+    case DatasetId::kNycb: return generate_nycb(config);
+    case DatasetId::kEdges: return generate_edges(config);
+    case DatasetId::kLinearwater: return generate_linearwater(config);
+    case DatasetId::kEdges01:
+      return sample_fraction(generate_edges(config), "edges0.1", 0.1,
+                             config.seed ^ 0xe01ULL);
+    case DatasetId::kLinearwater01:
+      return sample_fraction(generate_linearwater(config), "linearwater0.1", 0.1,
+                             config.seed ^ 0x3a01ULL);
+  }
+  throw InvalidArgument("generate: unknown dataset id");
+}
+
+}  // namespace sjc::workload

@@ -1,0 +1,54 @@
+#include "workload/tsv.hpp"
+
+#include "geom/wkt.hpp"
+#include "util/status.hpp"
+#include "util/strings.hpp"
+
+namespace sjc::workload {
+
+std::string feature_to_tsv(const geom::Feature& feature, std::size_t pad_bytes) {
+  std::string line = std::to_string(feature.id) + "\t" + geom::to_wkt(feature.geometry);
+  if (pad_bytes > 0) {
+    line.push_back('\t');
+    line.append(pad_bytes, 'a');
+  }
+  return line;
+}
+
+geom::Feature feature_from_tsv(std::string_view line) {
+  return feature_from_tsv_at(line, 0);
+}
+
+geom::Feature feature_from_tsv_at(std::string_view line, std::size_t field_offset) {
+  std::string_view rest = line;
+  for (std::size_t skip = 0; skip < field_offset; ++skip) {
+    const auto tab = rest.find('\t');
+    if (tab == std::string_view::npos) {
+      throw ParseError("feature_from_tsv_at: too few fields in '" + std::string(line) +
+                       "'");
+    }
+    rest = rest.substr(tab + 1);
+  }
+  const auto tab = rest.find('\t');
+  if (tab == std::string_view::npos) {
+    throw ParseError("feature_from_tsv: missing wkt field in '" + std::string(line) + "'");
+  }
+  geom::Feature feature;
+  feature.id = parse_u64(rest.substr(0, tab));
+  std::string_view wkt = rest.substr(tab + 1);
+  // Trailing attribute fields (if any) end the WKT at the next tab.
+  const auto wkt_end = wkt.find('\t');
+  if (wkt_end != std::string_view::npos) wkt = wkt.substr(0, wkt_end);
+  feature.geometry = geom::from_wkt(wkt);
+  return feature;
+}
+
+std::vector<std::string> dataset_to_tsv(const Dataset& dataset, bool include_pad) {
+  std::vector<std::string> lines;
+  lines.reserve(dataset.size());
+  const std::size_t pad = include_pad ? dataset.attr_pad_bytes() : 0;
+  for (const auto& f : dataset.features()) lines.push_back(feature_to_tsv(f, pad));
+  return lines;
+}
+
+}  // namespace sjc::workload

@@ -1,0 +1,186 @@
+// Tests for the low-level computational-geometry kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/algorithms.hpp"
+#include "util/rng.hpp"
+
+namespace sjc::geom {
+namespace {
+
+TEST(Orientation, LeftRightCollinear) {
+  EXPECT_GT(orientation({0, 0}, {1, 0}, {1, 1}), 0.0);   // left turn
+  EXPECT_LT(orientation({0, 0}, {1, 0}, {1, -1}), 0.0);  // right turn
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {2, 0}), 0.0);   // collinear
+}
+
+TEST(PointOnSegment, EndpointsAndMiddle) {
+  EXPECT_TRUE(point_on_segment({0, 0}, {0, 0}, {2, 2}));
+  EXPECT_TRUE(point_on_segment({2, 2}, {0, 0}, {2, 2}));
+  EXPECT_TRUE(point_on_segment({1, 1}, {0, 0}, {2, 2}));
+  EXPECT_FALSE(point_on_segment({1, 1.0001}, {0, 0}, {2, 2}));
+  EXPECT_FALSE(point_on_segment({3, 3}, {0, 0}, {2, 2}));  // collinear, outside
+}
+
+TEST(SegmentsIntersect, ProperCrossing) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+}
+
+TEST(SegmentsIntersect, EndpointTouch) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+}
+
+TEST(SegmentsIntersect, TTouch) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {2, 0}, {1, 0}, {1, 5}));
+}
+
+TEST(SegmentsIntersect, CollinearOverlap) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {2, 0}, {1, 0}, {3, 0}));
+}
+
+TEST(SegmentsIntersect, CollinearDisjoint) {
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 0}, {2, 0}, {3, 0}));
+}
+
+TEST(SegmentsIntersect, ParallelDisjoint) {
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 0}, {0, 1}, {1, 1}));
+}
+
+TEST(SegmentsIntersect, NearMiss) {
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 1}, {1.0001, 1.0001}, {2, 2}));
+}
+
+TEST(Distances, PointToPoint) {
+  EXPECT_DOUBLE_EQ(squared_distance({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(Distances, PointToSegmentProjectsInside) {
+  EXPECT_DOUBLE_EQ(squared_distance_point_segment({1, 1}, {0, 0}, {2, 0}), 1.0);
+}
+
+TEST(Distances, PointToSegmentClampsToEndpoint) {
+  EXPECT_DOUBLE_EQ(squared_distance_point_segment({-3, 4}, {0, 0}, {2, 0}), 25.0);
+}
+
+TEST(Distances, PointToDegenerateSegment) {
+  EXPECT_DOUBLE_EQ(squared_distance_point_segment({3, 4}, {0, 0}, {0, 0}), 25.0);
+}
+
+TEST(Distances, SegmentsIntersectingIsZero) {
+  EXPECT_EQ(squared_distance_segments({0, 0}, {2, 2}, {0, 2}, {2, 0}), 0.0);
+}
+
+TEST(Distances, ParallelSegments) {
+  EXPECT_DOUBLE_EQ(squared_distance_segments({0, 0}, {2, 0}, {0, 1}, {2, 1}), 1.0);
+}
+
+TEST(PointInRing, SquareInsideOutsideBoundary) {
+  const Ring square = {{0, 0}, {4, 0}, {4, 4}, {0, 4}, {0, 0}};
+  EXPECT_EQ(point_in_ring({2, 2}, square), RingSide::kInside);
+  EXPECT_EQ(point_in_ring({5, 2}, square), RingSide::kOutside);
+  EXPECT_EQ(point_in_ring({0, 2}, square), RingSide::kBoundary);
+  EXPECT_EQ(point_in_ring({4, 4}, square), RingSide::kBoundary);  // corner
+  EXPECT_EQ(point_in_ring({2, 0}, square), RingSide::kBoundary);
+}
+
+TEST(PointInRing, ConcaveRing) {
+  // A "U" shape: the notch is outside.
+  const Ring u = {{0, 0}, {6, 0}, {6, 6}, {4, 6}, {4, 2}, {2, 2}, {2, 6}, {0, 6}, {0, 0}};
+  EXPECT_EQ(point_in_ring({1, 3}, u), RingSide::kInside);   // left arm
+  EXPECT_EQ(point_in_ring({5, 3}, u), RingSide::kInside);   // right arm
+  EXPECT_EQ(point_in_ring({3, 4}, u), RingSide::kOutside);  // notch
+  EXPECT_EQ(point_in_ring({3, 1}, u), RingSide::kInside);   // base
+}
+
+TEST(PointInRing, VertexRayGrazing) {
+  // Point level with a vertex: the half-open crossing rule must count each
+  // edge chain once.
+  const Ring diamond = {{0, -2}, {2, 0}, {0, 2}, {-2, 0}, {0, -2}};
+  EXPECT_EQ(point_in_ring({-1.0, 0.0}, diamond), RingSide::kInside);
+  EXPECT_EQ(point_in_ring({-3.0, 0.0}, diamond), RingSide::kOutside);
+  EXPECT_EQ(point_in_ring({3.0, 0.0}, diamond), RingSide::kOutside);
+}
+
+TEST(PointInPolygon, HoleSemantics) {
+  const Polygon poly{{{0, 0}, {10, 0}, {10, 10}, {0, 10}, {0, 0}},
+                     {{{3, 3}, {7, 3}, {7, 7}, {3, 7}, {3, 3}}}};
+  EXPECT_TRUE(point_in_polygon({1, 1}, poly));    // inside shell
+  EXPECT_FALSE(point_in_polygon({5, 5}, poly));   // inside hole
+  EXPECT_TRUE(point_in_polygon({3, 5}, poly));    // on hole boundary: covered
+  EXPECT_TRUE(point_in_polygon({0, 5}, poly));    // on shell boundary
+  EXPECT_FALSE(point_in_polygon({11, 5}, poly));  // outside
+}
+
+TEST(LinestringsIntersectNaive, CrossAndMiss) {
+  const LineString a{{{0, 0}, {5, 5}}};
+  const LineString b{{{0, 5}, {5, 0}}};
+  const LineString c{{{10, 10}, {11, 11}}};
+  EXPECT_TRUE(linestrings_intersect_naive(a, b));
+  EXPECT_FALSE(linestrings_intersect_naive(a, c));
+}
+
+TEST(PointToLinestring, MinOverSegments) {
+  const LineString l{{{0, 0}, {10, 0}, {10, 10}}};
+  EXPECT_DOUBLE_EQ(squared_distance_point_linestring({5, 3}, l), 9.0);
+  EXPECT_DOUBLE_EQ(squared_distance_point_linestring({12, 5}, l), 4.0);
+  EXPECT_EQ(squared_distance_point_linestring({10, 5}, l), 0.0);
+}
+
+// Property: pip via ray casting agrees with the winding obtained by testing
+// against a convex polygon analytically (half-plane checks).
+TEST(PointInRingProperty, ConvexPolygonAgreesWithHalfPlanes) {
+  Rng rng(31337);
+  // Regular octagon of radius 5 at origin.
+  Ring ring;
+  for (int i = 0; i < 8; ++i) {
+    const double a = i * 3.14159265358979 / 4.0;
+    ring.push_back({5 * std::cos(a), 5 * std::sin(a)});
+  }
+  ring.push_back(ring.front());
+
+  for (int trial = 0; trial < 5000; ++trial) {
+    const Coord p{rng.uniform(-7, 7), rng.uniform(-7, 7)};
+    bool inside_by_halfplanes = true;
+    bool on_boundary = false;
+    for (std::size_t i = 0; i + 1 < ring.size(); ++i) {
+      const double o = orientation(ring[i], ring[i + 1], p);
+      if (o < 0) inside_by_halfplanes = false;
+      if (o == 0 && point_on_segment(p, ring[i], ring[i + 1])) on_boundary = true;
+    }
+    const RingSide side = point_in_ring(p, ring);
+    if (on_boundary) {
+      EXPECT_EQ(side, RingSide::kBoundary);
+    } else if (inside_by_halfplanes) {
+      EXPECT_EQ(side, RingSide::kInside) << p.x << "," << p.y;
+    } else {
+      EXPECT_EQ(side, RingSide::kOutside) << p.x << "," << p.y;
+    }
+  }
+}
+
+// Property: segment intersection is symmetric in its arguments.
+TEST(SegmentsIntersectProperty, Symmetric) {
+  Rng rng(5150);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const auto c = [&rng] { return Coord{rng.uniform(-3, 3), rng.uniform(-3, 3)}; };
+    const Coord a1 = c(), a2 = c(), b1 = c(), b2 = c();
+    EXPECT_EQ(segments_intersect(a1, a2, b1, b2), segments_intersect(b1, b2, a1, a2));
+    EXPECT_EQ(segments_intersect(a1, a2, b1, b2), segments_intersect(a2, a1, b2, b1));
+  }
+}
+
+// Property: squared_distance_segments is 0 iff segments_intersect.
+TEST(SegmentDistanceProperty, ZeroIffIntersecting) {
+  Rng rng(8086);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const auto c = [&rng] { return Coord{rng.uniform(-3, 3), rng.uniform(-3, 3)}; };
+    const Coord a1 = c(), a2 = c(), b1 = c(), b2 = c();
+    const bool hit = segments_intersect(a1, a2, b1, b2);
+    const double d2 = squared_distance_segments(a1, a2, b1, b2);
+    EXPECT_EQ(hit, d2 == 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace sjc::geom

@@ -1,0 +1,83 @@
+// GeometryEngine facade tests: both engines expose identical semantics; the
+// bound-predicate path matches the one-shot path.
+#include <gtest/gtest.h>
+
+#include "geom/engine.hpp"
+#include "geom/predicates.hpp"
+#include "util/rng.hpp"
+
+namespace sjc::geom {
+namespace {
+
+Geometry census_blockish(Rng& rng) {
+  const Coord c{rng.uniform(-40, 40), rng.uniform(-40, 40)};
+  Ring ring;
+  const int n = 16;
+  for (int i = 0; i < n; ++i) {
+    const double a = i * 2.0 * 3.14159265358979 / n;
+    const double r = rng.uniform(4.0, 9.0);
+    ring.push_back({c.x + r * std::cos(a), c.y + r * std::sin(a)});
+  }
+  ring.push_back(ring.front());
+  return Geometry::polygon(std::move(ring));
+}
+
+TEST(Engine, SingletonsHaveDistinctKinds) {
+  EXPECT_EQ(GeometryEngine::simple().kind(), EngineKind::kSimple);
+  EXPECT_EQ(GeometryEngine::prepared().kind(), EngineKind::kPrepared);
+  EXPECT_EQ(&GeometryEngine::get(EngineKind::kSimple), &GeometryEngine::simple());
+  EXPECT_EQ(&GeometryEngine::get(EngineKind::kPrepared), &GeometryEngine::prepared());
+}
+
+TEST(Engine, NamesMentionTheAnalogs) {
+  EXPECT_NE(GeometryEngine::simple().name().find("geos"), std::string::npos);
+  EXPECT_NE(GeometryEngine::prepared().name().find("jts"), std::string::npos);
+}
+
+TEST(Engine, EnginesAgreeOnRandomPredicates) {
+  Rng rng(314);
+  const auto& simple = GeometryEngine::simple();
+  const auto& prepared = GeometryEngine::prepared();
+  for (int trial = 0; trial < 500; ++trial) {
+    const Geometry poly = census_blockish(rng);
+    const Geometry p = Geometry::point(rng.uniform(-50, 50), rng.uniform(-50, 50));
+    EXPECT_EQ(simple.intersects(poly, p), prepared.intersects(poly, p));
+    EXPECT_EQ(simple.contains(poly, p), prepared.contains(poly, p));
+    EXPECT_NEAR(simple.distance(poly, p), prepared.distance(poly, p), 1e-9);
+  }
+}
+
+TEST(Engine, BoundPredicateMatchesOneShot) {
+  Rng rng(217);
+  const auto& prepared = GeometryEngine::prepared();
+  const Geometry poly = census_blockish(rng);
+  const auto bound = prepared.bind(poly);
+  EXPECT_TRUE(&bound->anchor() == &poly || bound->anchor() == poly);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Geometry p = Geometry::point(rng.uniform(-50, 50), rng.uniform(-50, 50));
+    EXPECT_EQ(bound->intersects(p), prepared.intersects(poly, p));
+    EXPECT_EQ(bound->contains(p), prepared.contains(poly, p));
+    EXPECT_NEAR(bound->distance(p), prepared.distance(poly, p), 1e-9);
+  }
+}
+
+TEST(Engine, WithinDistanceUsesEnvelopeEarlyOut) {
+  const Geometry poly = Geometry::polygon({{0, 0}, {4, 0}, {4, 4}, {0, 4}, {0, 0}});
+  const auto bound = GeometryEngine::prepared().bind(poly);
+  EXPECT_TRUE(bound->within_distance(Geometry::point(7, 2), 3.0));
+  EXPECT_FALSE(bound->within_distance(Geometry::point(7, 2), 2.9));
+  EXPECT_FALSE(bound->within_distance(Geometry::point(1000, 1000), 10.0));
+}
+
+TEST(Engine, SimpleBindHasNoPreparationSideEffects) {
+  // Binding on the simple engine returns a thin wrapper; answers must equal
+  // the naive free functions.
+  const Geometry poly = Geometry::polygon({{0, 0}, {4, 0}, {4, 4}, {0, 4}, {0, 0}});
+  const auto bound = GeometryEngine::simple().bind(poly);
+  const Geometry probe = Geometry::point(2, 2);
+  EXPECT_EQ(bound->intersects(probe), intersects_naive(poly, probe));
+  EXPECT_EQ(bound->contains(probe), contains_naive(poly, probe));
+}
+
+}  // namespace
+}  // namespace sjc::geom

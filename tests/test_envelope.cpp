@@ -1,0 +1,160 @@
+// Unit + property tests for Envelope, the MBR workhorse of every filter
+// phase.
+#include <gtest/gtest.h>
+
+#include "geom/envelope.hpp"
+#include "util/rng.hpp"
+
+namespace sjc::geom {
+namespace {
+
+TEST(Envelope, DefaultIsEmpty) {
+  Envelope e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.width(), 0.0);
+  EXPECT_EQ(e.height(), 0.0);
+  EXPECT_EQ(e.area(), 0.0);
+}
+
+TEST(Envelope, EmptyNeverIntersects) {
+  Envelope empty;
+  const Envelope unit(0, 0, 1, 1);
+  EXPECT_FALSE(empty.intersects(unit));
+  EXPECT_FALSE(unit.intersects(empty));
+  EXPECT_FALSE(empty.contains(0.5, 0.5));
+}
+
+TEST(Envelope, ExpandToIncludePoint) {
+  Envelope e;
+  e.expand_to_include(3.0, -2.0);
+  EXPECT_FALSE(e.empty());
+  EXPECT_EQ(e.min_x(), 3.0);
+  EXPECT_EQ(e.max_x(), 3.0);
+  EXPECT_EQ(e.min_y(), -2.0);
+  e.expand_to_include(-1.0, 5.0);
+  EXPECT_EQ(e.min_x(), -1.0);
+  EXPECT_EQ(e.max_y(), 5.0);
+}
+
+TEST(Envelope, ContainsIsInclusive) {
+  const Envelope e(0, 0, 2, 2);
+  EXPECT_TRUE(e.contains(0.0, 0.0));
+  EXPECT_TRUE(e.contains(2.0, 2.0));
+  EXPECT_TRUE(e.contains(1.0, 1.0));
+  EXPECT_FALSE(e.contains(2.0001, 1.0));
+}
+
+TEST(Envelope, IntersectsIsInclusiveOnEdges) {
+  const Envelope a(0, 0, 1, 1);
+  const Envelope b(1, 1, 2, 2);  // corner touch
+  EXPECT_TRUE(a.intersects(b));
+  const Envelope c(1, 0, 2, 1);  // edge touch
+  EXPECT_TRUE(a.intersects(c));
+  const Envelope d(1.001, 0, 2, 1);
+  EXPECT_FALSE(a.intersects(d));
+}
+
+TEST(Envelope, IntersectionOfDisjointIsEmpty) {
+  const Envelope a(0, 0, 1, 1);
+  const Envelope b(5, 5, 6, 6);
+  EXPECT_TRUE(a.intersection(b).empty());
+}
+
+TEST(Envelope, IntersectionOfOverlapping) {
+  const Envelope a(0, 0, 2, 2);
+  const Envelope b(1, 1, 3, 3);
+  const Envelope i = a.intersection(b);
+  EXPECT_EQ(i, Envelope(1, 1, 2, 2));
+}
+
+TEST(Envelope, MergedCoversBoth) {
+  const Envelope a(0, 0, 1, 1);
+  const Envelope b(5, -1, 6, 0.5);
+  const Envelope m = a.merged(b);
+  EXPECT_TRUE(m.contains(a));
+  EXPECT_TRUE(m.contains(b));
+}
+
+TEST(Envelope, DistanceZeroWhenIntersecting) {
+  const Envelope a(0, 0, 2, 2);
+  const Envelope b(1, 1, 3, 3);
+  EXPECT_EQ(a.distance(b), 0.0);
+}
+
+TEST(Envelope, DistanceAxisAligned) {
+  const Envelope a(0, 0, 1, 1);
+  const Envelope b(3, 0, 4, 1);
+  EXPECT_DOUBLE_EQ(a.distance(b), 2.0);
+}
+
+TEST(Envelope, DistanceDiagonal) {
+  const Envelope a(0, 0, 1, 1);
+  const Envelope b(4, 5, 6, 7);
+  EXPECT_DOUBLE_EQ(a.distance(b), 5.0);  // 3-4-5 triangle
+}
+
+TEST(Envelope, ExpandedByGrowsAllSides) {
+  const Envelope e(0, 0, 1, 1);
+  const Envelope g = e.expanded_by(0.5);
+  EXPECT_EQ(g, Envelope(-0.5, -0.5, 1.5, 1.5));
+}
+
+TEST(Envelope, MarginIsHalfPerimeter) {
+  const Envelope e(0, 0, 3, 4);
+  EXPECT_DOUBLE_EQ(e.margin(), 7.0);
+}
+
+TEST(Envelope, CenterOfPointEnvelope) {
+  const Envelope e = Envelope::of_point(2.0, -3.0);
+  EXPECT_EQ(e.center_x(), 2.0);
+  EXPECT_EQ(e.center_y(), -3.0);
+  EXPECT_FALSE(e.empty());
+  EXPECT_EQ(e.area(), 0.0);
+}
+
+// Property: intersects is symmetric and consistent with intersection().
+TEST(EnvelopeProperty, IntersectsSymmetricAndConsistent) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto random_env = [&rng] {
+      const double x1 = rng.uniform(-10, 10);
+      const double x2 = rng.uniform(-10, 10);
+      const double y1 = rng.uniform(-10, 10);
+      const double y2 = rng.uniform(-10, 10);
+      return Envelope(std::min(x1, x2), std::min(y1, y2), std::max(x1, x2),
+                      std::max(y1, y2));
+    };
+    const Envelope a = random_env();
+    const Envelope b = random_env();
+    EXPECT_EQ(a.intersects(b), b.intersects(a));
+    // Touching envelopes intersect with a degenerate (zero-area, non-empty)
+    // intersection.
+    EXPECT_EQ(a.intersects(b), !a.intersection(b).empty());
+    if (a.intersects(b)) {
+      EXPECT_TRUE(a.contains(a.intersection(b)));
+      EXPECT_TRUE(b.contains(a.intersection(b)));
+      EXPECT_EQ(a.distance(b), 0.0);
+    } else {
+      EXPECT_GT(a.distance(b), 0.0);
+    }
+  }
+}
+
+// Property: merged envelope is the smallest envelope containing both.
+TEST(EnvelopeProperty, MergedIsTight) {
+  Rng rng(77);
+  for (int trial = 0; trial < 1000; ++trial) {
+    Envelope a(rng.uniform(-5, 0), rng.uniform(-5, 0), rng.uniform(0, 5),
+               rng.uniform(0, 5));
+    Envelope b(rng.uniform(-5, 0), rng.uniform(-5, 0), rng.uniform(0, 5),
+               rng.uniform(0, 5));
+    const Envelope m = a.merged(b);
+    EXPECT_EQ(m.min_x(), std::min(a.min_x(), b.min_x()));
+    EXPECT_EQ(m.max_x(), std::max(a.max_x(), b.max_x()));
+    EXPECT_EQ(m.min_y(), std::min(a.min_y(), b.min_y()));
+    EXPECT_EQ(m.max_y(), std::max(a.max_y(), b.max_y()));
+  }
+}
+
+}  // namespace
+}  // namespace sjc::geom

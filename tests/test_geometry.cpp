@@ -1,0 +1,143 @@
+// Unit tests for geometry value types: construction, validation, envelopes,
+// coordinate counting and equality.
+#include <gtest/gtest.h>
+
+#include "geom/geometry.hpp"
+#include "util/status.hpp"
+
+namespace sjc::geom {
+namespace {
+
+Ring unit_square_ring() {
+  return {{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0, 0}};
+}
+
+TEST(Geometry, PointBasics) {
+  const Geometry p = Geometry::point(3.0, -4.0);
+  EXPECT_EQ(p.type(), GeomType::kPoint);
+  EXPECT_EQ(p.as_point().x, 3.0);
+  EXPECT_EQ(p.as_point().y, -4.0);
+  EXPECT_EQ(p.num_coords(), 1u);
+  EXPECT_EQ(p.envelope(), Envelope::of_point(3.0, -4.0));
+  EXPECT_FALSE(p.is_areal());
+}
+
+TEST(Geometry, LineStringBasics) {
+  const Geometry l = Geometry::line_string({{0, 0}, {2, 0}, {2, 3}});
+  EXPECT_EQ(l.type(), GeomType::kLineString);
+  EXPECT_EQ(l.num_coords(), 3u);
+  EXPECT_EQ(l.envelope(), Envelope(0, 0, 2, 3));
+}
+
+TEST(Geometry, LineStringNeedsTwoPoints) {
+  EXPECT_THROW(Geometry::line_string({{0, 0}}), InvalidArgument);
+  EXPECT_THROW(Geometry::line_string({}), InvalidArgument);
+}
+
+TEST(Geometry, PolygonBasics) {
+  const Geometry poly = Geometry::polygon(unit_square_ring());
+  EXPECT_EQ(poly.type(), GeomType::kPolygon);
+  EXPECT_EQ(poly.num_coords(), 5u);
+  EXPECT_EQ(poly.envelope(), Envelope(0, 0, 1, 1));
+  EXPECT_TRUE(poly.is_areal());
+}
+
+TEST(Geometry, PolygonWithHoleCountsAllCoords) {
+  Ring hole = {{0.25, 0.25}, {0.75, 0.25}, {0.75, 0.75}, {0.25, 0.75}, {0.25, 0.25}};
+  const Geometry poly = Geometry::polygon(unit_square_ring(), {hole});
+  EXPECT_EQ(poly.num_coords(), 10u);
+  EXPECT_EQ(poly.as_polygon().holes.size(), 1u);
+}
+
+TEST(Geometry, PolygonRejectsOpenRing) {
+  Ring open = {{0, 0}, {1, 0}, {1, 1}, {0, 1}};  // not closed
+  EXPECT_THROW(Geometry::polygon(std::move(open)), InvalidArgument);
+}
+
+TEST(Geometry, PolygonRejectsTinyRing) {
+  Ring tiny = {{0, 0}, {1, 0}, {0, 0}};
+  EXPECT_THROW(Geometry::polygon(std::move(tiny)), InvalidArgument);
+}
+
+TEST(Geometry, PolygonRejectsBadHole) {
+  Ring bad_hole = {{0.2, 0.2}, {0.4, 0.2}, {0.4, 0.4}, {0.2, 0.4}};  // open
+  EXPECT_THROW(Geometry::polygon(unit_square_ring(), {bad_hole}), InvalidArgument);
+}
+
+TEST(Geometry, MultiLineString) {
+  const Geometry m = Geometry::multi_line_string(
+      {LineString{{{0, 0}, {1, 1}}}, LineString{{{5, 5}, {6, 5}, {7, 5}}}});
+  EXPECT_EQ(m.type(), GeomType::kMultiLineString);
+  EXPECT_EQ(m.num_coords(), 5u);
+  EXPECT_EQ(m.envelope(), Envelope(0, 0, 7, 5));
+}
+
+TEST(Geometry, MultiLineStringRejectsEmpty) {
+  EXPECT_THROW(Geometry::multi_line_string({}), InvalidArgument);
+}
+
+TEST(Geometry, MultiPolygon) {
+  Polygon a{unit_square_ring(), {}};
+  Polygon b{{{3, 3}, {4, 3}, {4, 4}, {3, 4}, {3, 3}}, {}};
+  const Geometry m = Geometry::multi_polygon({a, b});
+  EXPECT_EQ(m.type(), GeomType::kMultiPolygon);
+  EXPECT_EQ(m.num_coords(), 10u);
+  EXPECT_EQ(m.envelope(), Envelope(0, 0, 4, 4));
+  EXPECT_TRUE(m.is_areal());
+}
+
+TEST(Geometry, MultiPolygonRejectsEmpty) {
+  EXPECT_THROW(Geometry::multi_polygon({}), InvalidArgument);
+}
+
+TEST(Geometry, EqualityIsStructural) {
+  const Geometry a = Geometry::line_string({{0, 0}, {1, 1}});
+  const Geometry b = Geometry::line_string({{0, 0}, {1, 1}});
+  const Geometry c = Geometry::line_string({{0, 0}, {1, 2}});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == Geometry::point(0, 0));
+}
+
+TEST(Geometry, WrongAccessorThrows) {
+  const Geometry p = Geometry::point(0, 0);
+  EXPECT_THROW(p.as_polygon(), InvalidArgument);
+  EXPECT_THROW(p.as_line_string(), InvalidArgument);
+  const Geometry poly = Geometry::polygon(unit_square_ring());
+  EXPECT_THROW(poly.as_point(), InvalidArgument);
+}
+
+TEST(Geometry, SizeBytesGrowsWithCoords) {
+  const Geometry small = Geometry::line_string({{0, 0}, {1, 1}});
+  std::vector<Coord> many;
+  for (int i = 0; i < 100; ++i) many.push_back({static_cast<double>(i), 0.0});
+  const Geometry big = Geometry::line_string(std::move(many));
+  EXPECT_GT(big.size_bytes(), small.size_bytes());
+  EXPECT_EQ(big.size_bytes() - small.size_bytes(), 98 * sizeof(Coord));
+}
+
+TEST(Geometry, RingSignedAreaOrientation) {
+  EXPECT_GT(ring_signed_area(unit_square_ring()), 0.0);  // CCW
+  Ring cw = unit_square_ring();
+  std::reverse(cw.begin(), cw.end());
+  EXPECT_LT(ring_signed_area(cw), 0.0);
+  EXPECT_DOUBLE_EQ(ring_signed_area(unit_square_ring()), 1.0);
+}
+
+TEST(Geometry, PolygonEnvelopeIgnoresHoles) {
+  // The shell bounds the holes; the envelope must equal the shell's bounds.
+  Ring hole = {{0.4, 0.4}, {0.6, 0.4}, {0.6, 0.6}, {0.4, 0.6}, {0.4, 0.4}};
+  const Geometry poly = Geometry::polygon(unit_square_ring(), {hole});
+  EXPECT_EQ(poly.envelope(), Envelope(0, 0, 1, 1));
+}
+
+TEST(Feature, DefaultAndAssignment) {
+  Feature f;
+  EXPECT_EQ(f.id, 0u);
+  f.id = 42;
+  f.geometry = Geometry::point(1, 2);
+  EXPECT_EQ(f.geometry.as_point().x, 1.0);
+}
+
+}  // namespace
+}  // namespace sjc::geom

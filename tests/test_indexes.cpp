@@ -1,0 +1,266 @@
+// Tests for the spatial index structures (STR tree, dynamic R-tree, grid,
+// quadtree): unit cases plus a shared property harness checking every index
+// against brute force on randomized workloads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "index/grid_index.hpp"
+#include "util/status.hpp"
+#include "index/quadtree.hpp"
+#include "index/rtree_dynamic.hpp"
+#include "index/str_tree.hpp"
+#include "util/rng.hpp"
+
+namespace sjc::index {
+namespace {
+
+std::vector<IndexEntry> random_entries(Rng& rng, std::size_t n, double extent,
+                                       double max_size) {
+  std::vector<IndexEntry> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(0, extent);
+    const double y = rng.uniform(0, extent);
+    const double w = rng.uniform(0, max_size);
+    const double h = rng.uniform(0, max_size);
+    out.push_back({geom::Envelope(x, y, x + w, y + h), i});
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> brute_force(const std::vector<IndexEntry>& entries,
+                                       const geom::Envelope& q) {
+  std::vector<std::uint32_t> out;
+  for (const auto& e : entries) {
+    if (e.env.intersects(q)) out.push_back(e.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// STR tree unit tests
+// ---------------------------------------------------------------------------
+
+TEST(StrTree, EmptyTree) {
+  const StrTree tree({});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.query_ids(geom::Envelope(0, 0, 1, 1)).empty());
+}
+
+TEST(StrTree, SingleEntry) {
+  const StrTree tree({{geom::Envelope(1, 1, 2, 2), 7}});
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.height(), 1u);
+  EXPECT_EQ(tree.query_ids(geom::Envelope(0, 0, 3, 3)), std::vector<std::uint32_t>{7});
+  EXPECT_TRUE(tree.query_ids(geom::Envelope(5, 5, 6, 6)).empty());
+}
+
+TEST(StrTree, BoundsCoverAllEntries) {
+  Rng rng(1);
+  const auto entries = random_entries(rng, 500, 100, 5);
+  const StrTree tree(entries);
+  for (const auto& e : entries) {
+    EXPECT_TRUE(tree.bounds().contains(e.env));
+  }
+}
+
+TEST(StrTree, HeightGrowsLogarithmically) {
+  Rng rng(2);
+  const StrTree small(random_entries(rng, 10, 100, 1));
+  const StrTree large(random_entries(rng, 10000, 100, 1));
+  EXPECT_LE(small.height(), 2u);
+  EXPECT_LE(large.height(), 5u);
+  EXPECT_GT(large.height(), small.height());
+}
+
+TEST(StrTree, RejectsTinyFanout) {
+  EXPECT_THROW(StrTree({}, 1), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic R-tree unit tests
+// ---------------------------------------------------------------------------
+
+TEST(DynamicRTree, EmptyTree) {
+  const DynamicRTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.query_ids(geom::Envelope(0, 0, 1, 1)).empty());
+}
+
+TEST(DynamicRTree, InsertAndQuery) {
+  DynamicRTree tree;
+  tree.insert(geom::Envelope(0, 0, 1, 1), 1);
+  tree.insert(geom::Envelope(5, 5, 6, 6), 2);
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_EQ(tree.query_ids(geom::Envelope(0.5, 0.5, 0.6, 0.6)),
+            std::vector<std::uint32_t>{1});
+}
+
+TEST(DynamicRTree, SplitsKeepAllEntries) {
+  DynamicRTree tree(8);
+  Rng rng(3);
+  const auto entries = random_entries(rng, 1000, 50, 2);
+  for (const auto& e : entries) tree.insert(e.env, e.id);
+  EXPECT_EQ(tree.size(), 1000u);
+  EXPECT_GT(tree.height(), 1u);
+  // Whole-extent query returns everything exactly once.
+  auto all = tree.query_ids(tree.bounds());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all.size(), 1000u);
+  EXPECT_EQ(all.front(), 0u);
+  EXPECT_EQ(all.back(), 999u);
+}
+
+TEST(DynamicRTree, RejectsTinyNodeCapacity) {
+  EXPECT_THROW(DynamicRTree(3), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Grid index unit tests
+// ---------------------------------------------------------------------------
+
+TEST(GridIndex, DeduplicatesSpanningEntries) {
+  // One big envelope covering many cells must be reported once.
+  std::vector<IndexEntry> entries = {{geom::Envelope(0, 0, 99, 99), 0}};
+  for (std::uint32_t i = 1; i < 50; ++i) {
+    entries.push_back({geom::Envelope(i, i, i + 0.5, i + 0.5), i});
+  }
+  const GridIndex grid(entries, 8, 8);
+  int count = 0;
+  grid.query(geom::Envelope(0, 0, 99, 99), [&](std::uint32_t) { ++count; });
+  EXPECT_EQ(count, 50);
+}
+
+TEST(GridIndex, TargetOccupancyPicksReasonableGrid) {
+  Rng rng(4);
+  const GridIndex grid =
+      GridIndex::with_target_occupancy(random_entries(rng, 640, 100, 1), 10.0);
+  EXPECT_GE(grid.cols() * grid.rows(), 32u);
+}
+
+TEST(GridIndex, RejectsZeroDimensions) {
+  EXPECT_THROW(GridIndex({}, 0, 4), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Quadtree unit tests
+// ---------------------------------------------------------------------------
+
+TEST(Quadtree, EmptyTree) {
+  const Quadtree tree({}, geom::Envelope(0, 0, 1, 1));
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.query_ids(geom::Envelope(0, 0, 1, 1)).empty());
+}
+
+TEST(Quadtree, SubdividesUnderLoad) {
+  Rng rng(5);
+  const Quadtree tree(random_entries(rng, 2000, 100, 0.5), geom::Envelope(0, 0, 100, 100),
+                      8);
+  EXPECT_GT(tree.node_count(), 5u);
+  EXPECT_EQ(tree.size(), 2000u);
+}
+
+TEST(Quadtree, StraddlingEntriesPinnedNotLost) {
+  std::vector<IndexEntry> entries;
+  // Entry crossing the root center line can never sink into a child.
+  entries.push_back({geom::Envelope(49, 49, 51, 51), 0});
+  for (std::uint32_t i = 1; i < 100; ++i) {
+    entries.push_back({geom::Envelope(i * 0.5, 1, i * 0.5 + 0.2, 1.2), i});
+  }
+  const Quadtree tree(entries, geom::Envelope(0, 0, 100, 100), 4);
+  const auto hits = tree.query_ids(geom::Envelope(50, 50, 50.5, 50.5));
+  EXPECT_EQ(hits, std::vector<std::uint32_t>{0});
+}
+
+// ---------------------------------------------------------------------------
+// Property: every index answers exactly like brute force.
+// ---------------------------------------------------------------------------
+
+struct IndexCase {
+  const char* name;
+  std::function<std::unique_ptr<SpatialIndex>(std::vector<IndexEntry>)> build;
+};
+
+class IndexEquivalence : public ::testing::TestWithParam<IndexCase> {};
+
+TEST_P(IndexEquivalence, MatchesBruteForceOnRandomWorkloads) {
+  Rng rng(0xfeed);
+  for (const std::size_t n : {0ULL, 1ULL, 7ULL, 100ULL, 2000ULL}) {
+    const auto entries = random_entries(rng, n, 100, 4);
+    const auto idx = GetParam().build(entries);
+    EXPECT_EQ(idx->size(), n);
+    for (int q = 0; q < 100; ++q) {
+      const double x = rng.uniform(-10, 110);
+      const double y = rng.uniform(-10, 110);
+      const geom::Envelope query(x, y, x + rng.uniform(0, 30), y + rng.uniform(0, 30));
+      auto got = idx->query_ids(query);
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, brute_force(entries, query)) << GetParam().name << " n=" << n;
+    }
+  }
+}
+
+TEST_P(IndexEquivalence, PointQueries) {
+  Rng rng(0xbeef);
+  const auto entries = random_entries(rng, 500, 50, 3);
+  const auto idx = GetParam().build(entries);
+  for (int q = 0; q < 200; ++q) {
+    const geom::Envelope query =
+        geom::Envelope::of_point(rng.uniform(0, 55), rng.uniform(0, 55));
+    auto got = idx->query_ids(query);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, brute_force(entries, query));
+  }
+}
+
+TEST_P(IndexEquivalence, ReportsPositiveSizeBytes) {
+  Rng rng(7);
+  const auto idx = GetParam().build(random_entries(rng, 100, 10, 1));
+  EXPECT_GT(idx->size_bytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexes, IndexEquivalence,
+    ::testing::Values(
+        IndexCase{"str",
+                  [](std::vector<IndexEntry> e) -> std::unique_ptr<SpatialIndex> {
+                    return std::make_unique<StrTree>(std::move(e));
+                  }},
+        IndexCase{"str_fanout4",
+                  [](std::vector<IndexEntry> e) -> std::unique_ptr<SpatialIndex> {
+                    return std::make_unique<StrTree>(std::move(e), 4);
+                  }},
+        IndexCase{"dynamic_rtree",
+                  [](std::vector<IndexEntry> e) -> std::unique_ptr<SpatialIndex> {
+                    auto tree = std::make_unique<DynamicRTree>();
+                    for (const auto& entry : e) tree->insert(entry.env, entry.id);
+                    return tree;
+                  }},
+        IndexCase{"dynamic_rtree_cap8",
+                  [](std::vector<IndexEntry> e) -> std::unique_ptr<SpatialIndex> {
+                    auto tree = std::make_unique<DynamicRTree>(8);
+                    for (const auto& entry : e) tree->insert(entry.env, entry.id);
+                    return tree;
+                  }},
+        IndexCase{"grid",
+                  [](std::vector<IndexEntry> e) -> std::unique_ptr<SpatialIndex> {
+                    return std::make_unique<GridIndex>(std::move(e), 16, 16);
+                  }},
+        IndexCase{"grid_occupancy",
+                  [](std::vector<IndexEntry> e) -> std::unique_ptr<SpatialIndex> {
+                    return std::make_unique<GridIndex>(
+                        GridIndex::with_target_occupancy(std::move(e)));
+                  }},
+        IndexCase{"quadtree",
+                  [](std::vector<IndexEntry> e) -> std::unique_ptr<SpatialIndex> {
+                    return std::make_unique<Quadtree>(std::move(e),
+                                                      geom::Envelope(0, 0, 100, 100));
+                  }}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+}  // namespace
+}  // namespace sjc::index

@@ -1,0 +1,187 @@
+// Tests for the shared local-join (filter + refine) building block and the
+// reference-point duplicate-avoidance machinery.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/local_join.hpp"
+#include "util/rng.hpp"
+
+namespace sjc::core {
+namespace {
+
+std::vector<geom::Feature> point_features(const std::vector<geom::Coord>& coords,
+                                          std::uint64_t base_id = 0) {
+  std::vector<geom::Feature> out;
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    out.push_back({base_id + i, geom::Geometry::point(coords[i].x, coords[i].y)});
+  }
+  return out;
+}
+
+TEST(ReferencePoint, TopLeftOfIntersection) {
+  const geom::Envelope a(0, 0, 4, 4);
+  const geom::Envelope b(2, 1, 6, 5);
+  const geom::Coord p = reference_point(a, b);
+  EXPECT_EQ(p.x, 2.0);
+  EXPECT_EQ(p.y, 1.0);
+  // Symmetric.
+  const geom::Coord q = reference_point(b, a);
+  EXPECT_EQ(q.x, p.x);
+  EXPECT_EQ(q.y, p.y);
+}
+
+TEST(EvaluatePredicate, AllThreePredicates) {
+  const auto& engine = geom::GeometryEngine::prepared();
+  const geom::Geometry poly =
+      geom::Geometry::polygon({{0, 0}, {4, 0}, {4, 4}, {0, 4}, {0, 0}});
+  const geom::Geometry inside = geom::Geometry::point(2, 2);
+  const geom::Geometry outside = geom::Geometry::point(7, 2);
+  EXPECT_TRUE(evaluate_predicate(engine, JoinPredicate::kIntersects, 0, inside, poly));
+  EXPECT_TRUE(evaluate_predicate(engine, JoinPredicate::kWithin, 0, inside, poly));
+  EXPECT_FALSE(evaluate_predicate(engine, JoinPredicate::kWithin, 0, outside, poly));
+  EXPECT_TRUE(
+      evaluate_predicate(engine, JoinPredicate::kWithinDistance, 3.0, outside, poly));
+  EXPECT_FALSE(
+      evaluate_predicate(engine, JoinPredicate::kWithinDistance, 2.0, outside, poly));
+}
+
+TEST(LocalJoin, EmptySidesProduceNothing) {
+  LocalJoinSpec spec;
+  std::vector<JoinPair> out;
+  run_local_join({}, {}, spec, nullptr, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(LocalJoin, PointInPolygonPairs) {
+  const auto left = point_features({{1, 1}, {5, 5}, {2, 3}});
+  std::vector<geom::Feature> right = {
+      {100, geom::Geometry::polygon({{0, 0}, {4, 0}, {4, 4}, {0, 4}, {0, 0}})}};
+  LocalJoinSpec spec;
+  spec.predicate = JoinPredicate::kWithin;
+  std::vector<JoinPair> out;
+  run_local_join(left, right, spec, nullptr, out);
+  std::set<JoinPair> got(out.begin(), out.end());
+  EXPECT_EQ(got, (std::set<JoinPair>{{0, 100}, {2, 100}}));
+}
+
+TEST(LocalJoin, EnginesProduceIdenticalPairs) {
+  Rng rng(99);
+  std::vector<geom::Feature> left;
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    left.push_back({i, geom::Geometry::point(rng.uniform(0, 50), rng.uniform(0, 50))});
+  }
+  std::vector<geom::Feature> right;
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    const double x = rng.uniform(0, 45);
+    const double y = rng.uniform(0, 45);
+    right.push_back({i, geom::Geometry::polygon({{x, y}, {x + 5, y}, {x + 5, y + 5},
+                                                 {x, y + 5}, {x, y}})});
+  }
+  const auto run_with = [&](const geom::GeometryEngine& engine) {
+    LocalJoinSpec spec;
+    spec.engine = &engine;
+    spec.predicate = JoinPredicate::kWithin;
+    std::vector<JoinPair> out;
+    run_local_join(left, right, spec, nullptr, out);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(run_with(geom::GeometryEngine::simple()),
+            run_with(geom::GeometryEngine::prepared()));
+}
+
+TEST(LocalJoin, AllAlgorithmsProduceIdenticalPairs) {
+  Rng rng(7);
+  std::vector<geom::Feature> left;
+  std::vector<geom::Feature> right;
+  for (std::uint64_t i = 0; i < 150; ++i) {
+    const double x = rng.uniform(0, 30);
+    const double y = rng.uniform(0, 30);
+    left.push_back({i, geom::Geometry::line_string({{x, y}, {x + 2, y + 2}})});
+    const double u = rng.uniform(0, 30);
+    const double v = rng.uniform(0, 30);
+    right.push_back({i, geom::Geometry::line_string({{u, v + 2}, {u + 2, v}})});
+  }
+  std::vector<std::vector<JoinPair>> results;
+  for (const auto algo :
+       {index::LocalJoinAlgorithm::kPlaneSweep, index::LocalJoinAlgorithm::kSyncTraversal,
+        index::LocalJoinAlgorithm::kIndexedNestedLoop,
+        index::LocalJoinAlgorithm::kIndexedNestedLoopDynamic,
+        index::LocalJoinAlgorithm::kNestedLoop}) {
+    LocalJoinSpec spec;
+    spec.algorithm = algo;
+    std::vector<JoinPair> out;
+    run_local_join(left, right, spec, nullptr, out);
+    std::sort(out.begin(), out.end());
+    results.push_back(std::move(out));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], results[0]);
+  }
+  EXPECT_GT(results[0].size(), 0u);
+}
+
+TEST(LocalJoin, AcceptFilterDropsPairs) {
+  const auto left = point_features({{1, 1}, {2, 2}});
+  std::vector<geom::Feature> right = {
+      {9, geom::Geometry::polygon({{0, 0}, {4, 0}, {4, 4}, {0, 4}, {0, 0}})}};
+  LocalJoinSpec spec;
+  spec.predicate = JoinPredicate::kWithin;
+  std::vector<JoinPair> out;
+  run_local_join(left, right, spec,
+                 [](const geom::Envelope& le, const geom::Envelope&) {
+                   return le.min_x() > 1.5;  // keep only the (2,2) point
+                 },
+                 out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].left_id, 1u);
+}
+
+TEST(LocalJoin, WithinDistancePredicate) {
+  const auto left = point_features({{0, 0}, {0, 10}});
+  std::vector<geom::Feature> right = {
+      {5, geom::Geometry::line_string({{3, -5}, {3, 5}})}};
+  LocalJoinSpec spec;
+  spec.predicate = JoinPredicate::kWithinDistance;
+  spec.within_distance = 4.0;
+  std::vector<JoinPair> out;
+  run_local_join(left, right, spec, nullptr, out);
+  // (0,0) is 3 away from the line; (0,10) is ~5.8 away.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].left_id, 0u);
+}
+
+TEST(HashPairs, OrderIndependentAndMultisetSensitive) {
+  const std::vector<JoinPair> a = {{1, 2}, {3, 4}};
+  const std::vector<JoinPair> b = {{3, 4}, {1, 2}};
+  const std::vector<JoinPair> c = {{1, 2}};
+  const std::vector<JoinPair> d = {{1, 2}, {3, 5}};
+  EXPECT_EQ(hash_pairs_unordered(a), hash_pairs_unordered(b));
+  EXPECT_NE(hash_pairs_unordered(a), hash_pairs_unordered(c));
+  EXPECT_NE(hash_pairs_unordered(a), hash_pairs_unordered(d));
+  EXPECT_EQ(hash_pairs_unordered({}), 0u);
+}
+
+TEST(Config, EffectiveTargetPartitions) {
+  JoinQueryConfig query;
+  const auto ws = cluster::ClusterSpec::workstation();
+  EXPECT_EQ(effective_target_partitions(query, ws), 128u);
+  query.target_partitions = 42;
+  EXPECT_EQ(effective_target_partitions(query, ws), 42u);
+  query.target_partitions = 0;
+  const auto big = cluster::ClusterSpec::ec2(12);  // 96 slots -> 192 cells
+  EXPECT_EQ(effective_target_partitions(query, big), 192u);
+}
+
+TEST(Config, EffectiveSampleRateFloors) {
+  EXPECT_DOUBLE_EQ(effective_sample_rate(0.01, 1000000, 128), 0.01);
+  EXPECT_DOUBLE_EQ(effective_sample_rate(0.01, 40, 128), 1.0);
+  EXPECT_DOUBLE_EQ(effective_sample_rate(0.5, 40, 128), 1.0);
+  EXPECT_DOUBLE_EQ(effective_sample_rate(0.01, 0, 128), 1.0);
+  // Floor = 4 * cells / size.
+  EXPECT_DOUBLE_EQ(effective_sample_rate(0.0, 1024, 128), 0.5);
+}
+
+}  // namespace
+}  // namespace sjc::core

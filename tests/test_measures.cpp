@@ -1,0 +1,120 @@
+// Tests for geometric measures (length, area, centroid).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/measures.hpp"
+#include "util/rng.hpp"
+
+namespace sjc::geom {
+namespace {
+
+Geometry square(double side, double x0 = 0, double y0 = 0) {
+  return Geometry::polygon(
+      {{x0, y0}, {x0 + side, y0}, {x0 + side, y0 + side}, {x0, y0 + side}, {x0, y0}});
+}
+
+TEST(Measures, PointHasNoExtent) {
+  const Geometry p = Geometry::point(3, 4);
+  EXPECT_EQ(length(p), 0.0);
+  EXPECT_EQ(area(p), 0.0);
+  EXPECT_EQ(centroid(p).x, 3.0);
+  EXPECT_EQ(centroid(p).y, 4.0);
+}
+
+TEST(Measures, LineLengthAndCentroid) {
+  const Geometry l = Geometry::line_string({{0, 0}, {3, 4}, {3, 10}});
+  EXPECT_DOUBLE_EQ(length(l), 11.0);  // 5 + 6
+  EXPECT_EQ(area(l), 0.0);
+  // Length-weighted midpoint: seg1 mid (1.5, 2) w=5, seg2 mid (3, 7) w=6.
+  const Coord c = centroid(l);
+  EXPECT_NEAR(c.x, (1.5 * 5 + 3 * 6) / 11.0, 1e-12);
+  EXPECT_NEAR(c.y, (2.0 * 5 + 7 * 6) / 11.0, 1e-12);
+}
+
+TEST(Measures, SquareAreaPerimeterCentroid) {
+  const Geometry s = square(4);
+  EXPECT_DOUBLE_EQ(area(s), 16.0);
+  EXPECT_DOUBLE_EQ(length(s), 16.0);  // perimeter
+  EXPECT_NEAR(centroid(s).x, 2.0, 1e-12);
+  EXPECT_NEAR(centroid(s).y, 2.0, 1e-12);
+}
+
+TEST(Measures, HoleSubtractsAreaAndShiftsCentroid) {
+  const Geometry donut = Geometry::polygon(
+      {{0, 0}, {10, 0}, {10, 10}, {0, 10}, {0, 0}},
+      {{{1, 1}, {4, 1}, {4, 4}, {1, 4}, {1, 1}}});  // 3x3 hole near a corner
+  EXPECT_DOUBLE_EQ(area(donut), 100.0 - 9.0);
+  EXPECT_DOUBLE_EQ(length(donut), 40.0 + 12.0);  // both rings
+  // Removing mass at (2.5, 2.5) pushes the centroid past (5, 5).
+  const Coord c = centroid(donut);
+  EXPECT_GT(c.x, 5.0);
+  EXPECT_GT(c.y, 5.0);
+  EXPECT_NEAR(c.x, (100 * 5.0 - 9 * 2.5) / 91.0, 1e-9);
+}
+
+TEST(Measures, OrientationDoesNotAffectArea) {
+  Ring cw = {{0, 0}, {0, 4}, {4, 4}, {4, 0}, {0, 0}};  // clockwise
+  const Geometry g = Geometry::polygon(std::move(cw));
+  EXPECT_DOUBLE_EQ(area(g), 16.0);
+  const Coord c = centroid(g);
+  EXPECT_NEAR(c.x, 2.0, 1e-12);
+}
+
+TEST(Measures, MultiPolygonSumsParts) {
+  const Geometry m = Geometry::multi_polygon(
+      {square(2).as_polygon(), square(3, 10, 10).as_polygon()});
+  EXPECT_DOUBLE_EQ(area(m), 4.0 + 9.0);
+  // Area-weighted centroid of (1,1)x4 and (11.5,11.5)x9.
+  const Coord c = centroid(m);
+  EXPECT_NEAR(c.x, (1.0 * 4 + 11.5 * 9) / 13.0, 1e-9);
+}
+
+TEST(Measures, MultiLineStringSums) {
+  const Geometry m = Geometry::multi_line_string(
+      {LineString{{{0, 0}, {2, 0}}}, LineString{{{0, 5}, {0, 9}}}});
+  EXPECT_DOUBLE_EQ(length(m), 6.0);
+  const Coord c = centroid(m);
+  EXPECT_NEAR(c.x, (1.0 * 2 + 0.0 * 4) / 6.0, 1e-12);
+  EXPECT_NEAR(c.y, (0.0 * 2 + 7.0 * 4) / 6.0, 1e-12);
+}
+
+TEST(Measures, DegenerateLineFallsBack) {
+  const Geometry l = Geometry::line_string({{3, 3}, {3, 3}});
+  EXPECT_EQ(length(l), 0.0);
+  EXPECT_EQ(centroid(l).x, 3.0);
+}
+
+// Property: centroid of a convex polygon lies inside its envelope; area is
+// translation-invariant.
+TEST(MeasuresProperty, TranslationInvariance) {
+  Rng rng(12);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Coord c{rng.uniform(-50, 50), rng.uniform(-50, 50)};
+    Ring ring;
+    // Star polygon with every angular gap < pi: guarantees a SIMPLE ring
+    // (each edge stays inside its convex angular wedge), so area/centroid
+    // are well-defined.
+    const int n = 4 + static_cast<int>(rng.next_below(9));
+    for (int i = 0; i < n; ++i) {
+      const double a = (i + 0.8 * rng.next_double()) * 2.0 * 3.14159265358979 / n;
+      const double r = rng.uniform(1, 10);
+      ring.push_back({c.x + r * std::cos(a), c.y + r * std::sin(a)});
+    }
+    ring.push_back(ring.front());
+    Ring shifted = ring;
+    for (auto& p : shifted) {
+      p.x += 1000;
+      p.y -= 500;
+    }
+    const Geometry g = Geometry::polygon(std::move(ring));
+    const Geometry h = Geometry::polygon(std::move(shifted));
+    EXPECT_NEAR(area(g), area(h), 1e-6);
+    EXPECT_NEAR(length(g), length(h), 1e-6);
+    EXPECT_NEAR(centroid(h).x - centroid(g).x, 1000.0, 1e-5);
+    EXPECT_TRUE(g.envelope().contains(centroid(g).x, centroid(g).y));
+  }
+}
+
+}  // namespace
+}  // namespace sjc::geom

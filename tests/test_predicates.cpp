@@ -1,0 +1,209 @@
+// Tests for the naive (reference) predicates across geometry type pairs.
+#include <gtest/gtest.h>
+
+#include "geom/predicates.hpp"
+#include "util/status.hpp"
+
+namespace sjc::geom {
+namespace {
+
+Geometry unit_square() {
+  return Geometry::polygon({{0, 0}, {4, 0}, {4, 4}, {0, 4}, {0, 0}});
+}
+
+Geometry donut() {
+  return Geometry::polygon({{0, 0}, {10, 0}, {10, 10}, {0, 10}, {0, 0}},
+                           {{{3, 3}, {7, 3}, {7, 7}, {3, 7}, {3, 3}}});
+}
+
+// ---------------------------------------------------------------------------
+// intersects
+// ---------------------------------------------------------------------------
+
+TEST(Intersects, PointPoint) {
+  EXPECT_TRUE(intersects_naive(Geometry::point(1, 2), Geometry::point(1, 2)));
+  EXPECT_FALSE(intersects_naive(Geometry::point(1, 2), Geometry::point(1, 3)));
+}
+
+TEST(Intersects, PointLine) {
+  const Geometry l = Geometry::line_string({{0, 0}, {4, 4}});
+  EXPECT_TRUE(intersects_naive(Geometry::point(2, 2), l));
+  EXPECT_TRUE(intersects_naive(l, Geometry::point(2, 2)));  // symmetric
+  EXPECT_FALSE(intersects_naive(Geometry::point(2, 3), l));
+}
+
+TEST(Intersects, PointPolygon) {
+  EXPECT_TRUE(intersects_naive(Geometry::point(2, 2), unit_square()));
+  EXPECT_TRUE(intersects_naive(Geometry::point(0, 2), unit_square()));  // boundary
+  EXPECT_FALSE(intersects_naive(Geometry::point(5, 5), unit_square()));
+}
+
+TEST(Intersects, PointInHoleIsOutside) {
+  EXPECT_FALSE(intersects_naive(Geometry::point(5, 5), donut()));
+  EXPECT_TRUE(intersects_naive(Geometry::point(1, 5), donut()));
+}
+
+TEST(Intersects, LineLine) {
+  const Geometry a = Geometry::line_string({{0, 0}, {4, 4}});
+  const Geometry b = Geometry::line_string({{0, 4}, {4, 0}});
+  const Geometry c = Geometry::line_string({{10, 10}, {11, 10}});
+  EXPECT_TRUE(intersects_naive(a, b));
+  EXPECT_FALSE(intersects_naive(a, c));
+}
+
+TEST(Intersects, LinePolygonCrossing) {
+  const Geometry l = Geometry::line_string({{-1, 2}, {5, 2}});
+  EXPECT_TRUE(intersects_naive(l, unit_square()));
+  EXPECT_TRUE(intersects_naive(unit_square(), l));
+}
+
+TEST(Intersects, LineFullyInsidePolygon) {
+  const Geometry l = Geometry::line_string({{1, 1}, {3, 3}});
+  EXPECT_TRUE(intersects_naive(l, unit_square()));
+}
+
+TEST(Intersects, LineInsideHoleDoesNotIntersect) {
+  const Geometry l = Geometry::line_string({{4, 4}, {6, 6}});
+  EXPECT_FALSE(intersects_naive(l, donut()));
+}
+
+TEST(Intersects, LineCrossingHoleBoundary) {
+  const Geometry l = Geometry::line_string({{5, 5}, {5, 9}});
+  EXPECT_TRUE(intersects_naive(l, donut()));
+}
+
+TEST(Intersects, PolygonPolygonOverlap) {
+  const Geometry a = unit_square();
+  const Geometry b = Geometry::polygon({{2, 2}, {6, 2}, {6, 6}, {2, 6}, {2, 2}});
+  EXPECT_TRUE(intersects_naive(a, b));
+}
+
+TEST(Intersects, PolygonContainedInPolygon) {
+  const Geometry inner = Geometry::polygon({{1, 1}, {2, 1}, {2, 2}, {1, 2}, {1, 1}});
+  EXPECT_TRUE(intersects_naive(inner, unit_square()));
+  EXPECT_TRUE(intersects_naive(unit_square(), inner));
+}
+
+TEST(Intersects, PolygonInsideHoleDisjoint) {
+  const Geometry in_hole = Geometry::polygon({{4, 4}, {6, 4}, {6, 6}, {4, 6}, {4, 4}});
+  EXPECT_FALSE(intersects_naive(in_hole, donut()));
+  EXPECT_FALSE(intersects_naive(donut(), in_hole));
+}
+
+TEST(Intersects, PolygonsTouchingAtEdge) {
+  const Geometry a = unit_square();
+  const Geometry b = Geometry::polygon({{4, 0}, {8, 0}, {8, 4}, {4, 4}, {4, 0}});
+  EXPECT_TRUE(intersects_naive(a, b));
+}
+
+TEST(Intersects, MultiGeometryAnyPartCounts) {
+  const Geometry m = Geometry::multi_polygon(
+      {Polygon{{{20, 20}, {21, 20}, {21, 21}, {20, 21}, {20, 20}}, {}},
+       Polygon{{{1, 1}, {2, 1}, {2, 2}, {1, 2}, {1, 1}}, {}}});
+  EXPECT_TRUE(intersects_naive(m, unit_square()));
+  EXPECT_TRUE(intersects_naive(unit_square(), m));
+}
+
+TEST(Intersects, EnvelopeDisjointShortCircuit) {
+  const Geometry a = Geometry::line_string({{0, 0}, {1, 1}});
+  const Geometry b = Geometry::line_string({{100, 100}, {101, 101}});
+  EXPECT_FALSE(intersects_naive(a, b));
+}
+
+// ---------------------------------------------------------------------------
+// contains (covers semantics)
+// ---------------------------------------------------------------------------
+
+TEST(Contains, PolygonPoint) {
+  EXPECT_TRUE(contains_naive(unit_square(), Geometry::point(2, 2)));
+  EXPECT_TRUE(contains_naive(unit_square(), Geometry::point(0, 0)));  // corner
+  EXPECT_FALSE(contains_naive(unit_square(), Geometry::point(5, 5)));
+}
+
+TEST(Contains, DonutDoesNotContainHolePoint) {
+  EXPECT_FALSE(contains_naive(donut(), Geometry::point(5, 5)));
+  EXPECT_TRUE(contains_naive(donut(), Geometry::point(3, 5)));  // hole boundary
+}
+
+TEST(Contains, PolygonLine) {
+  EXPECT_TRUE(contains_naive(unit_square(), Geometry::line_string({{1, 1}, {3, 3}})));
+  EXPECT_FALSE(contains_naive(unit_square(), Geometry::line_string({{1, 1}, {9, 9}})));
+  // On-boundary line is covered.
+  EXPECT_TRUE(contains_naive(unit_square(), Geometry::line_string({{0, 0}, {4, 0}})));
+}
+
+TEST(Contains, LineThroughHoleNotContained) {
+  EXPECT_FALSE(contains_naive(donut(), Geometry::line_string({{1, 5}, {9, 5}})));
+}
+
+TEST(Contains, PolygonPolygon) {
+  const Geometry inner = Geometry::polygon({{1, 1}, {3, 1}, {3, 3}, {1, 3}, {1, 1}});
+  EXPECT_TRUE(contains_naive(unit_square(), inner));
+  EXPECT_FALSE(contains_naive(inner, unit_square()));
+}
+
+TEST(Contains, NonArealLeftThrows) {
+  EXPECT_THROW(contains_naive(Geometry::point(0, 0), Geometry::point(0, 0)),
+               InvalidArgument);
+  EXPECT_THROW(
+      contains_naive(Geometry::line_string({{0, 0}, {1, 1}}), Geometry::point(0, 0)),
+      InvalidArgument);
+}
+
+TEST(Contains, MultiPolygonContainsAcrossParts) {
+  const Geometry m = Geometry::multi_polygon(
+      {Polygon{{{0, 0}, {4, 0}, {4, 4}, {0, 4}, {0, 0}}, {}},
+       Polygon{{{10, 10}, {14, 10}, {14, 14}, {10, 14}, {10, 10}}, {}}});
+  EXPECT_TRUE(contains_naive(m, Geometry::point(2, 2)));
+  EXPECT_TRUE(contains_naive(m, Geometry::point(12, 12)));
+  EXPECT_FALSE(contains_naive(m, Geometry::point(7, 7)));
+}
+
+// ---------------------------------------------------------------------------
+// distance / within_distance
+// ---------------------------------------------------------------------------
+
+TEST(Distance, IntersectingIsZero) {
+  EXPECT_EQ(distance_naive(Geometry::point(2, 2), unit_square()), 0.0);
+}
+
+TEST(Distance, PointToPolygonBoundary) {
+  EXPECT_DOUBLE_EQ(distance_naive(Geometry::point(7, 2), unit_square()), 3.0);
+}
+
+TEST(Distance, PointToLine) {
+  const Geometry l = Geometry::line_string({{0, 0}, {10, 0}});
+  EXPECT_DOUBLE_EQ(distance_naive(Geometry::point(5, 4), l), 4.0);
+}
+
+TEST(Distance, LineToLine) {
+  const Geometry a = Geometry::line_string({{0, 0}, {10, 0}});
+  const Geometry b = Geometry::line_string({{0, 3}, {10, 3}});
+  EXPECT_DOUBLE_EQ(distance_naive(a, b), 3.0);
+}
+
+TEST(Distance, PolygonToPolygon) {
+  const Geometry a = unit_square();
+  const Geometry b = Geometry::polygon({{7, 0}, {9, 0}, {9, 4}, {7, 4}, {7, 0}});
+  EXPECT_DOUBLE_EQ(distance_naive(a, b), 3.0);
+}
+
+TEST(WithinDistance, ThresholdSemantics) {
+  const Geometry p = Geometry::point(7, 2);
+  EXPECT_TRUE(within_distance_naive(p, unit_square(), 3.0));   // exactly at
+  EXPECT_TRUE(within_distance_naive(p, unit_square(), 3.5));
+  EXPECT_FALSE(within_distance_naive(p, unit_square(), 2.9));
+}
+
+TEST(WithinDistance, NegativeDistanceThrows) {
+  EXPECT_THROW(within_distance_naive(Geometry::point(0, 0), unit_square(), -1.0),
+               InvalidArgument);
+}
+
+TEST(WithinDistance, EnvelopeEarlyOut) {
+  const Geometry far = Geometry::point(1000, 1000);
+  EXPECT_FALSE(within_distance_naive(far, unit_square(), 10.0));
+}
+
+}  // namespace
+}  // namespace sjc::geom

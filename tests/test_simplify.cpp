@@ -1,0 +1,112 @@
+// Tests for Douglas-Peucker simplification.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/algorithms.hpp"
+#include "geom/simplify.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace sjc::geom {
+namespace {
+
+TEST(Simplify, EndpointsAlwaysSurvive) {
+  const std::vector<Coord> path = {{0, 0}, {1, 5}, {2, -3}, {3, 0}};
+  const auto out = simplify_path(path, 100.0);  // huge tolerance
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out.front() == path.front());
+  EXPECT_TRUE(out.back() == path.back());
+}
+
+TEST(Simplify, ToleranceZeroDropsOnlyCollinear) {
+  const std::vector<Coord> path = {{0, 0}, {1, 0}, {2, 0}, {3, 1}};
+  const auto out = simplify_path(path, 0.0);
+  ASSERT_EQ(out.size(), 3u);  // (1,0) is exactly collinear
+  EXPECT_EQ(out[1].x, 2.0);
+}
+
+TEST(Simplify, KeepsSignificantVertices) {
+  const std::vector<Coord> path = {{0, 0}, {5, 0.1}, {10, 4}, {15, 0.1}, {20, 0}};
+  // The wiggle vertices sit ~1.8 from the (0,0)-(10,4) chords; tolerance 2
+  // drops them while the 4-high spike survives.
+  const auto out = simplify_path(path, 2.0);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[1].y, 4.0);
+}
+
+TEST(Simplify, ShortPathsUnchanged) {
+  const std::vector<Coord> two = {{0, 0}, {1, 1}};
+  EXPECT_EQ(simplify_path(two, 10.0).size(), 2u);
+}
+
+TEST(Simplify, RejectsNegativeTolerance) {
+  EXPECT_THROW(simplify_path({{0, 0}, {1, 1}}, -1.0), InvalidArgument);
+  EXPECT_THROW(simplify(Geometry::point(0, 0), -0.5), InvalidArgument);
+}
+
+TEST(Simplify, PointUnchanged) {
+  const Geometry p = Geometry::point(3, 4);
+  EXPECT_TRUE(simplify(p, 5.0) == p);
+}
+
+TEST(Simplify, PolygonStaysClosedAndValid) {
+  Rng rng(8);
+  Ring ring;
+  const int n = 60;
+  for (int i = 0; i < n; ++i) {
+    const double a = i * 2 * 3.14159265358979 / n;
+    const double r = 50 + rng.uniform(-1, 1);  // nearly a circle with noise
+    ring.push_back({r * std::cos(a), r * std::sin(a)});
+  }
+  ring.push_back(ring.front());
+  const Geometry poly = Geometry::polygon(std::move(ring));
+  const Geometry out = simplify(poly, 2.0);
+  EXPECT_EQ(out.type(), GeomType::kPolygon);
+  EXPECT_LT(out.num_coords(), poly.num_coords());
+  EXPECT_GE(out.num_coords(), 4u);
+  const auto& shell = out.as_polygon().shell;
+  EXPECT_TRUE(shell.front() == shell.back());
+}
+
+// Property: every dropped vertex is within tolerance of the simplified
+// polyline (the Douglas-Peucker guarantee).
+TEST(SimplifyProperty, DroppedVerticesStayWithinTolerance) {
+  Rng rng(21);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Coord> path;
+    Coord cur{0, 0};
+    const int n = 20 + static_cast<int>(rng.next_below(80));
+    for (int i = 0; i < n; ++i) {
+      cur = {cur.x + rng.uniform(0.2, 2.0), cur.y + rng.uniform(-1.5, 1.5)};
+      path.push_back(cur);
+    }
+    const double tol = rng.uniform(0.1, 3.0);
+    const auto out = simplify_path(path, tol);
+    ASSERT_GE(out.size(), 2u);
+    const LineString simplified{out};
+    for (const auto& p : path) {
+      EXPECT_LE(std::sqrt(squared_distance_point_linestring(p, simplified)),
+                tol + 1e-9);
+    }
+  }
+}
+
+// Property: simplification is idempotent at the same tolerance.
+TEST(SimplifyProperty, Idempotent) {
+  Rng rng(22);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Coord> path;
+    Coord cur{0, 0};
+    for (int i = 0; i < 50; ++i) {
+      cur = {cur.x + rng.uniform(0.2, 2.0), cur.y + rng.uniform(-1, 1)};
+      path.push_back(cur);
+    }
+    const auto once = simplify_path(path, 1.0);
+    const auto twice = simplify_path(once, 1.0);
+    EXPECT_EQ(once, twice);
+  }
+}
+
+}  // namespace
+}  // namespace sjc::geom

@@ -1,0 +1,165 @@
+// WKB codec tests: structure, round trips (shared random-geometry
+// generator with the WKT suite), size accounting and error handling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/wkb.hpp"
+#include "geom/wkt.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace sjc::geom {
+namespace {
+
+TEST(Wkb, PointLayout) {
+  const auto bytes = to_wkb(Geometry::point(1.0, 2.0));
+  ASSERT_EQ(bytes.size(), 21u);
+  EXPECT_EQ(bytes[0], 1);  // little-endian marker
+  EXPECT_EQ(bytes[1], 1);  // point tag
+  EXPECT_EQ(bytes[2], 0);
+}
+
+TEST(Wkb, SizeMatchesEncoding) {
+  const Geometry geoms[] = {
+      Geometry::point(1, 2),
+      Geometry::line_string({{0, 0}, {1, 1}, {2, 0}}),
+      Geometry::polygon({{0, 0}, {4, 0}, {4, 4}, {0, 4}, {0, 0}},
+                        {{{1, 1}, {2, 1}, {2, 2}, {1, 2}, {1, 1}}}),
+      Geometry::multi_line_string({LineString{{{0, 0}, {1, 1}}}}),
+      Geometry::multi_polygon({Polygon{{{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0, 0}}, {}}}),
+  };
+  for (const auto& g : geoms) {
+    EXPECT_EQ(to_wkb(g).size(), wkb_size(g)) << to_wkt(g);
+  }
+}
+
+TEST(Wkb, BinaryIsSmallerThanTextForDenseGeometry) {
+  // The SpatialHadoop-vs-streaming storage argument: binary coordinates
+  // beat decimal text once geometries carry real precision.
+  std::vector<Coord> pts;
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    pts.push_back({rng.uniform(0, 50000), rng.uniform(0, 50000)});
+  }
+  const Geometry line = Geometry::line_string(std::move(pts));
+  EXPECT_LT(wkb_size(line), to_wkt(line).size());
+}
+
+TEST(Wkb, RejectsTruncated) {
+  auto bytes = to_wkb(Geometry::line_string({{0, 0}, {1, 1}}));
+  bytes.resize(bytes.size() - 3);
+  EXPECT_THROW(from_wkb(bytes), ParseError);
+}
+
+TEST(Wkb, RejectsTrailingBytes) {
+  auto bytes = to_wkb(Geometry::point(0, 0));
+  bytes.push_back(0);
+  EXPECT_THROW(from_wkb(bytes), ParseError);
+}
+
+TEST(Wkb, RejectsBigEndian) {
+  auto bytes = to_wkb(Geometry::point(0, 0));
+  bytes[0] = 0;  // XDR marker
+  EXPECT_THROW(from_wkb(bytes), ParseError);
+}
+
+TEST(Wkb, RejectsUnknownTag) {
+  auto bytes = to_wkb(Geometry::point(0, 0));
+  bytes[1] = 99;
+  EXPECT_THROW(from_wkb(bytes), ParseError);
+}
+
+TEST(Wkb, RejectsAbsurdCoordCount) {
+  // LINESTRING header claiming 2^31 coordinates with a tiny payload must
+  // throw, not allocate.
+  std::vector<std::uint8_t> bytes = {1, 2, 0, 0, 0, 0xff, 0xff, 0xff, 0x7f};
+  EXPECT_THROW(from_wkb(bytes), ParseError);
+}
+
+TEST(Wkb, RejectsEmpty) {
+  EXPECT_THROW(from_wkb({}), ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip property over all five types.
+// ---------------------------------------------------------------------------
+
+class WkbRoundTrip : public ::testing::TestWithParam<int> {};
+
+Geometry random_geometry(Rng& rng, int kind) {
+  const auto coord = [&rng] {
+    return Coord{rng.uniform(-1000, 1000), rng.uniform(-1000, 1000)};
+  };
+  switch (kind) {
+    case 0:
+      return Geometry::point(rng.uniform(-1e6, 1e6), rng.uniform(-1e6, 1e6));
+    case 1: {
+      std::vector<Coord> pts;
+      const auto n = 2 + rng.next_below(30);
+      for (std::uint64_t i = 0; i < n; ++i) pts.push_back(coord());
+      return Geometry::line_string(std::move(pts));
+    }
+    case 2: {
+      const Coord c = coord();
+      const auto n = 3 + rng.next_below(12);
+      std::vector<double> angles;
+      for (std::uint64_t i = 0; i < n; ++i) angles.push_back(rng.uniform(0, 6.283));
+      std::sort(angles.begin(), angles.end());
+      Ring ring;
+      for (const double a : angles) {
+        const double r = rng.uniform(1.0, 50.0);
+        ring.push_back({c.x + r * std::cos(a), c.y + r * std::sin(a)});
+      }
+      ring.push_back(ring.front());
+      return Geometry::polygon(std::move(ring));
+    }
+    case 3: {
+      std::vector<LineString> parts;
+      const auto k = 1 + rng.next_below(4);
+      for (std::uint64_t p = 0; p < k; ++p) {
+        parts.push_back(LineString{{coord(), coord(), coord()}});
+      }
+      return Geometry::multi_line_string(std::move(parts));
+    }
+    default: {
+      std::vector<Polygon> parts;
+      const auto k = 1 + rng.next_below(3);
+      for (std::uint64_t p = 0; p < k; ++p) {
+        parts.push_back(random_geometry(rng, 2).as_polygon());
+      }
+      return Geometry::multi_polygon(std::move(parts));
+    }
+  }
+}
+
+TEST_P(WkbRoundTrip, ExactRoundTrip) {
+  Rng rng(4000 + GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    const Geometry original = random_geometry(rng, GetParam());
+    // Binary doubles round-trip bit-exactly.
+    const Geometry parsed = from_wkb(to_wkb(original));
+    EXPECT_TRUE(original == parsed) << to_wkt(original);
+  }
+}
+
+const char* wkb_kind_name(int kind) {
+  static const char* kNames[] = {"point", "linestring", "polygon", "multilinestring",
+                                 "multipolygon"};
+  return kNames[kind];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, WkbRoundTrip, ::testing::Range(0, 5),
+                         [](const auto& info) { return wkb_kind_name(info.param); });
+
+// WKT -> WKB -> WKT consistency.
+TEST(Wkb, AgreesWithWktPipeline) {
+  Rng rng(777);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Geometry g = random_geometry(rng, static_cast<int>(rng.next_below(5)));
+    EXPECT_TRUE(from_wkb(to_wkb(from_wkt(to_wkt(g)))) == from_wkt(to_wkt(g)));
+  }
+}
+
+}  // namespace
+}  // namespace sjc::geom

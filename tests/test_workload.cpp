@@ -1,0 +1,260 @@
+// Tests for the synthetic workload generators: determinism, scaling,
+// statistical shape and the structural properties the joins rely on
+// (census blocks tile the extent; every taxi point falls in exactly one
+// block interior-wise).
+#include <gtest/gtest.h>
+
+#include "geom/predicates.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+#include "workload/generators.hpp"
+#include "workload/dataset_io.hpp"
+#include "workload/tsv.hpp"
+
+namespace sjc::workload {
+namespace {
+
+WorkloadConfig tiny() {
+  WorkloadConfig wc;
+  wc.scale = 5e-5;
+  return wc;
+}
+
+TEST(Generators, DatasetNames) {
+  EXPECT_STREQ(dataset_id_name(DatasetId::kTaxi), "taxi");
+  EXPECT_STREQ(dataset_id_name(DatasetId::kEdges01), "edges0.1");
+}
+
+TEST(Generators, PaperFactsMatchTable1) {
+  EXPECT_EQ(paper_record_count(DatasetId::kTaxi), 169'720'892ULL);
+  EXPECT_EQ(paper_record_count(DatasetId::kNycb), 38'839ULL);
+  EXPECT_EQ(paper_record_count(DatasetId::kEdges), 72'729'686ULL);
+  EXPECT_EQ(paper_record_count(DatasetId::kLinearwater), 5'857'442ULL);
+  EXPECT_GT(paper_size_bytes(DatasetId::kEdges), 23ULL * 1024 * 1024 * 1024);
+}
+
+TEST(Generators, ScaledCountsTrackPaper) {
+  const auto taxi = generate_taxi(tiny());
+  const double expected = 169'720'892.0 * 5e-5;
+  EXPECT_NEAR(static_cast<double>(taxi.size()), expected, expected * 0.01 + 2);
+}
+
+TEST(Generators, DeterministicForSeed) {
+  const auto a = generate_edges(tiny());
+  const auto b = generate_edges(tiny());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 97) {
+    EXPECT_TRUE(a.features()[i].geometry == b.features()[i].geometry);
+  }
+  WorkloadConfig other = tiny();
+  other.seed = 999;
+  const auto c = generate_edges(other);
+  EXPECT_FALSE(a.features()[0].geometry == c.features()[0].geometry);
+}
+
+TEST(Generators, AllWithinExtent) {
+  const WorkloadConfig wc = tiny();
+  for (const auto id : {DatasetId::kTaxi, DatasetId::kNycb, DatasetId::kEdges,
+                        DatasetId::kLinearwater}) {
+    const auto data = generate(id, wc);
+    EXPECT_TRUE(wc.extent.contains(data.extent()))
+        << dataset_id_name(id) << " escapes the extent";
+  }
+}
+
+TEST(Generators, IdsAreDense) {
+  const auto taxi = generate_taxi(tiny());
+  for (std::size_t i = 0; i < taxi.size(); i += 131) {
+    EXPECT_EQ(taxi.features()[i].id, i);
+  }
+}
+
+TEST(Generators, TaxiIsSkewed) {
+  // Hotspot mixture: the densest 10% of a coarse grid should hold far more
+  // than 10% of points.
+  const auto taxi = generate_taxi(tiny());
+  const int g = 10;
+  std::vector<int> cells(g * g, 0);
+  const auto& extent = tiny().extent;
+  for (const auto& f : taxi.features()) {
+    const auto& p = f.geometry.as_point();
+    const int cx = std::min(g - 1, static_cast<int>((p.x - extent.min_x()) /
+                                                    extent.width() * g));
+    const int cy = std::min(g - 1, static_cast<int>((p.y - extent.min_y()) /
+                                                    extent.height() * g));
+    cells[cy * g + cx]++;
+  }
+  std::sort(cells.begin(), cells.end(), std::greater<>());
+  int top10 = 0;
+  for (int i = 0; i < g * g / 10; ++i) top10 += cells[i];
+  EXPECT_GT(top10, static_cast<int>(taxi.size()) / 4);
+}
+
+TEST(Generators, NycbBlocksTileWithoutOverlap) {
+  const auto nycb = generate_nycb(tiny());
+  // Probe random points: each must be covered by >= 1 block, and interior
+  // points by exactly one (shared boundaries may give two).
+  Rng rng(5);
+  const auto& extent = tiny().extent;
+  int multi = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    const geom::Geometry p = geom::Geometry::point(
+        rng.uniform(extent.min_x() + 1, extent.max_x() - 1),
+        rng.uniform(extent.min_y() + 1, extent.max_y() - 1));
+    int covering = 0;
+    for (const auto& f : nycb.features()) {
+      if (geom::contains_naive(f.geometry, p)) ++covering;
+    }
+    EXPECT_GE(covering, 1);
+    EXPECT_LE(covering, 2);
+    if (covering > 1) ++multi;
+  }
+  EXPECT_LE(multi, 5);  // boundary hits are measure-zero-rare
+}
+
+TEST(Generators, NycbPolygonsAreValidAndDensified) {
+  const auto nycb = generate_nycb(tiny());
+  EXPECT_GE(nycb.size(), 4u);
+  for (const auto& f : nycb.features()) {
+    EXPECT_EQ(f.geometry.type(), geom::GeomType::kPolygon);
+    EXPECT_GE(f.geometry.num_coords(), 17u);  // 4 corners + 4x3 densified + close
+  }
+}
+
+TEST(Generators, GeometryComplexityShape) {
+  const WorkloadConfig wc = tiny();
+  const auto edges = generate_edges(wc);
+  const auto water = generate_linearwater(wc);
+  // TIGER-like: edges are short (few vertices), linearwater long.
+  EXPECT_LT(edges.mean_coords(), 10.0);
+  EXPECT_GT(water.mean_coords(), 30.0);
+  EXPECT_GT(water.mean_coords(), edges.mean_coords() * 4);
+}
+
+TEST(Generators, SampleFraction) {
+  const auto edges = generate_edges(tiny());
+  const auto sampled = sample_fraction(edges, "edges0.1", 0.1, 7);
+  EXPECT_NEAR(static_cast<double>(sampled.size()),
+              static_cast<double>(edges.size()) * 0.1,
+              static_cast<double>(edges.size()) * 0.05);
+  EXPECT_EQ(sampled.name(), "edges0.1");
+  EXPECT_THROW(sample_fraction(edges, "bad", 0.0, 7), InvalidArgument);
+}
+
+TEST(Generators, GenerateDispatchCoversAllIds) {
+  const WorkloadConfig wc = tiny();
+  for (const auto id : {DatasetId::kTaxi, DatasetId::kTaxi1m, DatasetId::kNycb,
+                        DatasetId::kEdges, DatasetId::kLinearwater, DatasetId::kEdges01,
+                        DatasetId::kLinearwater01}) {
+    const auto data = generate(id, wc);
+    EXPECT_GT(data.size(), 0u) << dataset_id_name(id);
+    EXPECT_GT(data.text_bytes(), 0u);
+    EXPECT_GT(data.memory_bytes(), 0u);
+  }
+}
+
+TEST(Dataset, SplitRangesCoverExactly) {
+  const auto taxi = generate_taxi1m(tiny());
+  const auto ranges = taxi.split_ranges(7);
+  std::size_t covered = 0;
+  std::size_t prev_end = 0;
+  for (const auto& [begin, end] : ranges) {
+    EXPECT_EQ(begin, prev_end);
+    covered += end - begin;
+    prev_end = end;
+  }
+  EXPECT_EQ(covered, taxi.size());
+}
+
+TEST(Dataset, TextBytesSumRecordBytes) {
+  const auto nycb = generate_nycb(tiny());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < nycb.size(); ++i) total += nycb.record_text_bytes(i);
+  EXPECT_EQ(total, nycb.text_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// TSV round trip
+// ---------------------------------------------------------------------------
+
+TEST(Tsv, FeatureRoundTrip) {
+  const geom::Feature f{42, geom::Geometry::point(1.5, 2.5)};
+  const geom::Feature parsed = feature_from_tsv(feature_to_tsv(f));
+  EXPECT_EQ(parsed.id, 42u);
+  EXPECT_TRUE(parsed.geometry == f.geometry);
+}
+
+TEST(Tsv, PaddedLineParses) {
+  const geom::Feature f{7, geom::Geometry::line_string({{0, 0}, {1, 1}})};
+  const std::string line = feature_to_tsv(f, 50);
+  EXPECT_GT(line.size(), feature_to_tsv(f).size() + 49);
+  const geom::Feature parsed = feature_from_tsv(line);
+  EXPECT_TRUE(parsed.geometry == f.geometry);
+}
+
+TEST(Tsv, FieldOffsetParsing) {
+  const std::string line = "p12\tA\t9\tPOINT (3 4)";
+  const geom::Feature parsed = feature_from_tsv_at(line, 2);
+  EXPECT_EQ(parsed.id, 9u);
+  EXPECT_EQ(parsed.geometry.as_point().x, 3.0);
+}
+
+TEST(Tsv, MalformedLinesThrow) {
+  EXPECT_THROW(feature_from_tsv("no-tabs-here"), ParseError);
+  EXPECT_THROW(feature_from_tsv("abc\tPOINT (1 2)"), ParseError);
+  EXPECT_THROW(feature_from_tsv_at("only\ttwo", 5), ParseError);
+}
+
+TEST(Tsv, DatasetToTsvMatchesSize) {
+  const auto nycb = generate_nycb(tiny());
+  const auto lines = dataset_to_tsv(nycb);
+  EXPECT_EQ(lines.size(), nycb.size());
+  const auto padded = dataset_to_tsv(nycb, /*include_pad=*/true);
+  EXPECT_GT(padded[0].size(), lines[0].size());
+}
+
+}  // namespace
+}  // namespace sjc::workload
+
+namespace sjc::workload {
+namespace {
+
+TEST(DatasetIo, RoundTripsThroughFile) {
+  const auto original = generate_nycb(tiny());
+  const std::string path = "/tmp/sjc_dataset_io_test.tsv";
+  write_tsv_file(original, path);
+  const auto loaded = read_tsv_file(path, "nycb", original.attr_pad_bytes());
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded.features()[i].id, original.features()[i].id);
+    EXPECT_TRUE(loaded.features()[i].geometry == original.features()[i].geometry);
+  }
+  EXPECT_EQ(loaded.text_bytes(), original.text_bytes());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, MissingFileThrows) {
+  EXPECT_THROW(read_tsv_file("/nonexistent/file.tsv", "x"), SjcError);
+}
+
+TEST(DatasetIo, MalformedLineThrows) {
+  const std::string path = "/tmp/sjc_dataset_io_bad.tsv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("1\tPOINT (1 2)\nnot a record\n", f);
+  std::fclose(f);
+  EXPECT_THROW(read_tsv_file(path, "bad"), ParseError);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, SkipsBlankLines) {
+  const std::string path = "/tmp/sjc_dataset_io_blank.tsv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("\n1\tPOINT (1 2)\n\n2\tPOINT (3 4)\n\n", f);
+  std::fclose(f);
+  const auto data = read_tsv_file(path, "pts");
+  EXPECT_EQ(data.size(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sjc::workload
