@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engine_swap.dir/bench_engine_swap.cpp.o"
+  "CMakeFiles/bench_engine_swap.dir/bench_engine_swap.cpp.o.d"
+  "bench_engine_swap"
+  "bench_engine_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

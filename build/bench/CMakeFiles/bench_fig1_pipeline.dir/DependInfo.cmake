@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig1_pipeline.cpp" "bench/CMakeFiles/bench_fig1_pipeline.dir/bench_fig1_pipeline.cpp.o" "gcc" "bench/CMakeFiles/bench_fig1_pipeline.dir/bench_fig1_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/systems/CMakeFiles/sjc_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/spatialhadoop/CMakeFiles/sjc_spatialhadoop.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/hadoopgis/CMakeFiles/sjc_hadoopgis.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/spatialspark/CMakeFiles/sjc_spatialspark.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sjc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/sjc_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdd/CMakeFiles/sjc_rdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sjc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/sjc_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/sjc_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/sjc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/sjc_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sjc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sjc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

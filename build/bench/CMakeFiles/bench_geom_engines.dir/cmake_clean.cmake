@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_geom_engines.dir/bench_geom_engines.cpp.o"
+  "CMakeFiles/bench_geom_engines.dir/bench_geom_engines.cpp.o.d"
+  "bench_geom_engines"
+  "bench_geom_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_geom_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hadoopgis_limits.dir/bench_hadoopgis_limits.cpp.o"
+  "CMakeFiles/bench_hadoopgis_limits.dir/bench_hadoopgis_limits.cpp.o.d"
+  "bench_hadoopgis_limits"
+  "bench_hadoopgis_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hadoopgis_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

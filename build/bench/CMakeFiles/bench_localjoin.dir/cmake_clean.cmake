@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_localjoin.dir/bench_localjoin.cpp.o"
+  "CMakeFiles/bench_localjoin.dir/bench_localjoin.cpp.o.d"
+  "bench_localjoin"
+  "bench_localjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_localjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

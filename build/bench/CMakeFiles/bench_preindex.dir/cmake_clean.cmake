@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_preindex.dir/bench_preindex.cpp.o"
+  "CMakeFiles/bench_preindex.dir/bench_preindex.cpp.o.d"
+  "bench_preindex"
+  "bench_preindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_preindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_samplerate.dir/bench_samplerate.cpp.o"
+  "CMakeFiles/bench_samplerate.dir/bench_samplerate.cpp.o.d"
+  "bench_samplerate"
+  "bench_samplerate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_samplerate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

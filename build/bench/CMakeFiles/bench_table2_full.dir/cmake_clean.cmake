@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_full.dir/bench_table2_full.cpp.o"
+  "CMakeFiles/bench_table2_full.dir/bench_table2_full.cpp.o.d"
+  "bench_table2_full"
+  "bench_table2_full.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

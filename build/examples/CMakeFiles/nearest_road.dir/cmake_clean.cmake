@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nearest_road.dir/nearest_road.cpp.o"
+  "CMakeFiles/nearest_road.dir/nearest_road.cpp.o.d"
+  "nearest_road"
+  "nearest_road.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nearest_road.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

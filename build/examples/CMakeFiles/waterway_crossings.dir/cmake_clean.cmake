@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waterway_crossings.dir/waterway_crossings.cpp.o"
+  "CMakeFiles/waterway_crossings.dir/waterway_crossings.cpp.o.d"
+  "waterway_crossings"
+  "waterway_crossings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waterway_crossings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

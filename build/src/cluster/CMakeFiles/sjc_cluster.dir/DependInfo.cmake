@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster_spec.cpp" "src/cluster/CMakeFiles/sjc_cluster.dir/cluster_spec.cpp.o" "gcc" "src/cluster/CMakeFiles/sjc_cluster.dir/cluster_spec.cpp.o.d"
+  "/root/repo/src/cluster/metrics.cpp" "src/cluster/CMakeFiles/sjc_cluster.dir/metrics.cpp.o" "gcc" "src/cluster/CMakeFiles/sjc_cluster.dir/metrics.cpp.o.d"
+  "/root/repo/src/cluster/scheduler.cpp" "src/cluster/CMakeFiles/sjc_cluster.dir/scheduler.cpp.o" "gcc" "src/cluster/CMakeFiles/sjc_cluster.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sjc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

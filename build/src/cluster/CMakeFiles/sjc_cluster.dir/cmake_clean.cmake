@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sjc_cluster.dir/cluster_spec.cpp.o"
+  "CMakeFiles/sjc_cluster.dir/cluster_spec.cpp.o.d"
+  "CMakeFiles/sjc_cluster.dir/metrics.cpp.o"
+  "CMakeFiles/sjc_cluster.dir/metrics.cpp.o.d"
+  "CMakeFiles/sjc_cluster.dir/scheduler.cpp.o"
+  "CMakeFiles/sjc_cluster.dir/scheduler.cpp.o.d"
+  "libsjc_cluster.a"
+  "libsjc_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sjc_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

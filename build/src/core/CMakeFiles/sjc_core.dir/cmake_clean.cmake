@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sjc_core.dir/experiments.cpp.o"
+  "CMakeFiles/sjc_core.dir/experiments.cpp.o.d"
+  "CMakeFiles/sjc_core.dir/local_join.cpp.o"
+  "CMakeFiles/sjc_core.dir/local_join.cpp.o.d"
+  "CMakeFiles/sjc_core.dir/nn_join.cpp.o"
+  "CMakeFiles/sjc_core.dir/nn_join.cpp.o.d"
+  "CMakeFiles/sjc_core.dir/spatial_join.cpp.o"
+  "CMakeFiles/sjc_core.dir/spatial_join.cpp.o.d"
+  "libsjc_core.a"
+  "libsjc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sjc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

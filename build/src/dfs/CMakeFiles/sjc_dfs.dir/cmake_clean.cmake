@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sjc_dfs.dir/sim_dfs.cpp.o"
+  "CMakeFiles/sjc_dfs.dir/sim_dfs.cpp.o.d"
+  "libsjc_dfs.a"
+  "libsjc_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sjc_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/algorithms.cpp" "src/geom/CMakeFiles/sjc_geom.dir/algorithms.cpp.o" "gcc" "src/geom/CMakeFiles/sjc_geom.dir/algorithms.cpp.o.d"
+  "/root/repo/src/geom/engine.cpp" "src/geom/CMakeFiles/sjc_geom.dir/engine.cpp.o" "gcc" "src/geom/CMakeFiles/sjc_geom.dir/engine.cpp.o.d"
+  "/root/repo/src/geom/geometry.cpp" "src/geom/CMakeFiles/sjc_geom.dir/geometry.cpp.o" "gcc" "src/geom/CMakeFiles/sjc_geom.dir/geometry.cpp.o.d"
+  "/root/repo/src/geom/measures.cpp" "src/geom/CMakeFiles/sjc_geom.dir/measures.cpp.o" "gcc" "src/geom/CMakeFiles/sjc_geom.dir/measures.cpp.o.d"
+  "/root/repo/src/geom/predicates.cpp" "src/geom/CMakeFiles/sjc_geom.dir/predicates.cpp.o" "gcc" "src/geom/CMakeFiles/sjc_geom.dir/predicates.cpp.o.d"
+  "/root/repo/src/geom/prepared.cpp" "src/geom/CMakeFiles/sjc_geom.dir/prepared.cpp.o" "gcc" "src/geom/CMakeFiles/sjc_geom.dir/prepared.cpp.o.d"
+  "/root/repo/src/geom/simplify.cpp" "src/geom/CMakeFiles/sjc_geom.dir/simplify.cpp.o" "gcc" "src/geom/CMakeFiles/sjc_geom.dir/simplify.cpp.o.d"
+  "/root/repo/src/geom/wkb.cpp" "src/geom/CMakeFiles/sjc_geom.dir/wkb.cpp.o" "gcc" "src/geom/CMakeFiles/sjc_geom.dir/wkb.cpp.o.d"
+  "/root/repo/src/geom/wkt.cpp" "src/geom/CMakeFiles/sjc_geom.dir/wkt.cpp.o" "gcc" "src/geom/CMakeFiles/sjc_geom.dir/wkt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sjc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sjc_geom.dir/algorithms.cpp.o"
+  "CMakeFiles/sjc_geom.dir/algorithms.cpp.o.d"
+  "CMakeFiles/sjc_geom.dir/engine.cpp.o"
+  "CMakeFiles/sjc_geom.dir/engine.cpp.o.d"
+  "CMakeFiles/sjc_geom.dir/geometry.cpp.o"
+  "CMakeFiles/sjc_geom.dir/geometry.cpp.o.d"
+  "CMakeFiles/sjc_geom.dir/measures.cpp.o"
+  "CMakeFiles/sjc_geom.dir/measures.cpp.o.d"
+  "CMakeFiles/sjc_geom.dir/predicates.cpp.o"
+  "CMakeFiles/sjc_geom.dir/predicates.cpp.o.d"
+  "CMakeFiles/sjc_geom.dir/prepared.cpp.o"
+  "CMakeFiles/sjc_geom.dir/prepared.cpp.o.d"
+  "CMakeFiles/sjc_geom.dir/simplify.cpp.o"
+  "CMakeFiles/sjc_geom.dir/simplify.cpp.o.d"
+  "CMakeFiles/sjc_geom.dir/wkb.cpp.o"
+  "CMakeFiles/sjc_geom.dir/wkb.cpp.o.d"
+  "CMakeFiles/sjc_geom.dir/wkt.cpp.o"
+  "CMakeFiles/sjc_geom.dir/wkt.cpp.o.d"
+  "libsjc_geom.a"
+  "libsjc_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sjc_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

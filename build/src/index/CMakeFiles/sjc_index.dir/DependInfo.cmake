@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/grid_index.cpp" "src/index/CMakeFiles/sjc_index.dir/grid_index.cpp.o" "gcc" "src/index/CMakeFiles/sjc_index.dir/grid_index.cpp.o.d"
+  "/root/repo/src/index/mbr_join.cpp" "src/index/CMakeFiles/sjc_index.dir/mbr_join.cpp.o" "gcc" "src/index/CMakeFiles/sjc_index.dir/mbr_join.cpp.o.d"
+  "/root/repo/src/index/nearest.cpp" "src/index/CMakeFiles/sjc_index.dir/nearest.cpp.o" "gcc" "src/index/CMakeFiles/sjc_index.dir/nearest.cpp.o.d"
+  "/root/repo/src/index/quadtree.cpp" "src/index/CMakeFiles/sjc_index.dir/quadtree.cpp.o" "gcc" "src/index/CMakeFiles/sjc_index.dir/quadtree.cpp.o.d"
+  "/root/repo/src/index/rtree_dynamic.cpp" "src/index/CMakeFiles/sjc_index.dir/rtree_dynamic.cpp.o" "gcc" "src/index/CMakeFiles/sjc_index.dir/rtree_dynamic.cpp.o.d"
+  "/root/repo/src/index/str_tree.cpp" "src/index/CMakeFiles/sjc_index.dir/str_tree.cpp.o" "gcc" "src/index/CMakeFiles/sjc_index.dir/str_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/sjc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sjc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sjc_index.dir/grid_index.cpp.o"
+  "CMakeFiles/sjc_index.dir/grid_index.cpp.o.d"
+  "CMakeFiles/sjc_index.dir/mbr_join.cpp.o"
+  "CMakeFiles/sjc_index.dir/mbr_join.cpp.o.d"
+  "CMakeFiles/sjc_index.dir/nearest.cpp.o"
+  "CMakeFiles/sjc_index.dir/nearest.cpp.o.d"
+  "CMakeFiles/sjc_index.dir/quadtree.cpp.o"
+  "CMakeFiles/sjc_index.dir/quadtree.cpp.o.d"
+  "CMakeFiles/sjc_index.dir/rtree_dynamic.cpp.o"
+  "CMakeFiles/sjc_index.dir/rtree_dynamic.cpp.o.d"
+  "CMakeFiles/sjc_index.dir/str_tree.cpp.o"
+  "CMakeFiles/sjc_index.dir/str_tree.cpp.o.d"
+  "libsjc_index.a"
+  "libsjc_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sjc_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

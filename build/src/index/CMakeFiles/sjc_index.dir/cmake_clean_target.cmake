@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsjc_index.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sjc_mapreduce.dir/mr_context.cpp.o"
+  "CMakeFiles/sjc_mapreduce.dir/mr_context.cpp.o.d"
+  "CMakeFiles/sjc_mapreduce.dir/streaming.cpp.o"
+  "CMakeFiles/sjc_mapreduce.dir/streaming.cpp.o.d"
+  "libsjc_mapreduce.a"
+  "libsjc_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sjc_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/partition_stats.cpp" "src/partition/CMakeFiles/sjc_partition.dir/partition_stats.cpp.o" "gcc" "src/partition/CMakeFiles/sjc_partition.dir/partition_stats.cpp.o.d"
+  "/root/repo/src/partition/partitioner.cpp" "src/partition/CMakeFiles/sjc_partition.dir/partitioner.cpp.o" "gcc" "src/partition/CMakeFiles/sjc_partition.dir/partitioner.cpp.o.d"
+  "/root/repo/src/partition/sampler.cpp" "src/partition/CMakeFiles/sjc_partition.dir/sampler.cpp.o" "gcc" "src/partition/CMakeFiles/sjc_partition.dir/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/index/CMakeFiles/sjc_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/sjc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sjc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sjc_partition.dir/partition_stats.cpp.o"
+  "CMakeFiles/sjc_partition.dir/partition_stats.cpp.o.d"
+  "CMakeFiles/sjc_partition.dir/partitioner.cpp.o"
+  "CMakeFiles/sjc_partition.dir/partitioner.cpp.o.d"
+  "CMakeFiles/sjc_partition.dir/sampler.cpp.o"
+  "CMakeFiles/sjc_partition.dir/sampler.cpp.o.d"
+  "libsjc_partition.a"
+  "libsjc_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sjc_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

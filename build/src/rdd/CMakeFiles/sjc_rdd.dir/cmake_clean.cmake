@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sjc_rdd.dir/memory_manager.cpp.o"
+  "CMakeFiles/sjc_rdd.dir/memory_manager.cpp.o.d"
+  "CMakeFiles/sjc_rdd.dir/spark_runtime.cpp.o"
+  "CMakeFiles/sjc_rdd.dir/spark_runtime.cpp.o.d"
+  "libsjc_rdd.a"
+  "libsjc_rdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sjc_rdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sjc_rdd.
+# This may be replaced when dependencies are built.

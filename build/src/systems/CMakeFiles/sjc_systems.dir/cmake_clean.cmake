@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sjc_systems.dir/dispatch.cpp.o"
+  "CMakeFiles/sjc_systems.dir/dispatch.cpp.o.d"
+  "libsjc_systems.a"
+  "libsjc_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sjc_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

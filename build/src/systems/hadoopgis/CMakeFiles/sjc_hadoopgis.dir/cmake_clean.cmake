@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sjc_hadoopgis.dir/hadoop_gis.cpp.o"
+  "CMakeFiles/sjc_hadoopgis.dir/hadoop_gis.cpp.o.d"
+  "libsjc_hadoopgis.a"
+  "libsjc_hadoopgis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sjc_hadoopgis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sjc_spatialhadoop.dir/spatial_hadoop.cpp.o"
+  "CMakeFiles/sjc_spatialhadoop.dir/spatial_hadoop.cpp.o.d"
+  "libsjc_spatialhadoop.a"
+  "libsjc_spatialhadoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sjc_spatialhadoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sjc_spatialspark.dir/spatial_spark.cpp.o"
+  "CMakeFiles/sjc_spatialspark.dir/spatial_spark.cpp.o.d"
+  "libsjc_spatialspark.a"
+  "libsjc_spatialspark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sjc_spatialspark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

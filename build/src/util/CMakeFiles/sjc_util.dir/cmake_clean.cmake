@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sjc_util.dir/bench_io.cpp.o"
+  "CMakeFiles/sjc_util.dir/bench_io.cpp.o.d"
+  "CMakeFiles/sjc_util.dir/csv.cpp.o"
+  "CMakeFiles/sjc_util.dir/csv.cpp.o.d"
+  "CMakeFiles/sjc_util.dir/logging.cpp.o"
+  "CMakeFiles/sjc_util.dir/logging.cpp.o.d"
+  "CMakeFiles/sjc_util.dir/rng.cpp.o"
+  "CMakeFiles/sjc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sjc_util.dir/strings.cpp.o"
+  "CMakeFiles/sjc_util.dir/strings.cpp.o.d"
+  "CMakeFiles/sjc_util.dir/table.cpp.o"
+  "CMakeFiles/sjc_util.dir/table.cpp.o.d"
+  "CMakeFiles/sjc_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/sjc_util.dir/thread_pool.cpp.o.d"
+  "libsjc_util.a"
+  "libsjc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sjc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/dataset.cpp" "src/workload/CMakeFiles/sjc_workload.dir/dataset.cpp.o" "gcc" "src/workload/CMakeFiles/sjc_workload.dir/dataset.cpp.o.d"
+  "/root/repo/src/workload/dataset_io.cpp" "src/workload/CMakeFiles/sjc_workload.dir/dataset_io.cpp.o" "gcc" "src/workload/CMakeFiles/sjc_workload.dir/dataset_io.cpp.o.d"
+  "/root/repo/src/workload/generators.cpp" "src/workload/CMakeFiles/sjc_workload.dir/generators.cpp.o" "gcc" "src/workload/CMakeFiles/sjc_workload.dir/generators.cpp.o.d"
+  "/root/repo/src/workload/tsv.cpp" "src/workload/CMakeFiles/sjc_workload.dir/tsv.cpp.o" "gcc" "src/workload/CMakeFiles/sjc_workload.dir/tsv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/sjc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sjc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sjc_workload.dir/dataset.cpp.o"
+  "CMakeFiles/sjc_workload.dir/dataset.cpp.o.d"
+  "CMakeFiles/sjc_workload.dir/dataset_io.cpp.o"
+  "CMakeFiles/sjc_workload.dir/dataset_io.cpp.o.d"
+  "CMakeFiles/sjc_workload.dir/generators.cpp.o"
+  "CMakeFiles/sjc_workload.dir/generators.cpp.o.d"
+  "CMakeFiles/sjc_workload.dir/tsv.cpp.o"
+  "CMakeFiles/sjc_workload.dir/tsv.cpp.o.d"
+  "libsjc_workload.a"
+  "libsjc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sjc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

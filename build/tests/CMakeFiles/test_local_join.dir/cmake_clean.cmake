@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_join.dir/test_local_join.cpp.o"
+  "CMakeFiles/test_local_join.dir/test_local_join.cpp.o.d"
+  "test_local_join"
+  "test_local_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

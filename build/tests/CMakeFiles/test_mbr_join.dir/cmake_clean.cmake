@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mbr_join.dir/test_mbr_join.cpp.o"
+  "CMakeFiles/test_mbr_join.dir/test_mbr_join.cpp.o.d"
+  "test_mbr_join"
+  "test_mbr_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mbr_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_measures.dir/test_measures.cpp.o"
+  "CMakeFiles/test_measures.dir/test_measures.cpp.o.d"
+  "test_measures"
+  "test_measures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_measures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

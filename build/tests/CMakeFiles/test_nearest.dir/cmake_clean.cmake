@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nearest.dir/test_nearest.cpp.o"
+  "CMakeFiles/test_nearest.dir/test_nearest.cpp.o.d"
+  "test_nearest"
+  "test_nearest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nearest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preindexed.dir/test_preindexed.cpp.o"
+  "CMakeFiles/test_preindexed.dir/test_preindexed.cpp.o.d"
+  "test_preindexed"
+  "test_preindexed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preindexed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

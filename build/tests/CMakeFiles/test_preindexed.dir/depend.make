@@ -1,0 +1,2 @@
+# Empty dependencies file for test_preindexed.
+# This may be replaced when dependencies are built.

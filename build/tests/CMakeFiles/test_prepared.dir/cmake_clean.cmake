@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prepared.dir/test_prepared.cpp.o"
+  "CMakeFiles/test_prepared.dir/test_prepared.cpp.o.d"
+  "test_prepared"
+  "test_prepared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prepared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wkb.dir/test_wkb.cpp.o"
+  "CMakeFiles/test_wkb.dir/test_wkb.cpp.o.d"
+  "test_wkb"
+  "test_wkb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wkb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wkt.dir/test_wkt.cpp.o"
+  "CMakeFiles/test_wkt.dir/test_wkt.cpp.o.d"
+  "test_wkt"
+  "test_wkt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wkt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
