@@ -1,0 +1,88 @@
+#include "cluster/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace sjc::cluster {
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  require(plan_.task_crash_probability >= 0.0 && plan_.task_crash_probability < 1.0,
+          "FaultPlan: task_crash_probability must be in [0, 1)");
+  require(plan_.straggler_probability >= 0.0 && plan_.straggler_probability <= 1.0,
+          "FaultPlan: straggler_probability must be in [0, 1]");
+  require(plan_.straggler_slowdown >= 1.0,
+          "FaultPlan: straggler_slowdown must be >= 1");
+  require(plan_.max_attempts >= 1, "FaultPlan: max_attempts must be >= 1");
+  require(plan_.retry_backoff_s >= 0.0, "FaultPlan: retry_backoff_s must be >= 0");
+  require(plan_.speculation_threshold >= 1.0,
+          "FaultPlan: speculation_threshold must be >= 1");
+  require(plan_.pipe_retry_headroom >= 0.0,
+          "FaultPlan: pipe_retry_headroom must be >= 0");
+  std::sort(plan_.datanode_losses.begin(), plan_.datanode_losses.end(),
+            [](const DatanodeLossEvent& a, const DatanodeLossEvent& b) {
+              return a.time_s != b.time_s ? a.time_s < b.time_s : a.node < b.node;
+            });
+}
+
+std::uint64_t FaultInjector::phase_id(const std::string& name) {
+  return std::hash<std::string>{}(name);
+}
+
+double FaultInjector::unit(std::uint64_t phase, std::size_t task,
+                           std::uint32_t attempt, std::uint64_t salt) const {
+  // One SplitMix64 chain over the query coordinates: order-independent,
+  // allocation-free, and identical across thread schedules.
+  std::uint64_t s = plan_.seed ^ 0x9e3779b97f4a7c15ULL;
+  splitmix64(s);
+  s ^= mix64(phase);
+  s ^= mix64(static_cast<std::uint64_t>(task) * 0x2545f4914f6cdd1dULL + 1);
+  s ^= mix64(static_cast<std::uint64_t>(attempt) + (salt << 32));
+  const std::uint64_t bits = splitmix64(s);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjector::crashes(std::uint64_t phase, std::size_t task,
+                            std::uint32_t attempt) const {
+  if (plan_.task_crash_probability <= 0.0) return false;
+  return unit(phase, task, attempt, /*salt=*/1) < plan_.task_crash_probability;
+}
+
+double FaultInjector::crash_fraction(std::uint64_t phase, std::size_t task,
+                                     std::uint32_t attempt) const {
+  // Uniform in [0.05, 0.95]: a crash lands somewhere inside the attempt,
+  // never exactly at launch or completion.
+  return 0.05 + 0.9 * unit(phase, task, attempt, /*salt=*/2);
+}
+
+double FaultInjector::slowdown(std::uint64_t phase, std::size_t task) const {
+  if (plan_.straggler_probability <= 0.0 || plan_.straggler_slowdown <= 1.0) {
+    return 1.0;
+  }
+  return unit(phase, task, /*attempt=*/0, /*salt=*/3) < plan_.straggler_probability
+             ? plan_.straggler_slowdown
+             : 1.0;
+}
+
+double FaultInjector::backoff_s(std::uint32_t attempt) const {
+  return plan_.retry_backoff_s * std::ldexp(1.0, static_cast<int>(attempt) - 1);
+}
+
+double FaultInjector::capacity_factor(std::uint32_t attempt) const {
+  return 1.0 + plan_.pipe_retry_headroom * static_cast<double>(attempt - 1);
+}
+
+std::vector<DatanodeLossEvent> FaultInjector::losses_due(double now_s,
+                                                         std::size_t from) const {
+  std::vector<DatanodeLossEvent> due;
+  for (std::size_t i = from; i < plan_.datanode_losses.size(); ++i) {
+    if (plan_.datanode_losses[i].time_s > now_s) break;
+    due.push_back(plan_.datanode_losses[i]);
+  }
+  return due;
+}
+
+}  // namespace sjc::cluster

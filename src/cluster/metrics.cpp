@@ -23,6 +23,21 @@ std::string RunMetrics::to_string() const {
                   format_bytes(p.bytes_written).c_str(),
                   format_bytes(p.bytes_shuffled).c_str(), p.task_count);
     out += line;
+    const bool recovered_work =
+        p.task_attempts > p.task_count || p.speculative_clones > 0 ||
+        p.wasted_seconds > 0.0 || p.recomputed_partitions > 0 ||
+        p.rereplicated_bytes > 0;
+    if (recovered_work) {
+      std::snprintf(line, sizeof(line),
+                    "%-40s   attempts=%llu clones=%llu wasted=%.2fs recomputed=%llu "
+                    "rereplicated=%s\n",
+                    "", static_cast<unsigned long long>(p.task_attempts),
+                    static_cast<unsigned long long>(p.speculative_clones),
+                    p.wasted_seconds,
+                    static_cast<unsigned long long>(p.recomputed_partitions),
+                    format_bytes(p.rereplicated_bytes).c_str());
+      out += line;
+    }
   }
   std::snprintf(line, sizeof(line), "%-40s %10.2fs\n", "TOTAL", total_seconds());
   out += line;

@@ -22,6 +22,21 @@ struct PhaseReport {
   /// Streaming phases only: largest per-task pipe volume at paper
   /// magnitude (drives the broken-pipe analysis).
   std::uint64_t max_task_pipe_bytes = 0;
+
+  // ---- recovery accounting (fault-injected runs; zero otherwise) ----------
+  /// Task attempts launched, including retries and speculative clones
+  /// (== task_count on a clean phase; 0 for master-side serial phases).
+  std::uint64_t task_attempts = 0;
+  /// Speculative duplicates launched for stragglers.
+  std::uint64_t speculative_clones = 0;
+  /// Seconds of discarded work: failed attempts, retry backoff, and the
+  /// losing side of speculative races.
+  double wasted_seconds = 0.0;
+  /// RDD partitions recomputed from lineage after executor loss.
+  std::uint64_t recomputed_partitions = 0;
+  /// Bytes copied by the DFS to restore replication after datanode loss
+  /// (paper magnitude).
+  std::uint64_t rereplicated_bytes = 0;
 };
 
 class RunMetrics {
@@ -63,6 +78,36 @@ class RunMetrics {
   std::uint64_t total_bytes_shuffled() const {
     std::uint64_t total = 0;
     for (const auto& p : phases_) total += p.bytes_shuffled;
+    return total;
+  }
+
+  std::uint64_t total_task_attempts() const {
+    std::uint64_t total = 0;
+    for (const auto& p : phases_) total += p.task_attempts;
+    return total;
+  }
+
+  std::uint64_t total_speculative_clones() const {
+    std::uint64_t total = 0;
+    for (const auto& p : phases_) total += p.speculative_clones;
+    return total;
+  }
+
+  double total_wasted_seconds() const {
+    double total = 0.0;
+    for (const auto& p : phases_) total += p.wasted_seconds;
+    return total;
+  }
+
+  std::uint64_t total_recomputed_partitions() const {
+    std::uint64_t total = 0;
+    for (const auto& p : phases_) total += p.recomputed_partitions;
+    return total;
+  }
+
+  std::uint64_t total_rereplicated_bytes() const {
+    std::uint64_t total = 0;
+    for (const auto& p : phases_) total += p.rereplicated_bytes;
     return total;
   }
 

@@ -9,7 +9,7 @@ namespace sjc::cluster {
 
 double list_schedule_makespan(const std::vector<double>& durations,
                               std::uint32_t slots) {
-  require(slots >= 1, "list_schedule_makespan: need at least one slot");
+  require(slots > 0, "list_schedule_makespan: need at least one slot");
   if (durations.empty()) return 0.0;
   // Min-heap of slot availability times.
   std::priority_queue<double, std::vector<double>, std::greater<>> heap;
@@ -26,8 +26,125 @@ double list_schedule_makespan(const std::vector<double>& durations,
 }
 
 double lpt_schedule_makespan(std::vector<double> durations, std::uint32_t slots) {
+  require(slots > 0, "lpt_schedule_makespan: need at least one slot");
   std::sort(durations.begin(), durations.end(), std::greater<>());
   return list_schedule_makespan(durations, slots);
+}
+
+ScheduleOutcome list_schedule_makespan(const std::vector<double>& durations,
+                                       std::uint32_t slots,
+                                       const FaultInjector& faults,
+                                       std::uint64_t phase,
+                                       const std::vector<double>* intrinsic_severity) {
+  require(slots > 0, "list_schedule_makespan: need at least one slot");
+  require(intrinsic_severity == nullptr ||
+              intrinsic_severity->size() == durations.size(),
+          "list_schedule_makespan: severity vector must match task count");
+  ScheduleOutcome out;
+  if (durations.empty()) return out;
+
+  const FaultPlan& plan = faults.plan();
+
+  // Median base duration, the speculation trigger reference (Hadoop
+  // speculates on tasks far beyond the pack's progress rate).
+  double median = 0.0;
+  {
+    std::vector<double> sorted = durations;
+    const std::size_t mid = sorted.size() / 2;
+    std::nth_element(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(mid),
+                     sorted.end());
+    median = sorted[mid];
+  }
+
+  std::priority_queue<double, std::vector<double>, std::greater<>> heap;
+  for (std::uint32_t s = 0; s < slots; ++s) heap.push(0.0);
+
+  for (std::size_t i = 0; i < durations.size(); ++i) {
+    const double base = durations[i];
+    const double slow = faults.slowdown(phase, i);
+    const double severity =
+        intrinsic_severity != nullptr ? (*intrinsic_severity)[i] : 0.0;
+
+    const double start = heap.top();
+    heap.pop();
+
+    // ---- Attempt chain: retries run back-to-back on the same slot --------
+    double chain = 0.0;
+    bool succeeded = false;
+    std::uint32_t attempt = 1;
+    for (; attempt <= plan.max_attempts; ++attempt) {
+      const double attempt_duration = base * slow;
+      ++out.attempts;
+      out.max_attempts_used = std::max(out.max_attempts_used, attempt);
+      if (severity > 1.0 && severity > faults.capacity_factor(attempt)) {
+        // Intrinsic failure (pipe overflow): the attempt dies once the
+        // capacity is exhausted, i.e. after capacity/severity of its work.
+        const double consumed =
+            attempt_duration * std::min(1.0, faults.capacity_factor(attempt) / severity);
+        chain += consumed;
+        out.wasted_seconds += consumed;
+      } else if (faults.crashes(phase, i, attempt)) {
+        const double consumed =
+            attempt_duration * faults.crash_fraction(phase, i, attempt);
+        chain += consumed;
+        out.wasted_seconds += consumed;
+      } else {
+        chain += attempt_duration;
+        succeeded = true;
+        break;
+      }
+      if (attempt < plan.max_attempts) {
+        const double backoff = faults.backoff_s(attempt);
+        chain += backoff;
+        out.wasted_seconds += backoff;
+      }
+    }
+
+    if (!succeeded) {
+      out.success = false;
+      if (out.first_failed_task == static_cast<std::size_t>(-1)) {
+        out.first_failed_task = i;
+      }
+      const double end = start + chain;
+      out.makespan = std::max(out.makespan, end);
+      heap.push(end);
+      continue;
+    }
+
+    // ---- Speculative execution -------------------------------------------
+    // Hadoop clones a straggler once it runs past a multiple of the pack's
+    // median; the clone starts on another slot at full speed, the first
+    // finisher wins and the loser is killed (its work wasted but charged).
+    // Only clean first-attempt stragglers speculate: a task that already
+    // crashed is handled by the retry path above.
+    const bool straggler = slow > 1.0 && attempt == 1;
+    if (plan.speculative_execution && straggler &&
+        base * slow > plan.speculation_threshold * median && !heap.empty()) {
+      const double launch_offset = plan.speculation_threshold * median;
+      const double clone_slot_free = heap.top();
+      heap.pop();
+      const double clone_start = std::max(clone_slot_free, start + launch_offset);
+      const double clone_end = clone_start + base;
+      const double primary_end = start + chain;
+      const double winner_end = std::min(primary_end, clone_end);
+      ++out.speculative_clones;
+      ++out.attempts;
+      if (clone_end < primary_end) {
+        out.wasted_seconds += winner_end - start;  // primary killed
+      } else {
+        out.wasted_seconds += std::max(0.0, winner_end - clone_start);  // clone killed
+      }
+      out.makespan = std::max(out.makespan, winner_end);
+      heap.push(winner_end);
+      heap.push(winner_end);
+      continue;
+    }
+
+    const double end = start + chain;
+    out.makespan = std::max(out.makespan, end);
+    heap.push(end);
+  }
+  return out;
 }
 
 }  // namespace sjc::cluster

@@ -4,21 +4,68 @@
 // phase finishes when the last task drains. list_schedule_makespan
 // reproduces exactly that: tasks are assigned, in submission order, to the
 // earliest-available slot.
+//
+// The failure-aware overload additionally replays Hadoop's recovery
+// machinery on top of the same FIFO dispatch: failed attempts are retried
+// (with exponential backoff) on the same slot up to the plan's max_attempts,
+// stragglers run slowed down and may be speculatively cloned onto a second
+// slot (first finisher wins, the loser's duplicate work is wasted but
+// charged), and a task that exhausts its attempts kills the phase — all
+// deterministic functions of the FaultPlan seed.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "cluster/fault_injector.hpp"
 
 namespace sjc::cluster {
 
 /// FIFO list-scheduling makespan of `durations` onto `slots` identical
-/// slots. Returns 0 for an empty task list.
+/// slots. Returns 0 for an empty task list. Throws InvalidArgument when
+/// `slots == 0` (there is nothing meaningful to schedule onto).
 double list_schedule_makespan(const std::vector<double>& durations,
                               std::uint32_t slots);
 
 /// Longest-processing-time variant (tasks sorted descending first): a lower
 /// bound used by the scalability bench to separate scheduling luck from
-/// capacity limits.
+/// capacity limits. Also requires `slots > 0`.
 double lpt_schedule_makespan(std::vector<double> durations, std::uint32_t slots);
+
+/// Outcome of scheduling one phase under a FaultPlan.
+struct ScheduleOutcome {
+  double makespan = 0.0;
+  /// Total task attempts launched (== task count when nothing failed).
+  std::uint64_t attempts = 0;
+  /// Largest attempt number any single task needed to succeed (or the
+  /// attempt count it died at).
+  std::uint32_t max_attempts_used = 0;
+  /// Speculative duplicates launched.
+  std::uint64_t speculative_clones = 0;
+  /// Seconds of work thrown away: failed attempts, retry backoff, and the
+  /// losing side of every speculative race.
+  double wasted_seconds = 0.0;
+  /// False when some task exhausted max_attempts; the phase (and job) dies.
+  bool success = true;
+  /// First task (by submission index) that exhausted its attempts.
+  std::size_t first_failed_task = static_cast<std::size_t>(-1);
+};
+
+/// Failure/speculation-aware FIFO list schedule.
+///
+/// `intrinsic_severity` (optional, parallel to `durations`) models
+/// deterministic per-task failure causes such as streaming-pipe overflow:
+/// entry r means attempt k of that task fails intrinsically unless
+/// faults.capacity_factor(k) >= r (r <= 1 never fails; a failed attempt
+/// consumes duration * min(1, capacity_factor/r) before dying — the pipe
+/// breaks partway through the stream). Injected crashes from the plan are
+/// layered on top. Requires `slots > 0`.
+ScheduleOutcome list_schedule_makespan(const std::vector<double>& durations,
+                                       std::uint32_t slots,
+                                       const FaultInjector& faults,
+                                       std::uint64_t phase,
+                                       const std::vector<double>* intrinsic_severity =
+                                           nullptr);
 
 }  // namespace sjc::cluster

@@ -38,6 +38,18 @@ double effective_sample_rate(double configured_rate, std::size_t dataset_size,
   return std::max(configured_rate, floor_rate);
 }
 
+void annotate_recovery(RunReport& report) {
+  std::uint64_t task_count = 0;
+  for (const auto& p : report.metrics.phases()) task_count += p.task_count;
+  report.attempts_used = report.metrics.total_task_attempts();
+  report.recovered =
+      report.success &&
+      (report.attempts_used > task_count ||
+       report.metrics.total_speculative_clones() > 0 ||
+       report.metrics.total_recomputed_partitions() > 0 ||
+       report.metrics.total_rereplicated_bytes() > 0);
+}
+
 std::uint64_t hash_pairs_unordered(const std::vector<JoinPair>& pairs) {
   // Commutative accumulation of a strong per-pair mix: equal sets hash
   // equal regardless of order; different multiplicities hash differently.

@@ -95,6 +95,13 @@ struct RunReport {
   bool success = false;
   std::string failure_reason;  // e.g. "broken pipe ...", "out of memory ..."
 
+  /// Total task attempts launched across all phases (retries and
+  /// speculative clones included); equals the task count on a clean run.
+  std::uint64_t attempts_used = 0;
+  /// True when the run succeeded but only through recovery work: task
+  /// retries, speculative clones, lineage recomputes or DFS re-replication.
+  bool recovered = false;
+
   /// The paper's Table 3 breakdown (seconds at paper magnitude). For the
   /// SpatialSpark analog only `total_seconds` is meaningful, matching the
   /// paper's note that Spark stages cannot be attributed cleanly.
@@ -134,9 +141,15 @@ std::uint32_t effective_target_partitions(const JoinQueryConfig& query,
 double effective_sample_rate(double configured_rate, std::size_t dataset_size,
                              std::uint32_t target_cells);
 
+/// Fills a report's recovery summary (`attempts_used`, `recovered`) from
+/// its accumulated phase metrics. Called by every system driver after the
+/// run; idempotent.
+void annotate_recovery(RunReport& report);
+
 /// Runs one distributed spatial join on the chosen system. Simulated
-/// failures (BrokenPipe, SimOutOfMemory) are captured in the report; other
-/// exceptions (bugs, bad arguments) propagate.
+/// failures (BrokenPipe, TaskFailed, BlockUnavailable, SimOutOfMemory) are
+/// captured in the report; other exceptions (bugs, bad arguments)
+/// propagate.
 RunReport run_spatial_join(SystemKind system, const workload::Dataset& left,
                            const workload::Dataset& right, const JoinQueryConfig& query,
                            const ExecutionConfig& exec);

@@ -9,7 +9,12 @@
 //  * block placement with n-way replication across datanodes,
 //  * the cost structure of reads/writes: a write pushes `size` bytes to a
 //    local disk plus (replication-1) remote copies over the network; a
-//    data-local read costs disk bandwidth only, a remote read adds network.
+//    data-local read costs disk bandwidth only, a remote read adds network,
+//  * datanode failure: fail_datanode(n) drops every replica hosted on n,
+//    re-replicates under-replicated blocks onto surviving nodes (charging
+//    the copy traffic, like the HDFS namenode's re-replication queue), and
+//    marks files whose blocks lost *all* replicas — reading those throws
+//    BlockUnavailable.
 //
 // Engines charge those byte volumes into SimTask records; SimDfs itself
 // never advances a clock.
@@ -19,6 +24,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -54,6 +60,19 @@ struct IoCost {
   std::uint64_t network = 0;
 };
 
+/// What restoring replication after a datanode loss did and cost.
+struct ReplicationRepair {
+  /// Blocks that lost *every* replica — their files are unreadable.
+  std::size_t blocks_lost = 0;
+  /// Blocks that lost a replica but still had survivors.
+  std::size_t under_replicated = 0;
+  /// Bytes actually copied to restore the replication target.
+  std::uint64_t bytes_rereplicated = 0;
+  /// Device traffic of the repair: each copied block is read from a
+  /// surviving replica, shipped over the network, written to a new node.
+  IoCost cost;
+};
+
 class SimDfs {
  public:
   explicit SimDfs(DfsConfig config);
@@ -64,11 +83,17 @@ class SimDfs {
   /// `bytes` is the file's logical size at scaled magnitude.
   void put(const std::string& path, std::any payload, std::uint64_t bytes);
 
-  /// Typed payload accessor; throws SjcError when missing or mistyped.
+  /// Typed payload accessor; throws SjcError when missing or mistyped and
+  /// BlockUnavailable when datanode failures destroyed every replica of one
+  /// of the file's blocks.
   template <typename T>
   const T& get(const std::string& path) const {
     const auto it = files_.find(path);
     if (it == files_.end()) throw SjcError("SimDfs: no such file: " + path);
+    if (it->second.lost) {
+      throw BlockUnavailable("SimDfs: " + path +
+                             ": all replicas lost to datanode failures");
+    }
     const T* typed = std::any_cast<T>(&it->second.payload);
     if (typed == nullptr) throw SjcError("SimDfs: payload type mismatch: " + path);
     return *typed;
@@ -92,23 +117,43 @@ class SimDfs {
   IoCost write_cost(std::uint64_t bytes) const;
 
   /// Cost of reading `bytes`, data-local with probability equal to the
-  /// replica coverage (replication/datanodes, capped at 1); remote reads
-  /// add a network hop. Deterministic expected-value model.
+  /// replica coverage (replication/live datanodes, capped at 1); remote
+  /// reads add a network hop. Deterministic expected-value model.
   IoCost read_cost(std::uint64_t bytes) const;
+
+  // ---- datanode failure & recovery ----------------------------------------
+
+  /// Kills datanode `node`: every replica it hosted disappears. Blocks that
+  /// still have survivors are re-replicated onto live nodes (deterministic
+  /// target choice, traffic charged in the returned repair); blocks whose
+  /// last replica died mark their file lost — get<T>() on it throws
+  /// BlockUnavailable. Idempotent: failing a dead node is a no-op repair.
+  ReplicationRepair fail_datanode(std::uint32_t node);
+
+  bool node_alive(std::uint32_t node) const { return !dead_nodes_.contains(node); }
+  std::uint32_t live_datanode_count() const {
+    return config_.datanode_count - static_cast<std::uint32_t>(dead_nodes_.size());
+  }
+  /// True when datanode failures destroyed every replica of some block of
+  /// `path` (reads will throw BlockUnavailable).
+  bool lost(const std::string& path) const { return entry(path).lost; }
 
  private:
   struct Entry {
     FileMeta meta;
     std::any payload;
+    bool lost = false;
   };
 
   std::vector<BlockMeta> place_blocks(std::uint64_t bytes);
+  std::vector<std::uint32_t> live_nodes() const;
 
   DfsConfig config_;
   std::map<std::string, Entry> files_;
   std::uint64_t total_bytes_ = 0;
   Rng rng_;
-  std::uint32_t next_node_ = 0;
+  std::uint32_t next_node_ = 0;  // rotation index into the live-node list
+  std::set<std::uint32_t> dead_nodes_;
 
   // map path lookup helper
   const Entry& entry(const std::string& path) const;

@@ -142,8 +142,13 @@ std::vector<Out> run_map_reduce(MrContext& ctx,
       map_in_bytes += r.task.disk_read;
       map_out_bytes += r.task.disk_write;
     }
-    record_phase(ctx, spec.name + "/map", tasks, map_in_bytes, map_out_bytes, 0,
-                 spec.config.job_startup_s);
+    const auto outcome = record_phase(ctx, spec.name + "/map", tasks, map_in_bytes,
+                                      map_out_bytes, 0, spec.config.job_startup_s);
+    if (!outcome.success) {
+      throw TaskFailed(spec.name + "/map: task " +
+                       std::to_string(outcome.first_failed_task) +
+                       " crashed and exhausted its attempts");
+    }
   }
 
   // ---- Shuffle + reduce phase ---------------------------------------------
@@ -210,8 +215,15 @@ std::vector<Out> run_map_reduce(MrContext& ctx,
     total_shuffle += t.disk_read;
     total_out += t.disk_write;
   }
-  record_phase(ctx, spec.name + "/reduce", reduce_task_costs, total_shuffle, total_out,
-               total_shuffle, 0.0);
+  {
+    const auto outcome = record_phase(ctx, spec.name + "/reduce", reduce_task_costs,
+                                      total_shuffle, total_out, total_shuffle, 0.0);
+    if (!outcome.success) {
+      throw TaskFailed(spec.name + "/reduce: task " +
+                       std::to_string(outcome.first_failed_task) +
+                       " crashed and exhausted its attempts");
+    }
+  }
 
   std::vector<Out> all;
   for (auto& out : reduce_outputs) {
@@ -262,8 +274,15 @@ std::vector<Out> run_map_only(MrContext& ctx, const MapOnlySpec<Split, Out>& spe
     in_bytes += spec.split_bytes(splits[s]);
     out_bytes += tasks[s].disk_write;
   }
-  record_phase(ctx, spec.name + "/map", tasks, in_bytes, out_bytes, 0,
-               spec.config.job_startup_s);
+  {
+    const auto outcome = record_phase(ctx, spec.name + "/map", tasks, in_bytes,
+                                      out_bytes, 0, spec.config.job_startup_s);
+    if (!outcome.success) {
+      throw TaskFailed(spec.name + "/map: task " +
+                       std::to_string(outcome.first_failed_task) +
+                       " crashed and exhausted its attempts");
+    }
+  }
 
   std::vector<Out> all;
   for (auto& out : outputs) {

@@ -5,6 +5,45 @@
 
 namespace sjc::mapreduce {
 
+const cluster::FaultInjector& fault_injector(const MrContext& ctx) {
+  static const cluster::FaultInjector trivial{cluster::FaultPlan{}};
+  return ctx.faults != nullptr ? *ctx.faults : trivial;
+}
+
+namespace {
+
+/// Applies datanode-loss events the simulated clock has passed: kills the
+/// node in the DFS and charges the namenode's re-replication copies as a
+/// one-task repair phase.
+void apply_due_datanode_losses(MrContext& ctx) {
+  if (ctx.faults == nullptr || ctx.dfs == nullptr) return;
+  const auto due = ctx.faults->losses_due(ctx.metrics->total_seconds(),
+                                          ctx.datanode_losses_applied);
+  for (const auto& event : due) {
+    ++ctx.datanode_losses_applied;
+    // The last live datanode never dies mid-run (it hosts the master too).
+    if (ctx.dfs->live_datanode_count() <= 1) continue;
+    const dfs::ReplicationRepair repair =
+        ctx.dfs->fail_datanode(event.node % ctx.dfs->config().datanode_count);
+    if (repair.bytes_rereplicated == 0 && repair.blocks_lost == 0) continue;
+    cluster::SimTask task;
+    task.disk_read = repair.cost.disk_read;
+    task.disk_write = repair.cost.disk_write;
+    task.network = repair.cost.network;
+    cluster::PhaseReport phase;
+    phase.name = "dfs/re-replicate[node" + std::to_string(event.node) + "]";
+    phase.sim_seconds = task.duration(*ctx.cluster, ctx.data_scale);
+    phase.bytes_read = repair.cost.disk_read;
+    phase.bytes_written = repair.cost.disk_write;
+    phase.task_count = 1;
+    phase.task_attempts = 1;
+    phase.rereplicated_bytes = repair.bytes_rereplicated;
+    ctx.metrics->add_phase(std::move(phase));
+  }
+}
+
+}  // namespace
+
 void charge_master_step(MrContext& ctx, const std::string& name, double cpu_seconds,
                         std::uint64_t read_bytes, std::uint64_t write_bytes,
                         double cpu_efficiency) {
@@ -29,28 +68,42 @@ void charge_master_step(MrContext& ctx, const std::string& name, double cpu_seco
   phase.bytes_read = read_bytes;
   phase.bytes_written = write_bytes;
   phase.task_count = 1;
+  phase.task_attempts = 1;
   ctx.metrics->add_phase(std::move(phase));
+  apply_due_datanode_losses(ctx);
 }
 
-void record_phase(MrContext& ctx, const std::string& name,
-                  const std::vector<cluster::SimTask>& tasks,
-                  std::uint64_t bytes_read, std::uint64_t bytes_written,
-                  std::uint64_t bytes_shuffled, double extra_seconds) {
+cluster::ScheduleOutcome record_phase(MrContext& ctx, const std::string& name,
+                                      const std::vector<cluster::SimTask>& tasks,
+                                      std::uint64_t bytes_read,
+                                      std::uint64_t bytes_written,
+                                      std::uint64_t bytes_shuffled,
+                                      double extra_seconds,
+                                      const std::vector<double>* task_severity,
+                                      std::uint64_t max_task_pipe_bytes) {
   std::vector<double> durations;
   durations.reserve(tasks.size());
   for (const auto& t : tasks) {
     durations.push_back(t.duration(*ctx.cluster, ctx.data_scale));
   }
+  const cluster::FaultInjector& faults = fault_injector(ctx);
+  const cluster::ScheduleOutcome outcome = cluster::list_schedule_makespan(
+      durations, ctx.cluster->total_slots(), faults,
+      cluster::FaultInjector::phase_id(name), task_severity);
   cluster::PhaseReport phase;
   phase.name = name;
-  phase.sim_seconds =
-      cluster::list_schedule_makespan(durations, ctx.cluster->total_slots()) +
-      extra_seconds;
+  phase.sim_seconds = outcome.makespan + extra_seconds;
   phase.bytes_read = bytes_read;
   phase.bytes_written = bytes_written;
   phase.bytes_shuffled = bytes_shuffled;
   phase.task_count = tasks.size();
+  phase.max_task_pipe_bytes = max_task_pipe_bytes;
+  phase.task_attempts = outcome.attempts;
+  phase.speculative_clones = outcome.speculative_clones;
+  phase.wasted_seconds = outcome.wasted_seconds;
   ctx.metrics->add_phase(std::move(phase));
+  apply_due_datanode_losses(ctx);
+  return outcome;
 }
 
 }  // namespace sjc::mapreduce

@@ -15,6 +15,7 @@
 #include "cluster/cluster_spec.hpp"
 #include "cluster/counters.hpp"
 #include "cluster/metrics.hpp"
+#include "cluster/scheduler.hpp"
 #include "cluster/sim_task.hpp"
 #include "dfs/sim_dfs.hpp"
 
@@ -46,6 +47,13 @@ struct MrContext {
   cluster::RunMetrics* metrics = nullptr;
   /// Optional named-counter sink (Hadoop-style job counters).
   cluster::Counters* counters = nullptr;
+  /// Optional fault injector: when set, every phase is scheduled through
+  /// the failure-aware path (retries, speculation, datanode losses). Null
+  /// means the fault-free seed model.
+  const cluster::FaultInjector* faults = nullptr;
+  /// Index of the next unapplied datanode-loss event from the fault plan
+  /// (advanced as the simulated clock passes each event's time).
+  std::size_t datanode_losses_applied = 0;
 
   /// Fraction of shuffled bytes that cross the network (a reducer co-hosted
   /// with a mapper reads locally): (nodes-1)/nodes.
@@ -65,11 +73,33 @@ void charge_master_step(MrContext& ctx, const std::string& name, double cpu_seco
                         std::uint64_t read_bytes, std::uint64_t write_bytes,
                         double cpu_efficiency = 0.2);
 
+/// The context's fault injector, or a shared trivial (fault-free) one when
+/// none is set. A trivial plan drives the failure-aware scheduler through
+/// arithmetic identical to the plain path, so clean runs stay bit-equal.
+const cluster::FaultInjector& fault_injector(const MrContext& ctx);
+
 /// Records a phase from a set of simulated tasks: computes the FIFO
-/// makespan over the cluster's slots and appends a PhaseReport.
-void record_phase(MrContext& ctx, const std::string& name,
-                  const std::vector<cluster::SimTask>& tasks,
-                  std::uint64_t bytes_read, std::uint64_t bytes_written,
-                  std::uint64_t bytes_shuffled, double extra_seconds);
+/// makespan over the cluster's slots (through the context's fault injector:
+/// retries, backoff, speculation, stragglers) and appends a PhaseReport.
+///
+/// `task_severity` (optional, parallel to `tasks`) carries deterministic
+/// per-task failure causes — for streaming, pipe_volume / pipe_capacity;
+/// entries > the attempt's capacity factor make that attempt fail (see
+/// scheduler.hpp). The outcome reports whether the phase succeeded; on
+/// `success == false` the phase (with its wasted work) is still recorded
+/// and the caller decides which SimFailure to throw. Datanode-loss events
+/// whose scheduled time the simulated clock has passed are applied after
+/// the phase, charging re-replication traffic as its own phase — so the
+/// recorded phase may not be the metrics' last; per-phase annotations go
+/// through `max_task_pipe_bytes` here rather than metrics->last_phase().
+cluster::ScheduleOutcome record_phase(MrContext& ctx, const std::string& name,
+                                      const std::vector<cluster::SimTask>& tasks,
+                                      std::uint64_t bytes_read,
+                                      std::uint64_t bytes_written,
+                                      std::uint64_t bytes_shuffled,
+                                      double extra_seconds,
+                                      const std::vector<double>* task_severity =
+                                          nullptr,
+                                      std::uint64_t max_task_pipe_bytes = 0);
 
 }  // namespace sjc::mapreduce

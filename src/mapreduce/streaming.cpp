@@ -10,16 +10,41 @@ namespace sjc::mapreduce {
 
 namespace {
 
-void check_pipe(const StreamingConfig& config, double data_scale,
-                std::uint64_t pipe_bytes, const std::string& where) {
-  if (config.pipe_capacity_bytes == 0) return;
-  const auto paper_bytes = static_cast<std::uint64_t>(
-      static_cast<double>(pipe_bytes) * data_scale);
-  if (paper_bytes > config.pipe_capacity_bytes) {
+/// Pipe-overflow severity of one task: paper-magnitude pipe volume over the
+/// configured capacity. <= 1 never fails; > 1 fails an attempt unless the
+/// attempt's retry headroom covers the ratio (scheduler.hpp). 0 when the
+/// capacity check is disabled.
+double pipe_severity(const StreamingConfig& config, double data_scale,
+                     std::uint64_t pipe_bytes) {
+  if (config.pipe_capacity_bytes == 0) return 0.0;
+  const auto paper_bytes = static_cast<double>(pipe_bytes) * data_scale;
+  return paper_bytes / static_cast<double>(config.pipe_capacity_bytes);
+}
+
+/// Converts a failed phase outcome into the job-killing SimFailure: pipe
+/// overflows beyond the last attempt's headroom die as BrokenPipe (the
+/// HadoopGIS signature of Tables 2-3), injected crashes as TaskFailed.
+[[noreturn]] void throw_phase_failure(const MrContext& ctx,
+                                      const cluster::ScheduleOutcome& outcome,
+                                      const StreamingConfig& config,
+                                      const std::vector<double>& severity,
+                                      const std::vector<std::uint64_t>& pipe_bytes,
+                                      const std::string& where) {
+  const cluster::FaultInjector& faults = fault_injector(ctx);
+  const std::uint32_t attempts = faults.plan().max_attempts;
+  const std::size_t task = outcome.first_failed_task;
+  if (task < severity.size() && severity[task] > 1.0 &&
+      severity[task] > faults.capacity_factor(attempts)) {
+    const auto paper_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(pipe_bytes[task]) * ctx.data_scale);
     throw BrokenPipe("streaming task pipe overflow in " + where + ": " +
                      std::to_string(paper_bytes) + " bytes > capacity " +
-                     std::to_string(config.pipe_capacity_bytes));
+                     std::to_string(config.pipe_capacity_bytes) + " after " +
+                     std::to_string(attempts) + " attempt(s)");
   }
+  throw TaskFailed("streaming task " + std::to_string(task) + " in " + where +
+                   " crashed and exhausted " + std::to_string(attempts) +
+                   " attempt(s)");
 }
 
 double pipe_seconds(const StreamingConfig& config, std::uint64_t bytes) {
@@ -57,9 +82,10 @@ std::vector<std::string> run_streaming(MrContext& ctx, const StreamingSpec& spec
     std::uint64_t pipe_bytes = 0;
   };
   std::vector<MapResult> map_results(splits.size());
-  // Failures inside parallel_for propagate after all bodies ran; BrokenPipe
-  // from any task aborts the job, like a failed streaming attempt does
-  // (Hadoop retries, then kills the job; we skip the futile retries).
+  // User code runs exactly once per task; pipe overflows do not throw here.
+  // Each task's overflow severity feeds the failure-aware scheduler, which
+  // decides — per the fault plan's retry budget — whether the phase
+  // recovers or the job dies (and charges the failed attempts either way).
   ThreadPool::shared().parallel_for(splits.size(), [&](std::size_t s) {
     MapResult& result = map_results[s];
     result.buckets.resize(reduce_tasks);
@@ -81,7 +107,6 @@ std::vector<std::string> run_streaming(MrContext& ctx, const StreamingSpec& spec
     }
     const std::uint64_t pipe_bytes = in_bytes + out_bytes;
     result.pipe_bytes = pipe_bytes;
-    check_pipe(spec.config, ctx.data_scale, pipe_bytes, spec.name + "/map");
     result.task.cpu_seconds = cpu.seconds() / spec.config.mr.cpu_efficiency +
                               pipe_seconds(spec.config, pipe_bytes);
     const auto rc = ctx.dfs->read_cost(in_bytes);
@@ -95,18 +120,28 @@ std::vector<std::string> run_streaming(MrContext& ctx, const StreamingSpec& spec
   std::uint64_t map_out = 0;
   {
     std::vector<cluster::SimTask> tasks;
+    std::vector<double> severity;
+    std::vector<std::uint64_t> pipe_volumes;
     tasks.reserve(map_results.size());
+    severity.reserve(map_results.size());
+    pipe_volumes.reserve(map_results.size());
     std::uint64_t max_pipe = 0;
     for (const auto& r : map_results) {
       tasks.push_back(r.task);
+      severity.push_back(pipe_severity(spec.config, ctx.data_scale, r.pipe_bytes));
+      pipe_volumes.push_back(r.pipe_bytes);
       map_in += r.task.disk_read;
       map_out += r.task.disk_write;
       max_pipe = std::max(max_pipe, r.pipe_bytes);
     }
-    record_phase(ctx, spec.name + "/map", tasks, map_in, map_out, 0,
-                 spec.config.mr.job_startup_s);
-    ctx.metrics->last_phase().max_task_pipe_bytes =
-        static_cast<std::uint64_t>(static_cast<double>(max_pipe) * ctx.data_scale);
+    const auto outcome = record_phase(
+        ctx, spec.name + "/map", tasks, map_in, map_out, 0,
+        spec.config.mr.job_startup_s, &severity,
+        static_cast<std::uint64_t>(static_cast<double>(max_pipe) * ctx.data_scale));
+    if (!outcome.success) {
+      throw_phase_failure(ctx, outcome, spec.config, severity, pipe_volumes,
+                          spec.name + "/map");
+    }
   }
 
   // ---- Shuffle + reduce (reducer subprocess per bucket) --------------------
@@ -137,7 +172,6 @@ std::vector<std::string> run_streaming(MrContext& ctx, const StreamingSpec& spec
     }
     const std::uint64_t pipe_bytes = shuffle_bytes + out_bytes;
     reduce_pipe_bytes[r] = pipe_bytes;
-    check_pipe(spec.config, ctx.data_scale, pipe_bytes, spec.name + "/reduce");
     cluster::SimTask& task = reduce_costs[r];
     task.cpu_seconds = cpu.seconds() / spec.config.mr.cpu_efficiency +
                        pipe_seconds(spec.config, pipe_bytes);
@@ -160,12 +194,22 @@ std::vector<std::string> run_streaming(MrContext& ctx, const StreamingSpec& spec
     total_shuffle += t.disk_read;
     total_out += t.disk_write;
   }
-  record_phase(ctx, spec.name + "/reduce", reduce_costs, total_shuffle, total_out,
-               total_shuffle, 0.0);
-  ctx.metrics->last_phase().max_task_pipe_bytes = static_cast<std::uint64_t>(
-      static_cast<double>(*std::max_element(reduce_pipe_bytes.begin(),
-                                            reduce_pipe_bytes.end())) *
-      ctx.data_scale);
+  std::vector<double> reduce_severity;
+  reduce_severity.reserve(reduce_pipe_bytes.size());
+  for (const std::uint64_t bytes : reduce_pipe_bytes) {
+    reduce_severity.push_back(pipe_severity(spec.config, ctx.data_scale, bytes));
+  }
+  const std::uint64_t max_reduce_pipe = *std::max_element(
+      reduce_pipe_bytes.begin(), reduce_pipe_bytes.end());
+  const auto outcome = record_phase(
+      ctx, spec.name + "/reduce", reduce_costs, total_shuffle, total_out,
+      total_shuffle, 0.0, &reduce_severity,
+      static_cast<std::uint64_t>(static_cast<double>(max_reduce_pipe) *
+                                 ctx.data_scale));
+  if (!outcome.success) {
+    throw_phase_failure(ctx, outcome, spec.config, reduce_severity,
+                        reduce_pipe_bytes, spec.name + "/reduce");
+  }
 
   std::vector<std::string> all;
   for (auto& out : outputs) {
@@ -203,7 +247,6 @@ std::vector<std::string> run_streaming_map_only(
     }
     const std::uint64_t pipe_bytes = in_bytes + out_bytes;
     task_pipe_bytes[s] = pipe_bytes;
-    check_pipe(spec.config, ctx.data_scale, pipe_bytes, spec.name + "/map");
     cluster::SimTask& task = tasks[s];
     task.cpu_seconds = cpu.seconds() / spec.config.mr.cpu_efficiency +
                        pipe_seconds(spec.config, pipe_bytes);
@@ -221,12 +264,21 @@ std::vector<std::string> run_streaming_map_only(
     total_in += t.disk_read;
     total_out += t.disk_write;
   }
-  record_phase(ctx, spec.name + "/map", tasks, total_in, total_out, 0,
-               spec.config.mr.job_startup_s);
-  ctx.metrics->last_phase().max_task_pipe_bytes = static_cast<std::uint64_t>(
-      static_cast<double>(*std::max_element(task_pipe_bytes.begin(),
-                                            task_pipe_bytes.end())) *
-      ctx.data_scale);
+  std::vector<double> severity;
+  severity.reserve(task_pipe_bytes.size());
+  for (const std::uint64_t bytes : task_pipe_bytes) {
+    severity.push_back(pipe_severity(spec.config, ctx.data_scale, bytes));
+  }
+  const std::uint64_t max_pipe = *std::max_element(task_pipe_bytes.begin(),
+                                                   task_pipe_bytes.end());
+  const auto outcome = record_phase(
+      ctx, spec.name + "/map", tasks, total_in, total_out, 0,
+      spec.config.mr.job_startup_s, &severity,
+      static_cast<std::uint64_t>(static_cast<double>(max_pipe) * ctx.data_scale));
+  if (!outcome.success) {
+    throw_phase_failure(ctx, outcome, spec.config, severity, task_pipe_bytes,
+                        spec.name + "/map");
+  }
 
   std::vector<std::string> all;
   for (auto& out : outputs) {

@@ -22,7 +22,8 @@ SparkRuntime::SparkRuntime(const cluster::ClusterSpec& cluster, double data_scal
             return static_cast<std::uint64_t>(std::max(per_node, 0.0) *
                                               cluster.node_count);
           }(),
-          data_scale, config.jvm_inflation) {
+          data_scale, config.jvm_inflation),
+      faults_(config.faults) {
   require(metrics != nullptr, "SparkRuntime: metrics sink required");
 }
 
@@ -32,16 +33,85 @@ void SparkRuntime::record(const std::string& name, std::vector<cluster::SimTask>
   std::vector<double> durations;
   durations.reserve(tasks.size());
   for (const auto& t : tasks) durations.push_back(t.duration(cluster_, data_scale_));
+  const cluster::ScheduleOutcome outcome = cluster::list_schedule_makespan(
+      durations, cluster_.total_slots(), faults_,
+      cluster::FaultInjector::phase_id(name));
   cluster::PhaseReport phase;
   phase.name = name;
-  phase.sim_seconds =
-      cluster::list_schedule_makespan(durations, cluster_.total_slots()) +
-      config_.stage_overhead_s;
+  phase.sim_seconds = outcome.makespan + config_.stage_overhead_s;
   phase.bytes_read = bytes_read;
   phase.bytes_written = bytes_written;
   phase.bytes_shuffled = bytes_shuffled;
   phase.task_count = tasks.size();
+  phase.task_attempts = outcome.attempts;
+  phase.speculative_clones = outcome.speculative_clones;
+  phase.wasted_seconds = outcome.wasted_seconds;
   metrics_->add_phase(std::move(phase));
+  if (!outcome.success) {
+    throw TaskFailed(name + ": task " +
+                     std::to_string(outcome.first_failed_task) +
+                     " crashed and exhausted its attempts");
+  }
+  // Grow the lineage: recomputing one partition later costs the average
+  // per-task time of every stage it passed through.
+  if (!durations.empty()) {
+    double sum = 0.0;
+    for (const double d : durations) sum += d;
+    lineage_per_task_seconds_ += sum / static_cast<double>(durations.size());
+    last_stage_tasks_ = durations.size();
+  }
+  apply_due_losses(name);
+}
+
+void SparkRuntime::apply_due_losses(const std::string& after_stage) {
+  const auto due = faults_.losses_due(metrics_->total_seconds(), losses_applied_);
+  for (const auto& event : due) {
+    ++losses_applied_;
+    if (cluster_.node_count <= 1) continue;  // the driver's node never dies
+    const std::uint32_t node = event.node % cluster_.node_count;
+
+    // The node hosted a datanode too: surviving replicas are re-copied.
+    if (dfs_ != nullptr) {
+      const dfs::ReplicationRepair repair = dfs_->fail_datanode(node);
+      if (repair.bytes_rereplicated > 0 || repair.blocks_lost > 0) {
+        cluster::SimTask task;
+        task.disk_read = repair.cost.disk_read;
+        task.disk_write = repair.cost.disk_write;
+        task.network = repair.cost.network;
+        cluster::PhaseReport phase;
+        phase.name = "dfs/re-replicate[node" + std::to_string(node) + "]";
+        phase.sim_seconds = task.duration(cluster_, data_scale_);
+        phase.bytes_read = repair.cost.disk_read;
+        phase.bytes_written = repair.cost.disk_write;
+        phase.task_count = 1;
+        phase.task_attempts = 1;
+        phase.rereplicated_bytes = repair.bytes_rereplicated;
+        metrics_->add_phase(std::move(phase));
+      }
+    }
+
+    // The executor's cached partitions are gone; recompute them from
+    // lineage on the surviving executors.
+    cluster_.node_count -= 1;
+    ++lost_executors_;
+    const std::size_t lost_partitions =
+        last_stage_tasks_ == 0
+            ? 0
+            : (last_stage_tasks_ + cluster_.node_count) /
+                  (cluster_.node_count + 1);  // ceil over the pre-loss nodes
+    if (lost_partitions == 0 || lineage_per_task_seconds_ <= 0.0) continue;
+    std::vector<double> recompute(lost_partitions, lineage_per_task_seconds_);
+    cluster::PhaseReport phase;
+    phase.name = after_stage + ".recompute[node" + std::to_string(node) + "]";
+    phase.sim_seconds =
+        cluster::list_schedule_makespan(recompute, cluster_.total_slots()) +
+        config_.stage_overhead_s;
+    phase.task_count = lost_partitions;
+    phase.task_attempts = lost_partitions;
+    phase.recomputed_partitions = lost_partitions;
+    recomputed_partitions_ += lost_partitions;
+    metrics_->add_phase(std::move(phase));
+  }
 }
 
 void SparkRuntime::record_narrow_stage(const std::string& name,

@@ -7,7 +7,11 @@
 //  * shuffles move bytes over the network (plus a small local spill-file
 //    write), not through replicated DFS files;
 //  * HDFS is touched exactly once, when input is first read;
-//  * everything lives in executor memory, policed by MemoryManager.
+//  * everything lives in executor memory, policed by MemoryManager;
+//  * executor loss (a scheduled datanode-loss event) drops the partitions
+//    cached on that node — Spark recomputes them from lineage, so the run
+//    survives but pays the recompute CPU/shuffle again (charged as a
+//    "<stage>.recompute" phase) and keeps going on the surviving executors.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +20,7 @@
 #include <vector>
 
 #include "cluster/cluster_spec.hpp"
+#include "cluster/fault_injector.hpp"
 #include "cluster/metrics.hpp"
 #include "cluster/sim_task.hpp"
 #include "dfs/sim_dfs.hpp"
@@ -46,6 +51,11 @@ struct SparkConfig {
   /// Ratio of this simulator's native C++ throughput to Spark's JVM/Scala
   /// stack; measured task CPU is divided by this.
   double cpu_efficiency = 0.2;
+  /// Fault plan for this run (trivial by default: no injected faults, no
+  /// retries). Datanode-loss events double as executor losses: the DFS
+  /// re-replicates the node's blocks and Spark recomputes its cached
+  /// partitions from lineage.
+  cluster::FaultPlan faults;
 };
 
 class SparkRuntime {
@@ -87,10 +97,21 @@ class SparkRuntime {
   /// Records collecting `bytes` back to the driver.
   void record_collect(const std::string& name, std::uint64_t bytes);
 
+  /// Executors lost to datanode-loss events so far.
+  std::uint32_t lost_executors() const { return lost_executors_; }
+  /// Partitions recomputed from lineage across all losses.
+  std::uint64_t recomputed_partitions() const { return recomputed_partitions_; }
+
  private:
   void record(const std::string& name, std::vector<cluster::SimTask> tasks,
               std::uint64_t bytes_read, std::uint64_t bytes_written,
               std::uint64_t bytes_shuffled);
+
+  /// Applies datanode-loss events the simulated clock has passed: the DFS
+  /// loses the node (re-replication charged), the executor's cached
+  /// partitions are recomputed from lineage, and the cluster shrinks by one
+  /// node for subsequent stages.
+  void apply_due_losses(const std::string& after_stage);
 
   cluster::ClusterSpec cluster_;
   double data_scale_;
@@ -98,6 +119,15 @@ class SparkRuntime {
   cluster::RunMetrics* metrics_;
   SparkConfig config_;
   MemoryManager memory_;
+  cluster::FaultInjector faults_;
+  std::size_t losses_applied_ = 0;
+  std::uint32_t lost_executors_ = 0;
+  std::uint64_t recomputed_partitions_ = 0;
+  /// Average per-task simulated seconds accumulated over the lineage so
+  /// far: what recomputing one lost partition from scratch costs.
+  double lineage_per_task_seconds_ = 0.0;
+  /// Task count of the most recent stage (partitions cached per node).
+  std::size_t last_stage_tasks_ = 0;
 };
 
 }  // namespace sjc::rdd

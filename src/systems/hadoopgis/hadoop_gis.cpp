@@ -227,8 +227,9 @@ core::RunReport run_hadoop_gis(const workload::Dataset& left,
       .datanode_count = exec.cluster.node_count,
       .seed = query.seed,
   });
+  const cluster::FaultInjector faults(config.faults);
   mapreduce::MrContext ctx{&exec.cluster, exec.data_scale, &dfs, &report.metrics,
-                           &report.counters};
+                           &report.counters, &faults};
 
   mapreduce::StreamingConfig streaming;
   streaming.mr = config.mr;
@@ -357,7 +358,10 @@ core::RunReport run_hadoop_gis(const workload::Dataset& left,
     report.result_count = pairs.size();
     report.result_hash = core::hash_pairs_unordered(pairs);
     if (exec.collect_pairs) report.pairs = std::move(pairs);
-  } catch (const BrokenPipe& e) {
+  } catch (const SimFailure& e) {
+    // BrokenPipe (pipe overflow past the retry budget), TaskFailed
+    // (injected crash exhausting attempts), BlockUnavailable (all replicas
+    // of an input lost): simulated outcomes, captured in the report.
     report.success = false;
     report.failure_reason = e.what();
   }
@@ -366,6 +370,7 @@ core::RunReport run_hadoop_gis(const workload::Dataset& left,
   report.index_b_seconds = report.metrics.seconds_with_prefix("B/");
   report.join_seconds = report.metrics.seconds_with_prefix("join/");
   report.total_seconds = report.metrics.total_seconds();
+  core::annotate_recovery(report);
   return report;
 }
 

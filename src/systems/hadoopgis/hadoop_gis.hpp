@@ -59,6 +59,10 @@ struct HadoopGisConfig {
   /// analog); overriding to kPrepared answers the paper's what-if: how much
   /// of HadoopGIS's slowness is the geometry library?
   geom::EngineKind engine = geom::EngineKind::kSimple;
+  /// Fault plan (injected crashes, stragglers, datanode losses) and
+  /// recovery budget (max_attempts, backoff, speculation). The default is
+  /// trivial: no faults, first failure fatal — the seed model of Tables 2-3.
+  cluster::FaultPlan faults;
 };
 
 core::RunReport run_hadoop_gis(const workload::Dataset& left,

@@ -272,6 +272,7 @@ void finalize_report(core::RunReport& report, std::vector<JoinPair> pairs,
   report.index_b_seconds = report.metrics.seconds_with_prefix("B/");
   report.join_seconds = report.metrics.seconds_with_prefix("join/");
   report.total_seconds = report.metrics.total_seconds();
+  core::annotate_recovery(report);
 }
 
 }  // namespace
@@ -283,14 +284,24 @@ core::RunReport run_spatial_hadoop(const workload::Dataset& left,
                                    const SpatialHadoopConfig& config) {
   core::RunReport report;
   dfs::SimDfs dfs(dfs_config(query, exec));
+  const cluster::FaultInjector faults(config.faults);
   mapreduce::MrContext ctx{&exec.cluster, exec.data_scale, &dfs, &report.metrics,
-                           &report.counters};
+                           &report.counters, &faults};
 
-  // ---- Preprocessing: index both inputs (IA, IB) ---------------------------
-  const IndexedDataset ia = index_dataset(ctx, left, "A", query, exec, config);
-  const IndexedDataset ib = index_dataset(ctx, right, "B", query, exec, config);
+  try {
+    // ---- Preprocessing: index both inputs (IA, IB) -------------------------
+    const IndexedDataset ia = index_dataset(ctx, left, "A", query, exec, config);
+    const IndexedDataset ib = index_dataset(ctx, right, "B", query, exec, config);
 
-  finalize_report(report, run_distributed_join(ctx, ia, ib, query, config), exec);
+    finalize_report(report, run_distributed_join(ctx, ia, ib, query, config), exec);
+  } catch (const SimFailure& e) {
+    // SpatialHadoop has no intrinsic failure modes; only injected faults
+    // (TaskFailed past the retry budget, BlockUnavailable) land here.
+    report.success = false;
+    report.failure_reason = e.what();
+    report.total_seconds = report.metrics.total_seconds();
+    core::annotate_recovery(report);
+  }
   return report;
 }
 

@@ -41,6 +41,10 @@ struct SpatialHadoopConfig {
   /// Geometry engine for refinement (JTS analog by default; override to
   /// kSimple to measure what SpatialHadoop would lose on GEOS).
   geom::EngineKind engine = geom::EngineKind::kPrepared;
+  /// Fault plan and recovery budget. Trivial by default — SpatialHadoop
+  /// has no intrinsic failure modes, so only injected faults (crashes past
+  /// max_attempts, losing every replica of a block) can make it fail.
+  cluster::FaultPlan faults;
 };
 
 core::RunReport run_spatial_hadoop(const workload::Dataset& left,

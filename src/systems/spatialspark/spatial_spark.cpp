@@ -189,6 +189,7 @@ core::RunReport run_spatial_spark(const workload::Dataset& left,
       }
       report.peak_memory_bytes = rt.memory().peak_paper_bytes();
       report.total_seconds = report.metrics.total_seconds();
+      core::annotate_recovery(report);
       return report;
     }
 
@@ -276,7 +277,10 @@ core::RunReport run_spatial_spark(const workload::Dataset& left,
       rt.record_narrow_stage("local-join.aggregate", {agg_cpu.seconds()});
       rt.record_collect("result.aggregate", 16 * pairs_rdd.num_partitions());
     }
-  } catch (const SimOutOfMemory& e) {
+  } catch (const SimFailure& e) {
+    // SimOutOfMemory (the paper's EC2-8/EC2-6 failure) plus injected
+    // faults: TaskFailed past the retry budget, BlockUnavailable when a
+    // lost executor's datanode took the last replica of an input block.
     report.success = false;
     report.failure_reason = e.what();
   }
@@ -285,6 +289,7 @@ core::RunReport run_spatial_spark(const workload::Dataset& left,
   // be attributed cleanly under asynchronous execution); IA/IB/DJ stay NaN.
   report.peak_memory_bytes = rt.memory().peak_paper_bytes();
   report.total_seconds = report.metrics.total_seconds();
+  core::annotate_recovery(report);
   return report;
 }
 

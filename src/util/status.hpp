@@ -51,6 +51,20 @@ class SimOutOfMemory : public SimFailure {
   explicit SimOutOfMemory(const std::string& what) : SimFailure(what) {}
 };
 
+/// A task exhausted its retry budget (mapred.map/reduce.max.attempts in real
+/// Hadoop): the job is killed after the final failed attempt.
+class TaskFailed : public SimFailure {
+ public:
+  explicit TaskFailed(const std::string& what) : SimFailure(what) {}
+};
+
+/// Every replica of a block is on a dead datanode: HDFS reads of the file
+/// fail until (impossible) re-replication — the terminal DFS failure mode.
+class BlockUnavailable : public SimFailure {
+ public:
+  explicit BlockUnavailable(const std::string& what) : SimFailure(what) {}
+};
+
 /// Throws InvalidArgument with `what` when `cond` is false.
 inline void require(bool cond, const std::string& what) {
   if (!cond) throw InvalidArgument(what);
