@@ -6,6 +6,12 @@
 // Simulated seconds are paper-magnitude (measured CPU on scaled data +
 // modeled I/O, scaled back up); compare shapes and factors, not absolute
 // values. Set SJC_SCALE to change the workload scale (default 1e-3).
+//
+// Besides the human-readable table (and the optional SJC_CSV_DIR CSV), the
+// bench writes BENCH_table2.json with per-run simulated seconds AND the
+// real wall-clock each run took, so kernel-level regressions show up in
+// regression tracking even when the simulated model hides them.
+#include <chrono>
 #include <cstdio>
 
 #include "core/experiments.hpp"
@@ -65,6 +71,12 @@ int main() {
   TablePrinter table(header);
   CsvWriter csv({"experiment", "system", "cluster", "sim_seconds", "success"});
 
+  JsonWriter json;
+  json.begin_object();
+  json.field("bench", "table2");
+  json.field("scale", scale);
+  json.begin_array("runs");
+
   for (const auto& def : core::full_experiments()) {
     const auto left = workload::generate(def.left, wc);
     const auto right = workload::generate(def.right, wc);
@@ -78,20 +90,40 @@ int main() {
         core::ExecutionConfig exec;
         exec.cluster = c;
         exec.data_scale = 1.0 / scale;
+        const auto wall_start = std::chrono::steady_clock::now();
         const auto report = core::run_spatial_join(system, left, right, query, exec);
+        const double wall_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+                .count();
         const std::string measured =
             report.success ? format_seconds(report.total_seconds) : "-";
         row.push_back(measured + " | " + paper_value(def.id, system, c.name));
         csv.add_row({def.id, core::system_kind_name(system), c.name,
                      report.success ? format_double(report.total_seconds) : "",
                      report.success ? "1" : "0"});
+        json.begin_element();
+        json.field("experiment", def.id);
+        json.field("system", core::system_kind_name(system));
+        json.field("cluster", c.name);
+        json.field("success", report.success);
+        if (report.success) json.field("sim_seconds", report.total_seconds);
+        json.field("real_wall_seconds", wall_seconds);
+        json.field("prepared_cache_hits",
+                   report.counters.get("join.prepared_cache_hits"));
+        json.field("prepared_cache_misses",
+                   report.counters.get("join.prepared_cache_misses"));
+        json.end_object();
       }
       table.add_row(std::move(row));
     }
     table.add_separator();
   }
   table.print();
+  json.end_array();
+  json.end_object();
   const std::string csv_path = maybe_write_csv("table2_full", csv);
   if (!csv_path.empty()) std::printf("\ncsv written to %s\n", csv_path.c_str());
+  const std::string json_path = write_bench_json("table2", json.str());
+  std::printf("json written to %s\n", json_path.c_str());
   return 0;
 }

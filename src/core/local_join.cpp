@@ -29,61 +29,16 @@ void run_local_join(
     const LocalJoinSpec& spec,
     const std::function<bool(const geom::Envelope&, const geom::Envelope&)>& accept,
     std::vector<JoinPair>& out) {
-  if (left.empty() || right.empty()) return;
-
-  // Filter phase: MBR join over local indices (epsilon-expanded for
-  // within-distance joins).
-  const double expand = spec.envelope_expansion();
-  std::vector<index::IndexEntry> left_entries;
-  std::vector<index::IndexEntry> right_entries;
-  left_entries.reserve(left.size());
-  right_entries.reserve(right.size());
-  for (std::uint32_t i = 0; i < left.size(); ++i) {
-    left_entries.push_back({left[i].geometry.envelope().expanded_by(expand), i});
-  }
-  for (std::uint32_t i = 0; i < right.size(); ++i) {
-    right_entries.push_back({right[i].geometry.envelope().expanded_by(expand), i});
-  }
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> candidates;  // (right, left)
-  index::local_mbr_join(spec.algorithm, left_entries, right_entries,
-                        [&candidates](std::uint32_t l, std::uint32_t r) {
-                          candidates.emplace_back(r, l);
-                        });
-  if (candidates.empty()) return;
-
-  // Group candidates by the right-side feature so each right geometry is
-  // bound (prepared) exactly once.
-  std::sort(candidates.begin(), candidates.end());
-
-  std::size_t i = 0;
-  while (i < candidates.size()) {
-    const std::uint32_t r = candidates[i].first;
-    const auto& right_feature = right[r];
-    const auto bound = spec.engine->bind(right_feature.geometry);
-    while (i < candidates.size() && candidates[i].first == r) {
-      const std::uint32_t l = candidates[i].second;
-      const auto& left_feature = left[l];
-      ++i;
-      // The accept filter sees the same (expanded) envelopes used for
-      // partition assignment so reference-point dedup stays consistent.
-      if (accept && !accept(left_feature.geometry.envelope().expanded_by(expand),
-                            right_feature.geometry.envelope().expanded_by(expand))) {
-        continue;
-      }
-      bool hit = false;
-      switch (spec.predicate) {
-        case JoinPredicate::kIntersects:
-          hit = bound->intersects(left_feature.geometry);
-          break;
-        case JoinPredicate::kWithin:
-          hit = bound->contains(left_feature.geometry);
-          break;
-        case JoinPredicate::kWithinDistance:
-          hit = bound->within_distance(left_feature.geometry, spec.within_distance);
-          break;
-      }
-      if (hit) out.push_back({left_feature.id, right_feature.id});
-    }
+  LocalJoinScratch scratch;
+  if (accept) {
+    run_local_join(
+        left, right, spec,
+        [&accept](const geom::Envelope& a, const geom::Envelope& b) {
+          return accept(a, b);
+        },
+        scratch, out);
+  } else {
+    run_local_join(left, right, spec, AcceptAllPairs{}, scratch, out);
   }
 }
 

@@ -9,6 +9,18 @@
 // feature once on the engine (the JTS PreparedGeometry access pattern) and
 // evaluate the exact predicate per candidate.
 //
+// The hot path is the templated run_local_join overload: the MBR-join sink
+// and the accept filter inline into the kernel loops, candidate grouping is
+// a counting-sort scatter (right ids are dense) instead of a comparison
+// sort, expanded envelopes are computed once per feature, and a caller-owned
+// LocalJoinScratch keeps entry buffers and per-task index trees warm across
+// partition pairs. When LocalJoinSpec::prepared_cache is set and the engine
+// is the Prepared (JTS-analog) one, bind() results are shared across
+// partitions through a PreparedCache — each overlap-duplicated right
+// geometry is prepared once per run instead of once per partition. The
+// Simple (GEOS-analog) engine never touches the cache: its from-scratch
+// per-call work is the model being measured.
+//
 // Duplicate avoidance: partitions overlap-assign features, so the same
 // (left, right) pair can meet in several partition pairs. The caller
 // supplies an `accept` filter — typically the reference-point test
@@ -17,11 +29,13 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/spatial_join.hpp"
 #include "geom/engine.hpp"
+#include "geom/prepared_cache.hpp"
 #include "index/mbr_join.hpp"
 #include "workload/dataset.hpp"
 
@@ -33,6 +47,11 @@ struct LocalJoinSpec {
   JoinPredicate predicate = JoinPredicate::kIntersects;
   double within_distance = 0.0;
 
+  /// Optional run-scoped cache of bind() results, shared across partition
+  /// pairs (and tasks — it is thread-safe). Consulted only when `engine` is
+  /// the Prepared one; the Simple engine's per-call work is the model.
+  geom::PreparedCache* prepared_cache = nullptr;
+
   /// Envelope expansion applied to BOTH sides throughout the pipeline
   /// (partition assignment, MBR filter, reference point) for epsilon
   /// (within-distance) joins: expanding each side by d/2 guarantees that
@@ -42,22 +61,146 @@ struct LocalJoinSpec {
   }
 };
 
+/// Caller-owned reusable buffers for run_local_join. A task that processes
+/// many partition pairs keeps one scratch (e.g. thread_local) so entry
+/// vectors, candidate buffers and index trees are reused instead of
+/// reallocated per pair.
+struct LocalJoinScratch {
+  std::vector<index::IndexEntry> left_entries;
+  std::vector<index::IndexEntry> right_entries;
+  index::MbrJoinScratch mbr;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> candidates;  // (right, left)
+  std::vector<std::uint32_t> group_ends;  // per-right-id group end offsets
+  std::vector<std::uint32_t> group_left;  // left ids grouped by right id
+};
+
+/// Accept filter that keeps every pair (the `accept == nullptr` fast path).
+struct AcceptAllPairs {
+  bool operator()(const geom::Envelope&, const geom::Envelope&) const { return true; }
+};
+
 /// Top-left corner of the two envelopes' intersection: the canonical point
 /// for duplicate avoidance (identical in every partition pair where the two
 /// features meet).
 geom::Coord reference_point(const geom::Envelope& a, const geom::Envelope& b);
 
+/// Exact predicate evaluation used by the refinement step (and by tests).
+bool evaluate_predicate(const geom::GeometryEngine& engine, JoinPredicate predicate,
+                        double within_distance, const geom::Geometry& left,
+                        const geom::Geometry& right);
+
 /// Joins `left` x `right` within one partition; appends accepted pairs to
-/// `out`. `accept(pair, left_env, right_env)` may be empty (keep all).
+/// `out`. `accept(left_env, right_env)` sees the epsilon-expanded envelopes
+/// used for partition assignment. The templated hot path: sink, accept and
+/// predicate dispatch all inline, and `scratch` carries reusable state
+/// across calls.
+template <typename AcceptFn>
+void run_local_join(std::span<const geom::Feature> left,
+                    std::span<const geom::Feature> right, const LocalJoinSpec& spec,
+                    AcceptFn&& accept, LocalJoinScratch& scratch,
+                    std::vector<JoinPair>& out) {
+  if (left.empty() || right.empty()) return;
+
+  // Filter phase: MBR join over local indices (epsilon-expanded for
+  // within-distance joins). Expanded envelopes are computed once here and
+  // reused by both the filter and the accept test below.
+  const double expand = spec.envelope_expansion();
+  auto& left_entries = scratch.left_entries;
+  auto& right_entries = scratch.right_entries;
+  left_entries.clear();
+  right_entries.clear();
+  left_entries.reserve(left.size());
+  right_entries.reserve(right.size());
+  for (std::uint32_t i = 0; i < left.size(); ++i) {
+    left_entries.push_back({left[i].geometry.envelope().expanded_by(expand), i});
+  }
+  for (std::uint32_t i = 0; i < right.size(); ++i) {
+    right_entries.push_back({right[i].geometry.envelope().expanded_by(expand), i});
+  }
+  auto& candidates = scratch.candidates;
+  candidates.clear();
+  index::local_mbr_join(spec.algorithm, left_entries, right_entries, scratch.mbr,
+                        [&candidates](std::uint32_t l, std::uint32_t r) {
+                          candidates.emplace_back(r, l);
+                        });
+  if (candidates.empty()) return;
+
+  // Group candidates by the right-side feature so each right geometry is
+  // bound (prepared) at most once per pair list. Right ids are dense in
+  // [0, right.size()), so a counting-sort scatter groups in O(candidates)
+  // instead of the former O(c log c) comparison sort.
+  auto& ends = scratch.group_ends;
+  auto& grouped = scratch.group_left;
+  ends.assign(right.size(), 0);
+  for (const auto& [r, l] : candidates) ++ends[r];
+  std::uint32_t running = 0;
+  for (std::uint32_t r = 0; r < right.size(); ++r) {
+    running += ends[r];
+    ends[r] = running;  // start cursor of group r+... see scatter below
+  }
+  // After the prefix pass ends[r] is the END of group r; scatter backwards
+  // through a cursor copy-free trick: decrement-and-place.
+  grouped.resize(candidates.size());
+  for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+    grouped[--ends[it->first]] = it->second;
+  }
+  // Now ends[r] is the START of group r; group r spans
+  // [ends[r], r + 1 < n ? ends[r + 1] : candidates.size()).
+
+  const geom::GeometryEngine& engine = *spec.engine;
+  geom::PreparedCache* cache =
+      (spec.prepared_cache != nullptr && engine.kind() == geom::EngineKind::kPrepared)
+          ? spec.prepared_cache
+          : nullptr;
+
+  for (std::uint32_t r = 0; r < right.size(); ++r) {
+    const std::size_t begin = ends[r];
+    const std::size_t end =
+        r + 1 < right.size() ? ends[r + 1] : candidates.size();
+    if (begin == end) continue;
+    const auto& right_feature = right[r];
+    const geom::Envelope& right_env = right_entries[r].env;
+
+    std::shared_ptr<const geom::BoundPredicate> shared_bound;
+    std::unique_ptr<geom::BoundPredicate> owned_bound;
+    const geom::BoundPredicate* bound;
+    if (cache != nullptr) {
+      shared_bound = cache->acquire(engine, right_feature.id, right_feature.geometry);
+      bound = shared_bound.get();
+    } else {
+      owned_bound = engine.bind(right_feature.geometry);
+      bound = owned_bound.get();
+    }
+
+    for (std::size_t c = begin; c < end; ++c) {
+      const std::uint32_t l = grouped[c];
+      // The accept filter sees the same (expanded) envelopes used for
+      // partition assignment so reference-point dedup stays consistent.
+      if (!accept(left_entries[l].env, right_env)) continue;
+      const auto& left_feature = left[l];
+      bool hit = false;
+      switch (spec.predicate) {
+        case JoinPredicate::kIntersects:
+          hit = bound->intersects(left_feature.geometry);
+          break;
+        case JoinPredicate::kWithin:
+          hit = bound->contains(left_feature.geometry);
+          break;
+        case JoinPredicate::kWithinDistance:
+          hit = bound->within_distance(left_feature.geometry, spec.within_distance);
+          break;
+      }
+      if (hit) out.push_back({left_feature.id, right_feature.id});
+    }
+  }
+}
+
+/// std::function compatibility overload: `accept` may be empty (keep all).
+/// Allocates a fresh scratch per call; hot callers use the template above.
 void run_local_join(
     std::span<const geom::Feature> left, std::span<const geom::Feature> right,
     const LocalJoinSpec& spec,
     const std::function<bool(const geom::Envelope&, const geom::Envelope&)>& accept,
     std::vector<JoinPair>& out);
-
-/// Exact predicate evaluation used by the refinement step (and by tests).
-bool evaluate_predicate(const geom::GeometryEngine& engine, JoinPredicate predicate,
-                        double within_distance, const geom::Geometry& left,
-                        const geom::Geometry& right);
 
 }  // namespace sjc::core

@@ -1,0 +1,91 @@
+#include "geom/prepared_cache.hpp"
+
+#include <utility>
+
+#include "util/status.hpp"
+
+namespace sjc::geom {
+
+PreparedCache::PreparedCache(std::size_t capacity) : capacity_(capacity) {
+  require(capacity > 0, "PreparedCache: capacity must be > 0");
+}
+
+std::shared_ptr<const BoundPredicate> PreparedCache::acquire(
+    const GeometryEngine& engine, std::uint64_t id, const Geometry& geometry) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(id);
+    if (it != entries_.end()) {
+      ++hits_;
+      it->second.last_used = ++tick_;
+      return {it->second.holder, it->second.holder->bound.get()};
+    }
+    ++misses_;
+  }
+
+  // Bind outside the lock: preparation is the expensive part and other
+  // tasks must not serialize behind it. A concurrent miss on the same id
+  // binds twice; the loser's work is discarded below.
+  auto holder = std::make_shared<Holder>();
+  holder->geometry = geometry;
+  holder->bound = engine.bind(holder->geometry);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = entries_.try_emplace(id);
+  if (!inserted) {
+    // Another thread won the race; share its handle.
+    it->second.last_used = ++tick_;
+    return {it->second.holder, it->second.holder->bound.get()};
+  }
+  it->second.holder = std::move(holder);
+  it->second.last_used = ++tick_;
+  if (entries_.size() > capacity_) {
+    // Evict the least-recently-used entry other than the one just inserted
+    // (size > capacity >= 1 guarantees one exists).
+    auto victim = entries_.end();
+    for (auto cur = entries_.begin(); cur != entries_.end(); ++cur) {
+      if (cur->first == id) continue;
+      if (victim == entries_.end() || cur->second.last_used < victim->second.last_used) {
+        victim = cur;
+      }
+    }
+    entries_.erase(victim);
+    ++evictions_;
+  }
+  return {it->second.holder, it->second.holder->bound.get()};
+}
+
+std::size_t PreparedCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t PreparedCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t PreparedCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t PreparedCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+double PreparedCache::hit_rate() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+void PreparedCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  tick_ = 0;
+}
+
+}  // namespace sjc::geom
+

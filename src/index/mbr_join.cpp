@@ -1,9 +1,7 @@
 #include "index/mbr_join.hpp"
 
 #include <algorithm>
-
-#include "index/rtree_dynamic.hpp"
-#include "util/status.hpp"
+#include <numeric>
 
 namespace sjc::index {
 
@@ -19,79 +17,52 @@ const char* local_join_algorithm_name(LocalJoinAlgorithm algo) {
   return "?";
 }
 
-void plane_sweep_join(const std::vector<IndexEntry>& left,
-                      const std::vector<IndexEntry>& right, const PairSink& sink) {
-  if (left.empty() || right.empty()) return;
-  std::vector<IndexEntry> ls = left;
-  std::vector<IndexEntry> rs = right;
-  const auto by_min_x = [](const IndexEntry& a, const IndexEntry& b) {
-    return a.env.min_x() < b.env.min_x();
-  };
-  std::sort(ls.begin(), ls.end(), by_min_x);
-  std::sort(rs.begin(), rs.end(), by_min_x);
-
-  // Classic two-cursor sweep: advance the side with the smaller min_x and
-  // scan the other side's entries whose x-interval is still open.
-  std::size_t i = 0;
-  std::size_t j = 0;
-  const auto scan = [&sink](const IndexEntry& pivot, const std::vector<IndexEntry>& other,
-                            std::size_t from, bool pivot_is_left) {
-    for (std::size_t k = from; k < other.size(); ++k) {
-      if (other[k].env.min_x() > pivot.env.max_x()) break;
-      if (pivot.env.min_y() <= other[k].env.max_y() &&
-          pivot.env.max_y() >= other[k].env.min_y()) {
-        if (pivot_is_left) {
-          sink(pivot.id, other[k].id);
-        } else {
-          sink(other[k].id, pivot.id);
-        }
-      }
-    }
-  };
-  while (i < ls.size() && j < rs.size()) {
-    if (ls[i].env.min_x() <= rs[j].env.min_x()) {
-      scan(ls[i], rs, j, /*pivot_is_left=*/true);
-      ++i;
-    } else {
-      scan(rs[j], ls, i, /*pivot_is_left=*/false);
-      ++j;
-    }
+void SweepList::load(const std::vector<IndexEntry>& entries) {
+  const std::size_t n = entries.size();
+  // Sort contiguous (min_x, index) pairs — compares touch one 16-byte
+  // stream instead of chasing a permutation into 40-byte entries — then
+  // gather the coordinates into the SoA arrays in sorted order.
+  order.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order[i] = {entries[i].env.min_x(), static_cast<std::uint32_t>(i)};
+  }
+  std::sort(order.begin(), order.end(),
+            [](const std::pair<double, std::uint32_t>& a,
+               const std::pair<double, std::uint32_t>& b) { return a.first < b.first; });
+  min_x.resize(n);
+  max_x.resize(n);
+  min_y.resize(n);
+  max_y.resize(n);
+  ids.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const IndexEntry& e = entries[order[i].second];
+    min_x[i] = order[i].first;
+    max_x[i] = e.env.max_x();
+    min_y[i] = e.env.min_y();
+    max_y[i] = e.env.max_y();
+    ids[i] = e.id;
   }
 }
 
 namespace {
 
-void sync_traversal_rec(const StrTree& lt, const StrTree& rt, const StrTree::Node& ln,
-                        const StrTree::Node& rn, const PairSink& sink) {
-  if (!ln.env.intersects(rn.env)) return;
-  if (ln.leaf && rn.leaf) {
-    for (std::uint32_t i = 0; i < ln.count; ++i) {
-      const IndexEntry& le = lt.entry(ln.first + i);
-      for (std::uint32_t j = 0; j < rn.count; ++j) {
-        const IndexEntry& re = rt.entry(rn.first + j);
-        if (le.env.intersects(re.env)) sink(le.id, re.id);
-      }
-    }
-    return;
-  }
-  // Descend the taller / internal side (both when both are internal).
-  if (!ln.leaf && (rn.leaf || ln.count >= rn.count)) {
-    for (std::uint32_t i = 0; i < ln.count; ++i) {
-      sync_traversal_rec(lt, rt, lt.node(ln.first + i), rn, sink);
-    }
-  } else {
-    for (std::uint32_t j = 0; j < rn.count; ++j) {
-      sync_traversal_rec(lt, rt, ln, rt.node(rn.first + j), sink);
-    }
-  }
-}
+/// Adapts a PairSink for the templated kernels (one std::function dispatch
+/// per pair, as before; the kernel itself no longer pays for it elsewhere).
+struct FunctionSink {
+  const PairSink* fn;
+  void operator()(std::uint32_t l, std::uint32_t r) const { (*fn)(l, r); }
+};
 
 }  // namespace
 
+void plane_sweep_join(const std::vector<IndexEntry>& left,
+                      const std::vector<IndexEntry>& right, const PairSink& sink) {
+  plane_sweep_join(left, right, FunctionSink{&sink});
+}
+
 void sync_traversal_join(const StrTree& left, const StrTree& right,
                          const PairSink& sink) {
-  if (left.empty() || right.empty()) return;
-  sync_traversal_rec(left, right, left.root(), right.root(), sink);
+  sync_traversal_join(left, right, FunctionSink{&sink});
 }
 
 void indexed_nested_loop_join(const std::vector<IndexEntry>& left,
@@ -103,41 +74,12 @@ void indexed_nested_loop_join(const std::vector<IndexEntry>& left,
 
 void nested_loop_join(const std::vector<IndexEntry>& left,
                       const std::vector<IndexEntry>& right, const PairSink& sink) {
-  for (const auto& le : left) {
-    for (const auto& re : right) {
-      if (le.env.intersects(re.env)) sink(le.id, re.id);
-    }
-  }
+  nested_loop_join(left, right, FunctionSink{&sink});
 }
 
 void local_mbr_join(LocalJoinAlgorithm algo, const std::vector<IndexEntry>& left,
                     const std::vector<IndexEntry>& right, const PairSink& sink) {
-  switch (algo) {
-    case LocalJoinAlgorithm::kPlaneSweep:
-      plane_sweep_join(left, right, sink);
-      return;
-    case LocalJoinAlgorithm::kSyncTraversal: {
-      const StrTree lt(left);
-      const StrTree rt(right);
-      sync_traversal_join(lt, rt, sink);
-      return;
-    }
-    case LocalJoinAlgorithm::kIndexedNestedLoop: {
-      const StrTree rt(right);
-      indexed_nested_loop_join(left, rt, sink);
-      return;
-    }
-    case LocalJoinAlgorithm::kIndexedNestedLoopDynamic: {
-      DynamicRTree rt;
-      for (const auto& e : right) rt.insert(e.env, e.id);
-      indexed_nested_loop_join(left, rt, sink);
-      return;
-    }
-    case LocalJoinAlgorithm::kNestedLoop:
-      nested_loop_join(left, right, sink);
-      return;
-  }
-  throw InvalidArgument("local_mbr_join: unknown algorithm");
+  local_mbr_join(algo, left, right, FunctionSink{&sink});
 }
 
 }  // namespace sjc::index

@@ -166,22 +166,17 @@ std::uint32_t DynamicRTree::split(std::uint32_t node_id) {
   return static_cast<std::uint32_t>(nodes_.size() - 1);
 }
 
+void DynamicRTree::clear() {
+  nodes_.clear();
+  nodes_.push_back(Node{});  // empty leaf root
+  root_ = 0;
+  height_ = 1;
+  size_ = 0;
+}
+
 void DynamicRTree::query(const geom::Envelope& query,
                          const std::function<void(std::uint32_t)>& fn) const {
-  if (size_ == 0) return;
-  std::vector<std::uint32_t> stack{root_};
-  while (!stack.empty()) {
-    const Node& node = nodes_[stack.back()];
-    stack.pop_back();
-    for (const auto& slot : node.slots) {
-      if (!slot.env.intersects(query)) continue;
-      if (node.leaf) {
-        fn(slot.child);
-      } else {
-        stack.push_back(slot.child);
-      }
-    }
-  }
+  for_each_intersecting(query, fn);
 }
 
 std::size_t DynamicRTree::size_bytes() const {

@@ -22,6 +22,11 @@ class DynamicRTree final : public SpatialIndex {
   /// Inserts one entry (O(log n) descend + possible splits).
   void insert(const geom::Envelope& env, std::uint32_t id);
 
+  /// Resets to an empty tree, keeping node storage for reuse (the
+  /// LocalJoinScratch path: rebuild per partition pair without churning the
+  /// allocator).
+  void clear();
+
   void query(const geom::Envelope& query,
              const std::function<void(std::uint32_t)>& fn) const override;
   std::size_t size() const override { return size_; }
@@ -29,6 +34,26 @@ class DynamicRTree final : public SpatialIndex {
   const geom::Envelope& bounds() const override;
 
   std::uint32_t height() const { return height_; }
+
+  /// Invokes `fn(id)` for every entry intersecting `query`, with the
+  /// callback inlined into the traversal (no std::function dispatch).
+  template <typename Fn>
+  void for_each_intersecting(const geom::Envelope& query, Fn&& fn) const {
+    if (size_ == 0) return;
+    std::vector<std::uint32_t> stack{root_};
+    while (!stack.empty()) {
+      const Node& node = nodes_[stack.back()];
+      stack.pop_back();
+      for (const auto& slot : node.slots) {
+        if (!slot.env.intersects(query)) continue;
+        if (node.leaf) {
+          fn(slot.child);
+        } else {
+          stack.push_back(slot.child);
+        }
+      }
+    }
+  }
 
  private:
   struct Slot {

@@ -8,10 +8,34 @@
 namespace sjc::index {
 
 StrTree::StrTree(std::vector<IndexEntry> entries, std::uint32_t fanout)
-    : entries_(std::move(entries)) {
+    : entries_(std::move(entries)), fanout_(fanout) {
   require(fanout >= 2, "StrTree: fanout must be >= 2");
+  build();
+}
+
+void StrTree::rebuild(const std::vector<IndexEntry>& entries) {
+  entries_.assign(entries.begin(), entries.end());
+  build();
+}
+
+void StrTree::build() {
+  const std::uint32_t fanout = fanout_;
+  nodes_.clear();
+  bounds_ = geom::Envelope();
+  height_ = 0;
   for (const auto& e : entries_) bounds_.expand_to_include(e.env);
-  if (entries_.empty()) return;
+  if (entries_.empty()) {
+    entry_min_x_.clear();
+    entry_max_x_.clear();
+    entry_min_y_.clear();
+    entry_max_y_.clear();
+    entry_ids_.clear();
+    node_min_x_.clear();
+    node_max_x_.clear();
+    node_min_y_.clear();
+    node_max_y_.clear();
+    return;
+  }
 
   // --- Leaf level: STR packing --------------------------------------------
   // Sort entries by x-center into ceil(sqrt(n/fanout)) vertical slices, then
@@ -66,34 +90,45 @@ StrTree::StrTree(std::vector<IndexEntry> entries, std::uint32_t fanout)
     level_count = static_cast<std::uint32_t>(nodes_.size()) - next_begin;
     ++height_;
   }
+
+  // --- SoA mirrors for the branchless probe path ---------------------------
+  entry_min_x_.resize(n);
+  entry_max_x_.resize(n);
+  entry_min_y_.resize(n);
+  entry_max_y_.resize(n);
+  entry_ids_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const IndexEntry& e = entries_[i];
+    entry_min_x_[i] = e.env.min_x();
+    entry_max_x_[i] = e.env.max_x();
+    entry_min_y_[i] = e.env.min_y();
+    entry_max_y_[i] = e.env.max_y();
+    entry_ids_[i] = e.id;
+  }
+  const std::size_t m = nodes_.size();
+  node_min_x_.resize(m);
+  node_max_x_.resize(m);
+  node_min_y_.resize(m);
+  node_max_y_.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const geom::Envelope& env = nodes_[i].env;
+    node_min_x_[i] = env.min_x();
+    node_max_x_[i] = env.max_x();
+    node_min_y_[i] = env.min_y();
+    node_max_y_[i] = env.max_y();
+  }
 }
 
 void StrTree::query(const geom::Envelope& query,
                     const std::function<void(std::uint32_t)>& fn) const {
-  if (entries_.empty() || !bounds_.intersects(query)) return;
-  // Explicit stack; worst case is (fanout-1) * height + 1 frames, far below
-  // 512 for any in-memory tree (height <= ~8 at fanout 16 even for 10^9
-  // entries).
-  std::uint32_t stack[512];
-  std::size_t top = 0;
-  stack[top++] = static_cast<std::uint32_t>(nodes_.size() - 1);
-  while (top > 0) {
-    const Node& node = nodes_[stack[--top]];
-    if (!node.env.intersects(query)) continue;
-    if (node.leaf) {
-      for (std::uint32_t i = 0; i < node.count; ++i) {
-        const IndexEntry& e = entries_[node.first + i];
-        if (e.env.intersects(query)) fn(e.id);
-      }
-    } else {
-      for (std::uint32_t i = 0; i < node.count; ++i) stack[top++] = node.first + i;
-    }
-  }
+  for_each_intersecting(query, fn);
 }
 
 std::size_t StrTree::size_bytes() const {
   return sizeof(*this) + entries_.size() * sizeof(IndexEntry) +
-         nodes_.size() * sizeof(Node);
+         nodes_.size() * sizeof(Node) +
+         entries_.size() * (4 * sizeof(double) + sizeof(std::uint32_t)) +
+         nodes_.size() * 4 * sizeof(double);
 }
 
 }  // namespace sjc::index

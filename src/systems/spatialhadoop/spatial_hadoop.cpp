@@ -224,11 +224,16 @@ std::vector<JoinPair> run_distributed_join(mapreduce::MrContext& ctx,
       /*read=*/ia.scheme.size_bytes() + ib.scheme.size_bytes(), /*write=*/0);
 
   // ---- Local join: map-only job, one task per partition pair ---------------
+  // One prepared-geometry cache per join wave: overlap-duplicated B-side
+  // geometries are bound once and shared across partition pairs (and across
+  // the concurrently running map tasks — the cache is thread-safe).
+  geom::PreparedCache prepared_cache;
   core::LocalJoinSpec local_spec;
   local_spec.algorithm = query.local_algorithm.value_or(config.local_algorithm);
   local_spec.engine = &geom::GeometryEngine::get(config.engine);
   local_spec.predicate = query.predicate;
   local_spec.within_distance = query.within_distance;
+  local_spec.prepared_cache = &prepared_cache;
 
   mapreduce::MapOnlySpec<JoinSplit, JoinPair> join_spec;
   join_spec.name = "join/local";
@@ -247,8 +252,12 @@ std::vector<JoinPair> run_distributed_join(mapreduce::MrContext& ctx,
       const std::uint32_t canon_b = *std::min_element(cells_b.begin(), cells_b.end());
       return canon_a == split.pa && canon_b == split.pb;
     };
-    core::run_local_join(block_a.features, block_b.features, local_spec, accept,
-                         out_pairs);
+    // Per-thread scratch: index trees and candidate buffers stay warm across
+    // the many partition pairs a pool thread processes.
+    static thread_local core::LocalJoinScratch scratch;
+    core::run_local_join(std::span<const geom::Feature>(block_a.features),
+                         std::span<const geom::Feature>(block_b.features), local_spec,
+                         accept, scratch, out_pairs);
   };
   join_spec.split_bytes = [&](const JoinSplit& split) {
     return ia.blocks[split.pa]->text_bytes + ib.blocks[split.pb]->text_bytes;
@@ -258,6 +267,8 @@ std::vector<JoinPair> run_distributed_join(mapreduce::MrContext& ctx,
   if (ctx.counters != nullptr) {
     ctx.counters->add("join.partition_pairs", join_splits.size());
     ctx.counters->add("join.result_pairs", pairs.size());
+    ctx.counters->add("join.prepared_cache_hits", prepared_cache.hits());
+    ctx.counters->add("join.prepared_cache_misses", prepared_cache.misses());
   }
   return pairs;
 }

@@ -1,6 +1,10 @@
 #include "util/bench_io.hpp"
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+
+#include "util/status.hpp"
 
 namespace sjc {
 
@@ -9,6 +13,133 @@ std::string maybe_write_csv(const std::string& name, const CsvWriter& csv) {
   if (dir == nullptr || *dir == '\0') return {};
   const std::string path = std::string(dir) + "/" + name + ".csv";
   csv.write_file(path);
+  return path;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+}  // namespace
+
+void JsonWriter::comma() {
+  if (need_comma_) out_ += ",";
+  out_ += "\n";
+  need_comma_ = false;
+}
+
+void JsonWriter::indent() {
+  for (int i = 0; i < depth_; ++i) out_ += "  ";
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  out_ += "{";
+  ++depth_;
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += "\n";
+  --depth_;
+  indent();
+  out_ += "}";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(const std::string& key) {
+  comma();
+  indent();
+  if (!key.empty()) out_ += "\"" + json_escape(key) + "\": ";
+  out_ += "[";
+  ++depth_;
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += "\n";
+  --depth_;
+  indent();
+  out_ += "]";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_element() {
+  comma();
+  indent();
+  out_ += "{";
+  ++depth_;
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, const std::string& value) {
+  comma();
+  indent();
+  out_ += "\"" + json_escape(key) + "\": \"" + json_escape(value) + "\"";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, const char* value) {
+  return field(key, std::string(value));
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, double value) {
+  comma();
+  indent();
+  out_ += "\"" + json_escape(key) + "\": " + json_number(value);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, std::uint64_t value) {
+  comma();
+  indent();
+  out_ += "\"" + json_escape(key) + "\": " + std::to_string(value);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& key, bool value) {
+  comma();
+  indent();
+  out_ += "\"" + json_escape(key) + "\": " + (value ? "true" : "false");
+  need_comma_ = true;
+  return *this;
+}
+
+std::string write_bench_json(const std::string& name, const std::string& json) {
+  const char* dir = std::getenv("SJC_BENCH_DIR");
+  const std::string path = (dir != nullptr && *dir != '\0')
+                               ? std::string(dir) + "/BENCH_" + name + ".json"
+                               : "BENCH_" + name + ".json";
+  std::ofstream out(path);
+  require(out.good(), "write_bench_json: cannot open " + path);
+  out << json << "\n";
+  require(out.good(), "write_bench_json: write failed for " + path);
   return path;
 }
 

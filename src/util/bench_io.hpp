@@ -5,6 +5,7 @@
 // be post-processed (plots, regression tracking) without screen-scraping.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "util/csv.hpp"
@@ -15,5 +16,36 @@ namespace sjc {
 /// is set. Returns the written path, or an empty string when export is
 /// disabled. Throws SjcError on I/O failure.
 std::string maybe_write_csv(const std::string& name, const CsvWriter& csv);
+
+/// Minimal JSON emitter for bench summaries (objects, arrays, scalars) —
+/// just enough structure for regression tracking without a JSON dependency.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array(const std::string& key = {});
+  JsonWriter& end_array();
+  /// Starts an object as an array element (no key).
+  JsonWriter& begin_element();
+  JsonWriter& field(const std::string& key, const std::string& value);
+  JsonWriter& field(const std::string& key, const char* value);
+  JsonWriter& field(const std::string& key, double value);
+  JsonWriter& field(const std::string& key, std::uint64_t value);
+  JsonWriter& field(const std::string& key, bool value);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void comma();
+  void indent();
+  std::string out_;
+  int depth_ = 0;
+  bool need_comma_ = false;
+};
+
+/// Writes `json` to `$SJC_BENCH_DIR/BENCH_<name>.json` (falling back to the
+/// working directory when the variable is unset) and returns the path.
+/// Throws SjcError on I/O failure.
+std::string write_bench_json(const std::string& name, const std::string& json);
 
 }  // namespace sjc

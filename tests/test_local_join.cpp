@@ -122,6 +122,70 @@ TEST(LocalJoin, AllAlgorithmsProduceIdenticalPairs) {
   EXPECT_GT(results[0].size(), 0u);
 }
 
+// Cross-algorithm x cross-path equivalence: every MBR-join algorithm,
+// through both the std::function compatibility overload and the templated
+// scratch-reusing hot path (with and without a PreparedCache), must produce
+// the same pair multiset on seeded random workloads.
+TEST(LocalJoin, AllAlgorithmsAndPathsProduceIdenticalPairs) {
+  for (const std::uint64_t seed : {11u, 23u, 37u}) {
+    Rng rng(seed);
+    std::vector<geom::Feature> left;
+    std::vector<geom::Feature> right;
+    for (std::uint64_t i = 0; i < 120; ++i) {
+      const double x = rng.uniform(0, 25);
+      const double y = rng.uniform(0, 25);
+      left.push_back({i, geom::Geometry::line_string({{x, y}, {x + 2, y + 2}})});
+      const double u = rng.uniform(0, 25);
+      const double v = rng.uniform(0, 25);
+      right.push_back({1000 + i, geom::Geometry::polygon(
+                                     {{u, v}, {u + 3, v}, {u + 3, v + 3},
+                                      {u, v + 3}, {u, v}})});
+    }
+
+    // Scratch and cache are shared across all algorithm runs on purpose:
+    // reuse across heterogeneous calls must not leak state between runs.
+    LocalJoinScratch scratch;
+    geom::PreparedCache cache;
+    std::vector<std::vector<JoinPair>> results;
+    for (const auto algo :
+         {index::LocalJoinAlgorithm::kPlaneSweep,
+          index::LocalJoinAlgorithm::kSyncTraversal,
+          index::LocalJoinAlgorithm::kIndexedNestedLoop,
+          index::LocalJoinAlgorithm::kIndexedNestedLoopDynamic,
+          index::LocalJoinAlgorithm::kNestedLoop}) {
+      LocalJoinSpec spec;
+      spec.algorithm = algo;
+
+      std::vector<JoinPair> via_function;
+      run_local_join(left, right, spec, nullptr, via_function);
+      std::sort(via_function.begin(), via_function.end());
+      results.push_back(std::move(via_function));
+
+      std::vector<JoinPair> via_template;
+      run_local_join(std::span<const geom::Feature>(left),
+                     std::span<const geom::Feature>(right), spec, AcceptAllPairs{},
+                     scratch, via_template);
+      std::sort(via_template.begin(), via_template.end());
+      results.push_back(std::move(via_template));
+
+      spec.prepared_cache = &cache;
+      std::vector<JoinPair> via_cache;
+      run_local_join(std::span<const geom::Feature>(left),
+                     std::span<const geom::Feature>(right), spec, AcceptAllPairs{},
+                     scratch, via_cache);
+      std::sort(via_cache.begin(), via_cache.end());
+      results.push_back(std::move(via_cache));
+    }
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      EXPECT_EQ(results[i], results[0]) << "seed " << seed << " variant " << i;
+    }
+    EXPECT_GT(results[0].size(), 0u);
+    // Second and later algorithms re-bind the same right features: the
+    // cache must have served hits (engine default is Prepared).
+    EXPECT_GT(cache.hits(), 0u);
+  }
+}
+
 TEST(LocalJoin, AcceptFilterDropsPairs) {
   const auto left = point_features({{1, 1}, {2, 2}});
   std::vector<geom::Feature> right = {

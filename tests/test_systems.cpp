@@ -359,6 +359,16 @@ TEST(Systems, CountersArePopulated) {
             sh.counters.get("partition.records"));
   EXPECT_EQ(sh.counters.get("join.result_pairs"), sh.result_count);
   EXPECT_GT(sh.counters.get("join.partition_pairs"), 0u);
+  // SpatialHadoop refines on the Prepared engine, so the run-scoped bind()
+  // cache must have been consulted and (with overlap-duplicated features
+  // across partition pairs) have served hits.
+  EXPECT_GT(sh.counters.get("join.prepared_cache_hits"), 0u);
+  EXPECT_GT(sh.counters.get("join.prepared_cache_misses"), 0u);
+
+  const auto ss = core::run_spatial_join(core::SystemKind::kSpatialSparkSim, w.points,
+                                         w.polys, query, w.exec);
+  ASSERT_TRUE(ss.success);
+  EXPECT_GT(ss.counters.get("join.prepared_cache_hits"), 0u);
 
   const auto hg = run_hadoop_gis_ungated(w.points, w.polys, query, w.exec);
   ASSERT_TRUE(hg.success);
@@ -366,6 +376,10 @@ TEST(Systems, CountersArePopulated) {
   EXPECT_GE(hg.counters.get("join.pair_lines_before_dedup"),
             hg.counters.get("join.pair_lines_after_dedup"));
   EXPECT_EQ(hg.counters.get("join.pair_lines_after_dedup"), hg.result_count);
+  // HadoopGIS refines on the Simple (GEOS-analog) engine: the cache must
+  // stay inert or the measured engine gap would be corrupted.
+  EXPECT_EQ(hg.counters.get("join.prepared_cache_hits"), 0u);
+  EXPECT_EQ(hg.counters.get("join.prepared_cache_misses"), 0u);
 }
 
 TEST(Experiments, RegistryShape) {
