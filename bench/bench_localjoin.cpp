@@ -324,6 +324,7 @@ void emit_json(std::size_t n) {
         key, legacy_ns, scratch_ns, legacy_ns / scratch_ns, pairs);
   }
   json.end_array();
+  json.field("peak_rss_bytes", peak_rss_bytes());
   json.end_object();
   const std::string path = write_bench_json("localjoin", json.str());
   std::printf("wrote %s\n", path.c_str());

@@ -120,6 +120,7 @@ int main() {
   }
   table.print();
   json.end_array();
+  json.field("peak_rss_bytes", peak_rss_bytes());
   json.end_object();
   const std::string csv_path = maybe_write_csv("table2_full", csv);
   if (!csv_path.empty()) std::printf("\ncsv written to %s\n", csv_path.c_str());

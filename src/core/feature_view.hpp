@@ -1,0 +1,67 @@
+// Zero-copy feature views for the partition/shuffle data plane.
+//
+// The simulator charges data movement twice today: once as *modeled* bytes
+// (pair_bytes / memory_bytes — correct, that is the paper's cost) and once
+// as real deep copies of geom::Feature variants with nested coordinate
+// vectors (pure harness overhead the JVM systems never pay, since their
+// serialized record bytes are already what the model charges). These views
+// let partition blocks and RDD shuffle payloads carry indices/pointers into
+// a stable feature store while MemoryManager and the MR cost model keep
+// charging the full modeled record sizes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/geometry.hpp"
+
+namespace sjc::core {
+
+/// A reference to one feature in a stable backing store (a Dataset's feature
+/// vector, or a parsed-RDD feature store kept alive for the run). Shuffle
+/// payloads ship this 8-byte handle; modeled byte sizers keep charging the
+/// referenced record's full serialized size.
+struct FeatureRef {
+  const geom::Feature* feature = nullptr;
+
+  const geom::Feature& get() const { return *feature; }
+};
+
+/// A sequence view `base[indices[i]]` presenting a partition block's members
+/// as a random-access feature range without materializing copies. Satisfies
+/// the sequence shape run_local_join templates over (size / empty /
+/// operator[] -> const Feature&).
+class FeatureIndexSpan {
+ public:
+  FeatureIndexSpan() = default;
+  FeatureIndexSpan(std::span<const geom::Feature> base,
+                   std::span<const std::uint32_t> indices)
+      : base_(base), indices_(indices) {}
+
+  std::size_t size() const { return indices_.size(); }
+  bool empty() const { return indices_.empty(); }
+  const geom::Feature& operator[](std::size_t i) const { return base_[indices_[i]]; }
+
+ private:
+  std::span<const geom::Feature> base_;
+  std::span<const std::uint32_t> indices_;
+};
+
+/// A sequence view over FeatureRef handles (the RDD shuffle payload type)
+/// that dereferences to the backing features, for feeding run_local_join
+/// without gathering copies.
+class FeatureRefSpan {
+ public:
+  FeatureRefSpan() = default;
+  explicit FeatureRefSpan(std::span<const FeatureRef> refs) : refs_(refs) {}
+
+  std::size_t size() const { return refs_.size(); }
+  bool empty() const { return refs_.empty(); }
+  const geom::Feature& operator[](std::size_t i) const { return refs_[i].get(); }
+
+ private:
+  std::span<const FeatureRef> refs_;
+};
+
+}  // namespace sjc::core

@@ -93,12 +93,14 @@ bool evaluate_predicate(const geom::GeometryEngine& engine, JoinPredicate predic
 /// `out`. `accept(left_env, right_env)` sees the epsilon-expanded envelopes
 /// used for partition assignment. The templated hot path: sink, accept and
 /// predicate dispatch all inline, and `scratch` carries reusable state
-/// across calls.
-template <typename AcceptFn>
-void run_local_join(std::span<const geom::Feature> left,
-                    std::span<const geom::Feature> right, const LocalJoinSpec& spec,
-                    AcceptFn&& accept, LocalJoinScratch& scratch,
-                    std::vector<JoinPair>& out) {
+/// across calls. `left`/`right` are any random-access feature sequences
+/// (size()/empty()/operator[] -> const geom::Feature&): std::span for
+/// materialized blocks, FeatureIndexSpan/FeatureRefSpan for the zero-copy
+/// partition plane.
+template <typename LeftSeq, typename RightSeq, typename AcceptFn>
+void run_local_join(const LeftSeq& left, const RightSeq& right,
+                    const LocalJoinSpec& spec, AcceptFn&& accept,
+                    LocalJoinScratch& scratch, std::vector<JoinPair>& out) {
   if (left.empty() || right.empty()) return;
 
   // Filter phase: MBR join over local indices (epsilon-expanded for

@@ -6,6 +6,19 @@
 // (its CPU time is measured); disk/network volumes are charged through the
 // context's cost model. Header-only because it is templated over the record
 // types.
+//
+// Two spec flavors share one engine (run_map_reduce / run_map_only are
+// duck-typed over the spec):
+//  * MapReduceSpec — std::function members, per-(task, bucket) std::vector
+//    shuffle buckets. This is the seed data plane, kept verbatim as the
+//    baseline bench_shuffle measures against (and for call sites that want
+//    type-erased composition).
+//  * TypedMapReduceSpec — templated on the user functor types so map/emit/
+//    key_less/pair_bytes inline into the engine loops, with map-side
+//    buckets backed by a chunked ShuffleArena instead of per-pair vector
+//    growth. Modeled bytes and phase shapes are identical by construction;
+//    only harness overhead (std::function dispatch, bucket reallocation)
+//    differs.
 #pragma once
 
 #include <algorithm>
@@ -13,9 +26,11 @@
 #include <functional>
 #include <mutex>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "mapreduce/mr_context.hpp"
+#include "mapreduce/shuffle_arena.hpp"
 #include "util/status.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -24,6 +39,14 @@ namespace sjc::mapreduce {
 
 template <typename In, typename K, typename V, typename Out>
 struct MapReduceSpec {
+  using InType = In;
+  using KeyType = K;
+  using ValueType = V;
+  using OutType = Out;
+  /// Marks the type-erased flavor: callbacks may be unset (validated at run
+  /// time) and the engine uses the seed vector-of-vectors shuffle buckets.
+  static constexpr bool kDynamic = true;
+
   std::string name;
 
   /// map(record, emit): called once per input record.
@@ -53,16 +76,76 @@ struct MapReduceSpec {
   MrConfig config;
 };
 
+/// Sentinel combiner type for TypedMapReduceSpec: "no combiner". The no-op
+/// call operator keeps the (never-taken) combine branch compilable.
+struct NoCombine {
+  template <typename K, typename V>
+  void operator()(const K&, std::vector<V>&, std::vector<V>&) const {}
+};
+
+/// Functor-typed spec: map/reduce/sizers/key functions are concrete callable
+/// types, so they inline into the engine loops; the engine backs its map-side
+/// shuffle buckets with a ShuffleArena. Build via make_typed_spec.
+template <typename In, typename K, typename V, typename Out, typename MapFn,
+          typename ReduceFn, typename InBytesFn, typename PairBytesFn,
+          typename OutBytesFn, typename KeyLessFn = std::less<K>,
+          typename KeyHashFn = std::hash<K>, typename CombineFn = NoCombine>
+struct TypedMapReduceSpec {
+  using InType = In;
+  using KeyType = K;
+  using ValueType = V;
+  using OutType = Out;
+  static constexpr bool kHasCombine = !std::is_same_v<CombineFn, NoCombine>;
+
+  std::string name;
+  MapFn map;
+  ReduceFn reduce;
+  InBytesFn input_bytes;
+  PairBytesFn pair_bytes;
+  OutBytesFn output_bytes;
+  KeyLessFn key_less{};
+  KeyHashFn key_hash{};
+  CombineFn combine{};
+  MrConfig config{};
+};
+
+/// Builds a TypedMapReduceSpec with deduced functor types. `map` is any
+/// callable (record, emit) -> void where emit(K, V) is itself a callable;
+/// write it as a generic lambda so the engine's emit inlines.
+template <typename In, typename K, typename V, typename Out, typename MapFn,
+          typename ReduceFn, typename InBytesFn, typename PairBytesFn,
+          typename OutBytesFn, typename KeyLessFn = std::less<K>,
+          typename KeyHashFn = std::hash<K>>
+auto make_typed_spec(std::string name, MapFn map, ReduceFn reduce,
+                     InBytesFn input_bytes, PairBytesFn pair_bytes,
+                     OutBytesFn output_bytes, KeyLessFn key_less = {},
+                     KeyHashFn key_hash = {}) {
+  return TypedMapReduceSpec<In, K, V, Out, MapFn, ReduceFn, InBytesFn, PairBytesFn,
+                            OutBytesFn, KeyLessFn, KeyHashFn>{
+      std::move(name),        std::move(map),      std::move(reduce),
+      std::move(input_bytes), std::move(pair_bytes), std::move(output_bytes),
+      std::move(key_less),    std::move(key_hash)};
+}
+
 /// Runs the job over `splits` (one map task per split). Returns all reduce
-/// outputs, ordered by (reduce task, key).
-template <typename In, typename K, typename V, typename Out>
-std::vector<Out> run_map_reduce(MrContext& ctx,
-                                const MapReduceSpec<In, K, V, Out>& spec,
-                                const std::vector<std::vector<In>>& splits) {
+/// outputs, ordered by (reduce task, key). Duck-typed over the spec flavor;
+/// modeled costs are identical across flavors by construction.
+template <typename Spec>
+std::vector<typename Spec::OutType> run_map_reduce(
+    MrContext& ctx, const Spec& spec,
+    const std::vector<std::vector<typename Spec::InType>>& splits) {
+  using K = typename Spec::KeyType;
+  using V = typename Spec::ValueType;
+  using Out = typename Spec::OutType;
+  using PairT = std::pair<K, V>;
+  constexpr bool kDynamic = requires { Spec::kDynamic; };
+
   require(ctx.cluster != nullptr && ctx.dfs != nullptr && ctx.metrics != nullptr,
           "run_map_reduce: incomplete context");
-  require(static_cast<bool>(spec.map) && static_cast<bool>(spec.reduce),
-          "run_map_reduce: map and reduce must be set");
+  if constexpr (kDynamic) {
+    require(static_cast<bool>(spec.map) && static_cast<bool>(spec.reduce),
+            "run_map_reduce: map and reduce must be set");
+  }
 
   const std::uint32_t reduce_tasks = spec.config.reduce_tasks != 0
                                          ? spec.config.reduce_tasks
@@ -70,37 +153,59 @@ std::vector<Out> run_map_reduce(MrContext& ctx,
 
   // ---- Map phase -----------------------------------------------------------
   struct MapResult {
-    // Pairs pre-bucketed by reduce task.
-    std::vector<std::vector<std::pair<K, V>>> buckets;
+    // Pairs pre-bucketed by reduce task: per-bucket vectors on the dynamic
+    // (seed) plane, one chunked arena per map task on the typed plane.
+    std::vector<std::vector<PairT>> buckets;
+    ShuffleArena<PairT> arena;
     cluster::SimTask task;
   };
   std::vector<MapResult> map_results(splits.size());
 
   ThreadPool::shared().parallel_for(splits.size(), [&](std::size_t s) {
     MapResult& result = map_results[s];
-    result.buckets.resize(reduce_tasks);
+    if constexpr (kDynamic) {
+      result.buckets.resize(reduce_tasks);
+    } else {
+      result.arena.reset(reduce_tasks);
+    }
     CpuStopwatch cpu;
     std::uint64_t in_bytes = 0;
     std::uint64_t out_bytes = 0;
     const auto emit = [&](K key, V value) {
       out_bytes += spec.pair_bytes(key, value);
       const std::size_t bucket = spec.key_hash(key) % reduce_tasks;
-      result.buckets[bucket].emplace_back(std::move(key), std::move(value));
+      if constexpr (kDynamic) {
+        result.buckets[bucket].emplace_back(std::move(key), std::move(value));
+      } else {
+        result.arena.push(bucket, PairT(std::move(key), std::move(value)));
+      }
     };
     for (const auto& record : splits[s]) {
       in_bytes += spec.input_bytes(record);
       spec.map(record, emit);
     }
-    if (spec.combine) {
+    bool do_combine = false;
+    if constexpr (kDynamic) {
+      do_combine = static_cast<bool>(spec.combine);
+    } else {
+      do_combine = Spec::kHasCombine;
+    }
+    if (do_combine) {
       // Map-side combine: group each bucket by key, fold values, recompute
       // the spill volume.
       out_bytes = 0;
-      for (auto& bucket : result.buckets) {
+      for (std::uint32_t b = 0; b < reduce_tasks; ++b) {
+        std::vector<PairT> bucket;
+        if constexpr (kDynamic) {
+          bucket = std::move(result.buckets[b]);
+        } else {
+          bucket = result.arena.take_bucket(b);
+        }
         std::stable_sort(bucket.begin(), bucket.end(),
-                         [&](const auto& a, const auto& b) {
-                           return spec.key_less(a.first, b.first);
+                         [&](const auto& a, const auto& b2) {
+                           return spec.key_less(a.first, b2.first);
                          });
-        std::vector<std::pair<K, V>> combined_bucket;
+        std::vector<PairT> combined_bucket;
         std::size_t i = 0;
         while (i < bucket.size()) {
           std::size_t j = i + 1;
@@ -121,7 +226,11 @@ std::vector<Out> run_map_reduce(MrContext& ctx,
           }
           i = j;
         }
-        bucket = std::move(combined_bucket);
+        if constexpr (kDynamic) {
+          result.buckets[b] = std::move(combined_bucket);
+        } else {
+          result.arena.refill(b, std::move(combined_bucket));
+        }
       }
     }
     result.task.cpu_seconds = cpu.seconds() / spec.config.cpu_efficiency;
@@ -159,14 +268,21 @@ std::vector<Out> run_map_reduce(MrContext& ctx,
   ThreadPool::shared().parallel_for(reduce_tasks, [&](std::size_t r) {
     CpuStopwatch cpu;
     // Fetch this reducer's bucket from every map task (the shuffle).
-    std::vector<std::pair<K, V>> pairs;
+    std::vector<PairT> pairs;
     std::uint64_t shuffle_bytes = 0;
     for (auto& mr : map_results) {
-      for (auto& kv : mr.buckets[r]) {
-        shuffle_bytes += spec.pair_bytes(kv.first, kv.second);
-        pairs.push_back(std::move(kv));
+      if constexpr (kDynamic) {
+        for (auto& kv : mr.buckets[r]) {
+          shuffle_bytes += spec.pair_bytes(kv.first, kv.second);
+          pairs.push_back(std::move(kv));
+        }
+        mr.buckets[r].clear();
+      } else {
+        mr.arena.consume(r, [&](PairT& kv) {
+          shuffle_bytes += spec.pair_bytes(kv.first, kv.second);
+          pairs.push_back(std::move(kv));
+        });
       }
-      mr.buckets[r].clear();
     }
     // Sort-based grouping (what Hadoop's merge sort does).
     std::stable_sort(pairs.begin(), pairs.end(),
@@ -238,6 +354,10 @@ std::vector<Out> run_map_reduce(MrContext& ctx,
 /// provides the splits; per-split input bytes come from `split_bytes`.
 template <typename Split, typename Out>
 struct MapOnlySpec {
+  using SplitType = Split;
+  using OutType = Out;
+  static constexpr bool kDynamic = true;
+
   std::string name;
   std::function<void(const Split&, std::vector<Out>&)> map;
   std::function<std::uint64_t(const Split&)> split_bytes;
@@ -245,9 +365,34 @@ struct MapOnlySpec {
   MrConfig config;
 };
 
-template <typename Split, typename Out>
-std::vector<Out> run_map_only(MrContext& ctx, const MapOnlySpec<Split, Out>& spec,
-                              const std::vector<Split>& splits) {
+/// Functor-typed map-only spec; build via make_typed_map_only_spec.
+template <typename Split, typename Out, typename MapFn, typename SplitBytesFn,
+          typename OutBytesFn>
+struct TypedMapOnlySpec {
+  using SplitType = Split;
+  using OutType = Out;
+
+  std::string name;
+  MapFn map;
+  SplitBytesFn split_bytes;
+  OutBytesFn output_bytes;
+  MrConfig config{};
+};
+
+template <typename Split, typename Out, typename MapFn, typename SplitBytesFn,
+          typename OutBytesFn>
+auto make_typed_map_only_spec(std::string name, MapFn map, SplitBytesFn split_bytes,
+                              OutBytesFn output_bytes) {
+  return TypedMapOnlySpec<Split, Out, MapFn, SplitBytesFn, OutBytesFn>{
+      std::move(name), std::move(map), std::move(split_bytes),
+      std::move(output_bytes)};
+}
+
+template <typename Spec>
+std::vector<typename Spec::OutType> run_map_only(
+    MrContext& ctx, const Spec& spec,
+    const std::vector<typename Spec::SplitType>& splits) {
+  using Out = typename Spec::OutType;
   require(ctx.cluster != nullptr && ctx.dfs != nullptr && ctx.metrics != nullptr,
           "run_map_only: incomplete context");
   std::vector<std::vector<Out>> outputs(splits.size());

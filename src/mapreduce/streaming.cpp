@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mapreduce/shuffle_arena.hpp"
 #include "util/status.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -77,7 +78,11 @@ std::vector<std::string> run_streaming(MrContext& ctx, const StreamingSpec& spec
 
   // ---- Map phase (mapper subprocess per split) -----------------------------
   struct MapResult {
-    std::vector<std::vector<std::string>> buckets;
+    // Chunked arena keyed by reduce bucket: emitted lines land in fixed-
+    // capacity chunks instead of growing one vector per (task, bucket).
+    // Pipe bytes and shuffle bytes are computed from the lines themselves,
+    // so the container swap is invisible to the cost model.
+    ShuffleArena<std::string> buckets;
     cluster::SimTask task;
     std::uint64_t pipe_bytes = 0;
   };
@@ -88,7 +93,7 @@ std::vector<std::string> run_streaming(MrContext& ctx, const StreamingSpec& spec
   // recovers or the job dies (and charges the failed attempts either way).
   ThreadPool::shared().parallel_for(splits.size(), [&](std::size_t s) {
     MapResult& result = map_results[s];
-    result.buckets.resize(reduce_tasks);
+    result.buckets.reset(reduce_tasks);
     CpuStopwatch cpu;
     const StreamingMapFn mapper = spec.make_mapper ? spec.make_mapper(s) : spec.map;
     std::uint64_t in_bytes = 0;
@@ -102,7 +107,7 @@ std::vector<std::string> run_streaming(MrContext& ctx, const StreamingSpec& spec
         out_bytes += out.size() + 1;
         const std::size_t bucket =
             std::hash<std::string_view>{}(streaming_key(out)) % reduce_tasks;
-        result.buckets[bucket].push_back(std::move(out));
+        result.buckets.push(bucket, std::move(out));
       }
     }
     const std::uint64_t pipe_bytes = in_bytes + out_bytes;
@@ -155,11 +160,10 @@ std::vector<std::string> run_streaming(MrContext& ctx, const StreamingSpec& spec
     std::vector<std::string> lines;
     std::uint64_t shuffle_bytes = 0;
     for (auto& mr : map_results) {
-      for (auto& line : mr.buckets[r]) {
+      mr.buckets.consume(r, [&](std::string& line) {
         shuffle_bytes += line.size() + 1;
         lines.push_back(std::move(line));
-      }
-      mr.buckets[r].clear();
+      });
     }
     // Hadoop streaming feeds the reducer lines sorted by key; plain
     // byte-wise sort of whole lines matches `sort` and groups equal keys.

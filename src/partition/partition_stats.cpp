@@ -5,7 +5,7 @@
 namespace sjc::partition {
 
 PartitionStats compute_partition_stats(const PartitionScheme& scheme,
-                                       const std::vector<geom::Envelope>& items) {
+                                       std::span<const geom::Envelope> items) {
   PartitionStats stats;
   stats.cell_count = scheme.cell_count();
   stats.item_count = items.size();

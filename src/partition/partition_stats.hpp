@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "geom/envelope.hpp"
@@ -30,6 +31,6 @@ struct PartitionStats {
 
 /// Assigns every envelope through `scheme` and accumulates the statistics.
 PartitionStats compute_partition_stats(const PartitionScheme& scheme,
-                                       const std::vector<geom::Envelope>& items);
+                                       std::span<const geom::Envelope> items);
 
 }  // namespace sjc::partition

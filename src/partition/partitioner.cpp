@@ -1,6 +1,7 @@
 #include "partition/partitioner.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 
@@ -28,11 +29,125 @@ PartitionScheme::PartitionScheme(std::vector<geom::Envelope> cells,
     entries.push_back({cells_[i], i});
   }
   cell_index_ = std::make_unique<index::StrTree>(std::move(entries));
+  build_grid();
+}
+
+namespace {
+
+/// Grid column/row of coordinate `v`, clamped into [0, n).
+inline std::uint32_t grid_coord(double v, double lo, double inv, std::uint32_t n) {
+  const double f = (v - lo) * inv;
+  if (!(f > 0.0)) return 0;
+  if (f >= static_cast<double>(n)) return n - 1;
+  return static_cast<std::uint32_t>(f);
+}
+
+}  // namespace
+
+void PartitionScheme::build_grid() {
+  const auto n = static_cast<std::uint32_t>(cells_.size());
+  // ~4 buckets per cell keeps bucket occupancy near 1 for tiling schemes.
+  const double side = std::ceil(2.0 * std::sqrt(static_cast<double>(n)));
+  const auto g = static_cast<std::uint32_t>(std::clamp(side, 1.0, 1024.0));
+  grid_cols_ = extent_.width() > 0.0 ? g : 1;
+  grid_rows_ = extent_.height() > 0.0 ? g : 1;
+  grid_inv_w_ =
+      extent_.width() > 0.0 ? static_cast<double>(grid_cols_) / extent_.width() : 0.0;
+  grid_inv_h_ =
+      extent_.height() > 0.0 ? static_cast<double>(grid_rows_) / extent_.height() : 0.0;
+
+  const std::size_t buckets = static_cast<std::size_t>(grid_cols_) * grid_rows_;
+  cell_bx0_.resize(n);
+  cell_by0_.resize(n);
+  std::vector<std::uint32_t> counts(buckets, 0);
+  const auto bucket_range = [this](const geom::Envelope& cell) {
+    return std::array<std::uint32_t, 4>{
+        grid_coord(cell.min_x(), extent_.min_x(), grid_inv_w_, grid_cols_),
+        grid_coord(cell.max_x(), extent_.min_x(), grid_inv_w_, grid_cols_),
+        grid_coord(cell.min_y(), extent_.min_y(), grid_inv_h_, grid_rows_),
+        grid_coord(cell.max_y(), extent_.min_y(), grid_inv_h_, grid_rows_)};
+  };
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto [bx0, bx1, by0, by1] = bucket_range(cells_[i]);
+    cell_bx0_[i] = static_cast<std::uint16_t>(bx0);
+    cell_by0_[i] = static_cast<std::uint16_t>(by0);
+    for (std::uint32_t by = by0; by <= by1; ++by) {
+      for (std::uint32_t bx = bx0; bx <= bx1; ++bx) {
+        ++counts[static_cast<std::size_t>(by) * grid_cols_ + bx];
+      }
+    }
+  }
+  grid_offsets_.assign(buckets + 1, 0);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    grid_offsets_[b + 1] = grid_offsets_[b] + counts[b];
+  }
+  grid_ids_.resize(grid_offsets_[buckets]);
+  std::vector<std::uint32_t> cursor(grid_offsets_.begin(), grid_offsets_.end() - 1);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto [bx0, bx1, by0, by1] = bucket_range(cells_[i]);
+    for (std::uint32_t by = by0; by <= by1; ++by) {
+      for (std::uint32_t bx = bx0; bx <= bx1; ++bx) {
+        grid_ids_[cursor[static_cast<std::size_t>(by) * grid_cols_ + bx]++] = i;
+      }
+    }
+  }
 }
 
 std::vector<std::uint32_t> PartitionScheme::assign(const geom::Envelope& env) const {
   std::vector<std::uint32_t> out = cell_index_->query_ids(env);
   if (!out.empty()) return out;
+  out.push_back(nearest_cell(env));
+  return out;
+}
+
+void PartitionScheme::assign_into(const geom::Envelope& env,
+                                  std::vector<std::uint32_t>& out) const {
+  out.clear();
+  const std::uint32_t ex0 = grid_coord(env.min_x(), extent_.min_x(), grid_inv_w_, grid_cols_);
+  const std::uint32_t ex1 = grid_coord(env.max_x(), extent_.min_x(), grid_inv_w_, grid_cols_);
+  const std::uint32_t ey0 = grid_coord(env.min_y(), extent_.min_y(), grid_inv_h_, grid_rows_);
+  const std::uint32_t ey1 = grid_coord(env.max_y(), extent_.min_y(), grid_inv_h_, grid_rows_);
+  for (std::uint32_t by = ey0; by <= ey1; ++by) {
+    for (std::uint32_t bx = ex0; bx <= ex1; ++bx) {
+      const std::size_t b = static_cast<std::size_t>(by) * grid_cols_ + bx;
+      for (std::uint32_t k = grid_offsets_[b]; k < grid_offsets_[b + 1]; ++k) {
+        const std::uint32_t id = grid_ids_[k];
+        if (!cells_[id].intersects(env)) continue;
+        // Emit only from the first bucket both the cell and the query
+        // overlap, so multi-bucket scans never emit a cell twice.
+        if (std::max<std::uint32_t>(cell_bx0_[id], ex0) != bx) continue;
+        if (std::max<std::uint32_t>(cell_by0_[id], ey0) != by) continue;
+        out.push_back(id);
+      }
+    }
+  }
+  if (out.empty()) out.push_back(nearest_cell(env));
+}
+
+std::uint32_t PartitionScheme::min_assigned(const geom::Envelope& env) const {
+  const std::uint32_t ex0 = grid_coord(env.min_x(), extent_.min_x(), grid_inv_w_, grid_cols_);
+  const std::uint32_t ex1 = grid_coord(env.max_x(), extent_.min_x(), grid_inv_w_, grid_cols_);
+  const std::uint32_t ey0 = grid_coord(env.min_y(), extent_.min_y(), grid_inv_h_, grid_rows_);
+  const std::uint32_t ey1 = grid_coord(env.max_y(), extent_.min_y(), grid_inv_h_, grid_rows_);
+  std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+  bool found = false;
+  for (std::uint32_t by = ey0; by <= ey1; ++by) {
+    for (std::uint32_t bx = ex0; bx <= ex1; ++bx) {
+      const std::size_t b = static_cast<std::size_t>(by) * grid_cols_ + bx;
+      for (std::uint32_t k = grid_offsets_[b]; k < grid_offsets_[b + 1]; ++k) {
+        // Duplicate visits are harmless under min().
+        const std::uint32_t id = grid_ids_[k];
+        if (id < best && cells_[id].intersects(env)) {
+          best = id;
+          found = true;
+        }
+      }
+    }
+  }
+  return found ? best : nearest_cell(env);
+}
+
+std::uint32_t PartitionScheme::nearest_cell(const geom::Envelope& env) const {
   // Sample under-coverage: route to the nearest cell so no item is dropped.
   std::uint32_t best = 0;
   double best_dist = std::numeric_limits<double>::infinity();
@@ -43,8 +158,7 @@ std::vector<std::uint32_t> PartitionScheme::assign(const geom::Envelope& env) co
       best = i;
     }
   }
-  out.push_back(best);
-  return out;
+  return best;
 }
 
 std::size_t PartitionScheme::size_bytes() const {

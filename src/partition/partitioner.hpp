@@ -50,14 +50,46 @@ class PartitionScheme {
   /// nearest cell when none intersect (sample under-coverage). Never empty.
   std::vector<std::uint32_t> assign(const geom::Envelope& env) const;
 
+  /// Zero-allocation variant of assign(): clears and refills `out` with the
+  /// same id *set* (enumeration order may differ — per-record id order is
+  /// not a modeled quantity). Queries a uniform-grid cell directory instead
+  /// of the STR tree: for the small-envelope/many-records shape of
+  /// partition assignment, a bucket scan beats a tree walk. The zero-copy
+  /// data plane's per-record assignment path; `out` is the caller's
+  /// reusable scratch.
+  void assign_into(const geom::Envelope& env, std::vector<std::uint32_t>& out) const;
+
+  /// Smallest id assign() would return for `env`, without materializing the
+  /// id list (the reference-point dedup test needs only the canonical cell).
+  std::uint32_t min_assigned(const geom::Envelope& env) const;
+
   /// Serialized footprint of the cell table (what gets broadcast /
   /// written as the _master file).
   std::size_t size_bytes() const;
 
  private:
+  /// Nearest cell by envelope distance (the never-empty fallback).
+  std::uint32_t nearest_cell(const geom::Envelope& env) const;
+
+  /// Buckets every cell into a uniform grid over the extent (CSR layout).
+  void build_grid();
+
   std::vector<geom::Envelope> cells_;
   geom::Envelope extent_;
   std::unique_ptr<index::StrTree> cell_index_;
+
+  // Uniform-grid cell directory backing assign_into()/min_assigned(). Each
+  // cell is listed in every grid bucket it intersects; queries scan the
+  // envelope's bucket range and emit a cell only from the first overlapping
+  // bucket (no stamp array, no allocation).
+  std::uint32_t grid_cols_ = 1;
+  std::uint32_t grid_rows_ = 1;
+  double grid_inv_w_ = 0.0;
+  double grid_inv_h_ = 0.0;
+  std::vector<std::uint32_t> grid_offsets_;  // bucket -> [begin, end) in grid_ids_
+  std::vector<std::uint32_t> grid_ids_;
+  std::vector<std::uint16_t> cell_bx0_;  // first bucket column/row per cell
+  std::vector<std::uint16_t> cell_by0_;
 };
 
 /// Uniform cols x rows tiling of `extent`.

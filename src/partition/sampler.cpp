@@ -29,7 +29,7 @@ std::vector<std::uint32_t> reservoir_sample(std::size_t n, std::size_t k, Rng& r
   return reservoir;
 }
 
-std::vector<geom::Envelope> gather_envelopes(const std::vector<geom::Envelope>& envs,
+std::vector<geom::Envelope> gather_envelopes(std::span<const geom::Envelope> envs,
                                              const std::vector<std::uint32_t>& indices) {
   std::vector<geom::Envelope> out;
   out.reserve(indices.size());

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "geom/envelope.hpp"
@@ -25,7 +26,7 @@ std::vector<std::uint32_t> bernoulli_sample(std::size_t n, double rate, Rng& rng
 std::vector<std::uint32_t> reservoir_sample(std::size_t n, std::size_t k, Rng& rng);
 
 /// Gathers the envelopes at `indices` from `envs`.
-std::vector<geom::Envelope> gather_envelopes(const std::vector<geom::Envelope>& envs,
+std::vector<geom::Envelope> gather_envelopes(std::span<const geom::Envelope> envs,
                                              const std::vector<std::uint32_t>& indices);
 
 }  // namespace sjc::partition

@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "mapreduce/shuffle_arena.hpp"
 #include "rdd/spark_runtime.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
@@ -151,6 +152,18 @@ class Rdd {
     return transform_partitions<U>(name, fn, std::move(out_sizer));
   }
 
+  /// Narrow whole-partition transformation that also sees the partition
+  /// index (mapPartitionsWithIndex). The zero-copy data plane uses this to
+  /// parse each partition into a stable per-partition store and emit
+  /// references into it.
+  template <typename U>
+  Rdd<U> map_partitions_indexed(
+      const std::string& name,
+      const std::function<void(std::size_t, const std::vector<T>&, std::vector<U>&)>& fn,
+      Sizer<U> out_sizer) const {
+    return transform_partitions_indexed<U>(name, fn, std::move(out_sizer));
+  }
+
   Rdd<T> filter(const std::string& name, const std::function<bool(const T&)>& pred) const {
     require(valid(), "Rdd: uninitialized handle");
     return transform_partitions<T>(
@@ -276,6 +289,62 @@ Rdd<std::pair<K, std::vector<V>>> group_by_key(
 
   auto result = Rdd<std::pair<K, std::vector<V>>>::create(
       rt, std::move(out), std::move(out_sizer), in.name() + "." + name);
+  rt.memory().release(in.bytes());
+  return result;
+}
+
+/// Hash-partitions (K, V) pairs into `num_partitions` output partitions
+/// WITHOUT grouping values (Spark's partitionBy): a pure redistribution
+/// shuffle. Map-side buckets are chunked-arena backed; pairs within an
+/// output partition arrive in (input partition, emission) order, so the
+/// result is deterministic. Shuffle buffers are charged to the memory
+/// manager while in flight, exactly like group_by_key — the sizer decides
+/// the modeled bytes, so shipping FeatureRef handles still charges the
+/// referenced records' full modeled size.
+template <typename K, typename V>
+Rdd<std::pair<K, V>> partition_by(const Rdd<std::pair<K, V>>& in,
+                                  std::uint32_t num_partitions,
+                                  Sizer<std::pair<K, V>> out_sizer,
+                                  const std::string& name = "partitionBy") {
+  require(in.valid(), "partition_by: uninitialized rdd");
+  require(num_partitions >= 1, "partition_by: need at least one partition");
+  SparkRuntime& rt = in.runtime();
+
+  // Map side: bucket by hash(K) into per-input-partition arenas.
+  const std::size_t n_in = in.num_partitions();
+  std::vector<mapreduce::ShuffleArena<std::pair<K, V>>> buckets(n_in);
+  std::vector<double> map_cpu(n_in, 0.0);
+  ThreadPool::shared().parallel_for(n_in, [&](std::size_t p) {
+    CpuStopwatch watch;
+    buckets[p].reset(num_partitions);
+    for (const auto& kv : in.partitions()[p]) {
+      buckets[p].push(std::hash<K>{}(kv.first) % num_partitions, kv);
+    }
+    map_cpu[p] = watch.seconds();
+  });
+  // Shuffle buffers hold a full copy of the data while in flight.
+  rt.memory().allocate(in.bytes(), "shuffle:" + name);
+
+  // Reduce side: concatenate each output partition's buckets in input-
+  // partition order.
+  std::vector<std::vector<std::pair<K, V>>> out(num_partitions);
+  std::vector<double> reduce_cpu(num_partitions, 0.0);
+  ThreadPool::shared().parallel_for(num_partitions, [&](std::size_t r) {
+    CpuStopwatch watch;
+    for (std::size_t p = 0; p < n_in; ++p) {
+      buckets[p].consume(r, [&](std::pair<K, V>& kv) {
+        out[r].push_back(std::move(kv));
+      });
+    }
+    reduce_cpu[r] = watch.seconds();
+  });
+
+  std::vector<double> cpu = map_cpu;
+  cpu.insert(cpu.end(), reduce_cpu.begin(), reduce_cpu.end());
+  rt.record_shuffle_stage(in.name() + "." + name, cpu, in.bytes());
+
+  auto result = Rdd<std::pair<K, V>>::create(rt, std::move(out), std::move(out_sizer),
+                                             in.name() + "." + name);
   rt.memory().release(in.bytes());
   return result;
 }

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "core/feature_view.hpp"
 #include "core/local_join.hpp"
 #include "index/str_tree.hpp"
 #include "mapreduce/map_reduce.hpp"
@@ -17,10 +18,18 @@ namespace {
 using core::JoinPair;
 
 /// One partition block file: the records shuffled into a partition plus the
-/// STR index packed at the head of the block.
+/// STR index packed at the head of the block. Two storage modes share the
+/// struct: the seed copying plane materializes `features`; the zero-copy
+/// plane stores `indices` into the source dataset's stable feature span
+/// (`base`). `text_bytes` — the modeled on-disk size — is identical either
+/// way.
 struct PartBlock {
-  std::vector<geom::Feature> features;
+  std::vector<geom::Feature> features;        // seed-copy plane
+  std::span<const geom::Feature> base;        // zero-copy plane
+  std::vector<std::uint32_t> indices;         // zero-copy plane
   std::uint64_t text_bytes = 0;
+
+  core::FeatureIndexSpan view() const { return {base, indices}; }
 };
 
 struct IndexedDataset {
@@ -64,29 +73,41 @@ IndexedDataset index_dataset(mapreduce::MrContext& ctx, const workload::Dataset&
     sample_splits.push_back({ranges[s].first, ranges[s].second, sample_rng.fork(s)});
   }
 
-  mapreduce::MapOnlySpec<SampleSplit, geom::Envelope> sample_spec;
-  sample_spec.name = tag + "/sample";
-  sample_spec.config = config.mr;
   const double sample_rate =
       core::effective_sample_rate(query.sample_rate, data.size(), target_cells);
-  sample_spec.map = [&data, sample_rate](const SampleSplit& split,
-                                         std::vector<geom::Envelope>& out_envs) {
+  const auto sample_map = [&data, sample_rate](const SampleSplit& split,
+                                               std::vector<geom::Envelope>& out_envs) {
+    const auto envs = data.envelopes();
     Rng rng = split.rng;  // task-local copy keeps the job deterministic
     for (std::size_t i = split.begin; i < split.end; ++i) {
-      if (rng.bernoulli(sample_rate)) {
-        out_envs.push_back(data.features()[i].geometry.envelope());
-      }
+      if (rng.bernoulli(sample_rate)) out_envs.push_back(envs[i]);
     }
   };
-  sample_spec.split_bytes = [&data](const SampleSplit& split) {
+  const auto sample_split_bytes = [&data](const SampleSplit& split) {
     std::uint64_t bytes = 0;
     for (std::size_t i = split.begin; i < split.end; ++i) {
       bytes += data.record_text_bytes(i);
     }
     return bytes;
   };
-  sample_spec.output_bytes = [](const geom::Envelope&) -> std::uint64_t { return 32; };
-  const auto sample = mapreduce::run_map_only(ctx, sample_spec, sample_splits);
+  const auto sample_output_bytes = [](const geom::Envelope&) -> std::uint64_t {
+    return 32;
+  };
+  std::vector<geom::Envelope> sample;
+  if (config.zero_copy_plane) {
+    auto sample_spec = mapreduce::make_typed_map_only_spec<SampleSplit, geom::Envelope>(
+        tag + "/sample", sample_map, sample_split_bytes, sample_output_bytes);
+    sample_spec.config = config.mr;
+    sample = mapreduce::run_map_only(ctx, sample_spec, sample_splits);
+  } else {
+    mapreduce::MapOnlySpec<SampleSplit, geom::Envelope> sample_spec;
+    sample_spec.name = tag + "/sample";
+    sample_spec.config = config.mr;
+    sample_spec.map = sample_map;
+    sample_spec.split_bytes = sample_split_bytes;
+    sample_spec.output_bytes = sample_output_bytes;
+    sample = mapreduce::run_map_only(ctx, sample_spec, sample_splits);
+  }
 
   // Central scheme derivation (the SpatialHadoop master writes the _master
   // file that subsequent jobs read via HDFS).
@@ -110,56 +131,92 @@ IndexedDataset index_dataset(mapreduce::MrContext& ctx, const workload::Dataset&
 
   out.blocks.assign(out.scheme.cell_count(), nullptr);
 
-  mapreduce::MapReduceSpec<std::uint32_t, std::uint32_t, std::uint32_t, std::uint32_t> part_spec;
-  part_spec.name = tag + "/partition";
-  part_spec.config = config.mr;
   const double expand = query.predicate == core::JoinPredicate::kWithinDistance
                             ? query.within_distance / 2.0
                             : 0.0;
-  part_spec.map = [&data, &out, expand, &ctx](
-                      const std::uint32_t& idx,
-                      const std::function<void(std::uint32_t, std::uint32_t)>& emit) {
-    const auto pids = out.scheme.assign(
-        data.features()[idx].geometry.envelope().expanded_by(expand));
+  // Shared job logic (both planes): the map assigns a record to every cell
+  // its expanded envelope touches; the reduce materializes one block per
+  // cell and packs its STR index. Only the block storage differs — the
+  // zero-copy plane keeps indices into the dataset's stable feature span
+  // instead of deep feature copies; `text_bytes` (the modeled block size)
+  // is computed from the same per-record sizes either way.
+  const bool zero_copy = config.zero_copy_plane;
+  const auto part_map = [&data, &out, expand, &ctx, zero_copy](const std::uint32_t& idx,
+                                                               const auto& emit) {
+    // Per-thread scratch keeps the zero-copy plane's assignment free of
+    // per-record allocation; the seed plane keeps the verbatim allocating
+    // path. Same ids, same order, same counters either way.
+    static thread_local std::vector<std::uint32_t> pids_scratch;
+    const geom::Envelope env = data.envelopes()[idx].expanded_by(expand);
+    if (zero_copy) {
+      out.scheme.assign_into(env, pids_scratch);
+    } else {
+      pids_scratch = out.scheme.assign(env);
+    }
+    const auto& pids = pids_scratch;
     for (const auto pid : pids) emit(pid, idx);
     if (ctx.counters != nullptr) {
       ctx.counters->add("partition.assignments", pids.size());
       ctx.counters->add("partition.records", 1);
+      ctx.counters->add("partition.duplicated_records",
+                        pids.empty() ? 0 : pids.size() - 1);
     }
   };
-  part_spec.reduce = [&data, &out, &ctx, tag](const std::uint32_t& pid,
-                                              std::vector<std::uint32_t>& idxs,
-                                              std::vector<std::uint32_t>& outv) {
+  const auto part_reduce = [&data, &out, zero_copy](const std::uint32_t& pid,
+                                                    std::vector<std::uint32_t>& idxs,
+                                                    std::vector<std::uint32_t>& outv) {
     auto block = std::make_shared<PartBlock>();
-    block->features.reserve(idxs.size());
-    for (const auto idx : idxs) {
-      block->features.push_back(data.features()[idx]);
-      block->text_bytes += data.record_text_bytes(idx);
-    }
     // Pack an STR index into the block head (built while writing: "virtually
     // for free" in disk terms, but its CPU cost is real and measured here).
+    const auto envs = data.envelopes();
     std::vector<index::IndexEntry> entries;
-    entries.reserve(block->features.size());
-    for (std::uint32_t i = 0; i < block->features.size(); ++i) {
-      entries.push_back({block->features[i].geometry.envelope(), i});
+    entries.reserve(idxs.size());
+    for (std::uint32_t i = 0; i < idxs.size(); ++i) {
+      block->text_bytes += data.record_text_bytes(idxs[i]);
+      entries.push_back({envs[idxs[i]], i});
+    }
+    if (zero_copy) {
+      block->base = std::span<const geom::Feature>(data.features());
+      block->indices = std::move(idxs);
+    } else {
+      block->features.reserve(idxs.size());
+      for (const auto idx : idxs) block->features.push_back(data.features()[idx]);
     }
     const index::StrTree tree(std::move(entries));
     block->text_bytes += tree.size_bytes() / 4;  // serialized index is compact
     out.blocks[pid] = block;
     outv.push_back(pid);
   };
-  part_spec.input_bytes = [&data](const std::uint32_t& idx) {
+  const auto part_input_bytes = [&data](const std::uint32_t& idx) {
     return data.record_text_bytes(idx);
   };
-  part_spec.pair_bytes = [&data](const std::uint32_t&, const std::uint32_t& idx) {
+  const auto part_pair_bytes = [&data](const std::uint32_t&, const std::uint32_t& idx) {
     return 4 + data.record_text_bytes(idx);
   };
-  part_spec.output_bytes = [&out](const std::uint32_t& pid) {
+  const auto part_output_bytes = [&out](const std::uint32_t& pid) {
     return out.blocks[pid] != nullptr ? out.blocks[pid]->text_bytes : 0;
   };
-  part_spec.key_less = std::less<std::uint32_t>();
-  part_spec.key_hash = std::hash<std::uint32_t>();
-  mapreduce::run_map_reduce(ctx, part_spec, idx_splits);
+  if (zero_copy) {
+    auto part_spec = mapreduce::make_typed_spec<std::uint32_t, std::uint32_t,
+                                                std::uint32_t, std::uint32_t>(
+        tag + "/partition", part_map, part_reduce, part_input_bytes, part_pair_bytes,
+        part_output_bytes);
+    part_spec.config = config.mr;
+    mapreduce::run_map_reduce(ctx, part_spec, idx_splits);
+  } else {
+    mapreduce::MapReduceSpec<std::uint32_t, std::uint32_t, std::uint32_t, std::uint32_t>
+        part_spec;
+    part_spec.name = tag + "/partition";
+    part_spec.config = config.mr;
+    part_spec.map = part_map;
+    part_spec.reduce = part_reduce;
+    part_spec.input_bytes = part_input_bytes;
+    part_spec.pair_bytes = part_pair_bytes;
+    part_spec.output_bytes = part_output_bytes;
+    part_spec.key_less = std::less<std::uint32_t>();
+    part_spec.key_hash = std::hash<std::uint32_t>();
+    mapreduce::run_map_reduce(ctx, part_spec, idx_splits);
+  }
 
   // Record the block files in the DFS catalog.
   for (std::uint32_t pid = 0; pid < out.blocks.size(); ++pid) {
@@ -235,10 +292,9 @@ std::vector<JoinPair> run_distributed_join(mapreduce::MrContext& ctx,
   local_spec.within_distance = query.within_distance;
   local_spec.prepared_cache = &prepared_cache;
 
-  mapreduce::MapOnlySpec<JoinSplit, JoinPair> join_spec;
-  join_spec.name = "join/local";
-  join_spec.config = config.mr;
-  join_spec.map = [&](const JoinSplit& split, std::vector<JoinPair>& out_pairs) {
+  const bool zero_copy = config.zero_copy_plane;
+  const auto join_map = [&, zero_copy](const JoinSplit& split,
+                                       std::vector<JoinPair>& out_pairs) {
     const PartBlock& block_a = *ia.blocks[split.pa];
     const PartBlock& block_b = *ib.blocks[split.pb];
     // Reference-point duplicate avoidance: emit only in the canonical
@@ -246,6 +302,12 @@ std::vector<JoinPair> run_distributed_join(mapreduce::MrContext& ctx,
     const auto accept = [&](const geom::Envelope& le, const geom::Envelope& re) {
       const geom::Coord p = core::reference_point(le, re);
       const geom::Envelope pe = geom::Envelope::of_point(p.x, p.y);
+      if (zero_copy) {
+        // min_assigned scans the grid cell directory and skips the id-list
+        // materialization; same canonical cell as the seed path below.
+        return ia.scheme.min_assigned(pe) == split.pa &&
+               ib.scheme.min_assigned(pe) == split.pb;
+      }
       const auto cells_a = ia.scheme.assign(pe);
       const auto cells_b = ib.scheme.assign(pe);
       const std::uint32_t canon_a = *std::min_element(cells_a.begin(), cells_a.end());
@@ -255,15 +317,34 @@ std::vector<JoinPair> run_distributed_join(mapreduce::MrContext& ctx,
     // Per-thread scratch: index trees and candidate buffers stay warm across
     // the many partition pairs a pool thread processes.
     static thread_local core::LocalJoinScratch scratch;
-    core::run_local_join(std::span<const geom::Feature>(block_a.features),
-                         std::span<const geom::Feature>(block_b.features), local_spec,
-                         accept, scratch, out_pairs);
+    if (zero_copy) {
+      core::run_local_join(block_a.view(), block_b.view(), local_spec, accept,
+                           scratch, out_pairs);
+    } else {
+      core::run_local_join(std::span<const geom::Feature>(block_a.features),
+                           std::span<const geom::Feature>(block_b.features),
+                           local_spec, accept, scratch, out_pairs);
+    }
   };
-  join_spec.split_bytes = [&](const JoinSplit& split) {
+  const auto join_split_bytes = [&](const JoinSplit& split) {
     return ia.blocks[split.pa]->text_bytes + ib.blocks[split.pb]->text_bytes;
   };
-  join_spec.output_bytes = [](const JoinPair&) -> std::uint64_t { return 16; };
-  auto pairs = mapreduce::run_map_only(ctx, join_spec, join_splits);
+  const auto join_output_bytes = [](const JoinPair&) -> std::uint64_t { return 16; };
+  std::vector<JoinPair> pairs;
+  if (zero_copy) {
+    auto join_spec = mapreduce::make_typed_map_only_spec<JoinSplit, JoinPair>(
+        "join/local", join_map, join_split_bytes, join_output_bytes);
+    join_spec.config = config.mr;
+    pairs = mapreduce::run_map_only(ctx, join_spec, join_splits);
+  } else {
+    mapreduce::MapOnlySpec<JoinSplit, JoinPair> join_spec;
+    join_spec.name = "join/local";
+    join_spec.config = config.mr;
+    join_spec.map = join_map;
+    join_spec.split_bytes = join_split_bytes;
+    join_spec.output_bytes = join_output_bytes;
+    pairs = mapreduce::run_map_only(ctx, join_spec, join_splits);
+  }
   if (ctx.counters != nullptr) {
     ctx.counters->add("join.partition_pairs", join_splits.size());
     ctx.counters->add("join.result_pairs", pairs.size());

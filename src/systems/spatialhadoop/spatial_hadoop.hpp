@@ -45,6 +45,15 @@ struct SpatialHadoopConfig {
   /// has no intrinsic failure modes, so only injected faults (crashes past
   /// max_attempts, losing every replica of a block) can make it fail.
   cluster::FaultPlan faults;
+  /// Data-plane selection. The zero-copy plane (default) stores partition
+  /// blocks as index vectors into the source dataset's feature array and
+  /// uses the typed MR specs (inlined functors + arena shuffle buckets);
+  /// every modeled quantity — shuffle bytes, block text_bytes, phase task
+  /// shapes, join cardinality — is identical to the seed copying plane,
+  /// which is kept as the bench_shuffle baseline. Zero-copy blocks borrow
+  /// the dataset's features, so the source Dataset must outlive any
+  /// SpatialHadoopIndex built from it.
+  bool zero_copy_plane = true;
 };
 
 core::RunReport run_spatial_hadoop(const workload::Dataset& left,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "core/feature_view.hpp"
 #include "core/local_join.hpp"
 #include "index/str_tree.hpp"
 #include "partition/partitioner.hpp"
@@ -32,6 +33,196 @@ std::vector<std::vector<std::string>> chunk_lines(std::vector<std::string> lines
   }
   if (out.empty()) out.emplace_back();
   return out;
+}
+
+/// Zero-copy partitioned join: the same stage sequence as the seed plane
+/// below (parse -> sample -> assign -> groupByKey x2 -> join -> local-join)
+/// with one difference — each input is parsed once into a run-scoped
+/// feature store and every downstream RDD ships 8-byte FeatureRef handles
+/// instead of deep Feature copies. All sizers charge the referenced
+/// record's full modeled bytes, so RDD memory registrations, shuffle
+/// charges, the OOM gate and stage names are identical to the seed plane;
+/// only the harness-side copying disappears.
+void run_partitioned_join_zero_copy(
+    const workload::Dataset& left, const workload::Dataset& right,
+    const core::JoinQueryConfig& query, const core::ExecutionConfig& exec,
+    const SpatialSparkConfig& config, rdd::SparkRuntime& rt, dfs::SimDfs& dfs,
+    const core::LocalJoinSpec& local_spec, geom::PreparedCache& prepared_cache,
+    std::uint32_t parallelism, core::RunReport& report) {
+  using core::FeatureRef;
+  const std::uint64_t rec_overhead = config.record_overhead_bytes;
+  const rdd::Sizer<FeatureRef> ref_sizer = [rec_overhead](const FeatureRef& r) {
+    return static_cast<std::uint64_t>(r.get().geometry.size_bytes()) + rec_overhead;
+  };
+  const rdd::Sizer<std::pair<std::uint32_t, FeatureRef>> pid_ref_sizer =
+      [rec_overhead](const std::pair<std::uint32_t, FeatureRef>& kv) {
+        return 4 + static_cast<std::uint64_t>(kv.second.get().geometry.size_bytes()) +
+               rec_overhead;
+      };
+  const rdd::Sizer<std::pair<std::uint32_t, std::vector<FeatureRef>>> grouped_sizer =
+      [rec_overhead](const std::pair<std::uint32_t, std::vector<FeatureRef>>& kv) {
+        std::uint64_t bytes = 4 + rec_overhead;
+        for (const auto& r : kv.second) {
+          bytes += r.get().geometry.size_bytes() + rec_overhead;
+        }
+        return bytes;
+      };
+  const rdd::Sizer<JoinPair> pair_sizer = [rec_overhead](const JoinPair&) {
+    return 16 + rec_overhead;
+  };
+  const rdd::Sizer<std::string> line_sizer = [](const std::string& l) {
+    return static_cast<std::uint64_t>(l.size()) + 48;  // JVM string header
+  };
+
+  // Run-scoped feature store: one slot per line partition, filled by the
+  // parse stage and kept alive (harness-side only) until the run returns.
+  // Dropping an Rdd<FeatureRef> handle releases its *modeled* bytes on the
+  // seed schedule while the backing features stay valid for later refs.
+  auto store = std::make_shared<std::vector<std::vector<Feature>>>();
+  const auto read_and_parse = [&](const workload::Dataset& data,
+                                  const std::string& tag) {
+    dfs.put(tag + ".raw", std::any(), data.text_bytes());
+    auto lines = rdd::Rdd<std::string>::create(
+        rt,
+        chunk_lines(workload::dataset_to_tsv(data, /*include_pad=*/true), parallelism),
+        line_sizer, tag + ".text");
+    rt.record_input_read(tag + ".read", data.text_bytes(),
+                         dfs.block_count(tag + ".raw"));
+    const std::size_t base = store->size();
+    store->resize(base + lines.num_partitions());
+    return lines.map_partitions_indexed<FeatureRef>(
+        "parse",
+        [store, base](std::size_t p, const std::vector<std::string>& in,
+                      std::vector<FeatureRef>& out) {
+          auto& slot = (*store)[base + p];
+          slot.reserve(in.size());
+          for (const auto& line : in) slot.push_back(workload::feature_from_tsv(line));
+          out.reserve(in.size());
+          for (const auto& f : slot) out.push_back(FeatureRef{&f});
+        },
+        ref_sizer);
+  };
+  auto left_rdd = read_and_parse(left, "A");
+  auto right_rdd = read_and_parse(right, "B");
+
+  // ---- 2. Sample the right side, derive partitions, broadcast --------------
+  const double sample_rate = core::effective_sample_rate(
+      query.sample_rate, right.size(),
+      core::effective_target_partitions(query, exec.cluster));
+  auto sample_rdd = right_rdd.sample("sample", sample_rate, query.seed);
+  const std::vector<FeatureRef> sample = sample_rdd.collect();
+
+  CpuStopwatch driver_cpu;
+  std::vector<geom::Envelope> sample_envs;
+  sample_envs.reserve(sample.size());
+  for (const auto& r : sample) sample_envs.push_back(r.get().geometry.envelope());
+  geom::Envelope joint_extent = left.extent();
+  joint_extent.expand_to_include(right.extent());
+  const std::uint32_t target_cells =
+      core::effective_target_partitions(query, exec.cluster);
+  partition::PartitionScheme scheme = partition::make_partitions(
+      query.partitioner, sample_envs, joint_extent, target_cells);
+  rt.record_narrow_stage("driver.partition", {driver_cpu.seconds()});
+
+  const std::uint64_t scheme_bytes = scheme.size_bytes() * 2;  // cells + index
+  rdd::Broadcast<partition::PartitionScheme> scheme_bc(rt, std::move(scheme),
+                                                       scheme_bytes, "scheme");
+
+  // ---- 3. Assign partition ids to both sides -------------------------------
+  const double expand = local_spec.envelope_expansion();
+  const auto assign_fn = [&scheme_bc, expand](
+                             const FeatureRef& f,
+                             std::vector<std::pair<std::uint32_t, FeatureRef>>& out) {
+    // assign_into reuses a per-thread scratch and queries the grid cell
+    // directory — same id set as the seed plane's assign().
+    static thread_local std::vector<std::uint32_t> pids_scratch;
+    scheme_bc.value().assign_into(f.get().geometry.envelope().expanded_by(expand),
+                                  pids_scratch);
+    for (const auto pid : pids_scratch) out.emplace_back(pid, f);
+  };
+  auto left_pids = left_rdd.flat_map<std::pair<std::uint32_t, FeatureRef>>(
+      "assign", assign_fn, pid_ref_sizer);
+  auto right_pids = right_rdd.flat_map<std::pair<std::uint32_t, FeatureRef>>(
+      "assign", assign_fn, pid_ref_sizer);
+  const auto count_records = [](const auto& rdd) {
+    std::size_t n = 0;
+    for (const auto& part : rdd.partitions()) n += part.size();
+    return n;
+  };
+  const std::size_t left_assigned = count_records(left_pids);
+  const std::size_t right_assigned = count_records(right_pids);
+  report.counters.add("assign.left_assignments", left_assigned);
+  report.counters.add("assign.right_assignments", right_assigned);
+  report.counters.add("partition.duplicated_records",
+                      left_assigned - left.size() + right_assigned - right.size());
+  // The un-cached textFile lineage is not retained once consumed.
+  left_rdd = {};
+  right_rdd = {};
+
+  // ---- 4. groupByKey both sides, join on partition id ----------------------
+  auto left_grouped = rdd::group_by_key<std::uint32_t, FeatureRef>(
+      left_pids, parallelism, grouped_sizer);
+  left_pids = {};
+  auto right_grouped = rdd::group_by_key<std::uint32_t, FeatureRef>(
+      right_pids, parallelism, grouped_sizer);
+  right_pids = {};
+
+  const rdd::Sizer<
+      std::tuple<std::uint32_t, std::vector<FeatureRef>, std::vector<FeatureRef>>>
+      joined_sizer = [rec_overhead](const auto& t) {
+        std::uint64_t bytes = 4 + rec_overhead;
+        for (const auto& r : std::get<1>(t)) {
+          bytes += r.get().geometry.size_bytes() + rec_overhead;
+        }
+        for (const auto& r : std::get<2>(t)) {
+          bytes += r.get().geometry.size_bytes() + rec_overhead;
+        }
+        return bytes;
+      };
+  auto joined = rdd::join_by_key<std::uint32_t, std::vector<FeatureRef>,
+                                 std::vector<FeatureRef>>(left_grouped, right_grouped,
+                                                          parallelism, joined_sizer);
+  left_grouped = {};
+  right_grouped = {};
+
+  // ---- 5. Local join per partition pair ------------------------------------
+  auto pairs_rdd = joined.flat_map<JoinPair>(
+      "local-join",
+      [&](const std::tuple<std::uint32_t, std::vector<FeatureRef>,
+                           std::vector<FeatureRef>>& t,
+          std::vector<JoinPair>& out) {
+        const std::uint32_t pid = std::get<0>(t);
+        const auto accept = [&](const geom::Envelope& le, const geom::Envelope& re) {
+          const geom::Coord p = core::reference_point(le, re);
+          // Same canonical cell as the seed plane's assign() + min_element,
+          // without materializing the id list.
+          return scheme_bc.value().min_assigned(
+                     geom::Envelope::of_point(p.x, p.y)) == pid;
+        };
+        static thread_local core::LocalJoinScratch scratch;
+        core::run_local_join(core::FeatureRefSpan(std::get<1>(t)),
+                             core::FeatureRefSpan(std::get<2>(t)), local_spec,
+                             accept, scratch, out);
+      },
+      pair_sizer);
+  report.counters.add("join.prepared_cache_hits", prepared_cache.hits());
+  report.counters.add("join.prepared_cache_misses", prepared_cache.misses());
+
+  report.success = true;
+  if (exec.collect_pairs) {
+    std::vector<JoinPair> pairs = pairs_rdd.collect();
+    report.result_count = pairs.size();
+    report.result_hash = core::hash_pairs_unordered(pairs);
+    report.pairs = std::move(pairs);
+  } else {
+    CpuStopwatch agg_cpu;
+    for (const auto& part : pairs_rdd.partitions()) {
+      report.result_count += part.size();
+      report.result_hash += core::hash_pairs_unordered(part);
+    }
+    rt.record_narrow_stage("local-join.aggregate", {agg_cpu.seconds()});
+    rt.record_collect("result.aggregate", 16 * pairs_rdd.num_partitions());
+  }
 }
 
 }  // namespace
@@ -85,6 +276,15 @@ core::RunReport run_spatial_spark(const workload::Dataset& left,
 
   try {
     const std::uint32_t parallelism = rt.default_parallelism() * 2;
+
+    if (config.zero_copy_plane && !config.broadcast_join) {
+      run_partitioned_join_zero_copy(left, right, query, exec, config, rt, dfs,
+                                     local_spec, prepared_cache, parallelism, report);
+      report.peak_memory_bytes = rt.memory().peak_paper_bytes();
+      report.total_seconds = report.metrics.total_seconds();
+      core::annotate_recovery(report);
+      return report;
+    }
 
     // ---- 1. Read both inputs from HDFS (the only DFS touch) and parse ------
     // textFile(...).map(parseWkt): the text scan is the run's one DFS read,
@@ -217,8 +417,12 @@ core::RunReport run_spatial_spark(const workload::Dataset& left,
       for (const auto& part : rdd.partitions()) n += part.size();
       return n;
     };
-    report.counters.add("assign.left_assignments", count_records(left_pids));
-    report.counters.add("assign.right_assignments", count_records(right_pids));
+    const std::size_t left_assigned = count_records(left_pids);
+    const std::size_t right_assigned = count_records(right_pids);
+    report.counters.add("assign.left_assignments", left_assigned);
+    report.counters.add("assign.right_assignments", right_assigned);
+    report.counters.add("partition.duplicated_records",
+                        left_assigned - left.size() + right_assigned - right.size());
     // The un-cached textFile lineage is not retained once consumed.
     left_rdd = {};
     right_rdd = {};

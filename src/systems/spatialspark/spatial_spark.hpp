@@ -42,6 +42,14 @@ struct SpatialSparkConfig {
   bool broadcast_join = false;
   /// Geometry engine for refinement (JTS analog by default).
   geom::EngineKind engine = geom::EngineKind::kPrepared;
+  /// Data-plane selection for the partition-based join. The zero-copy plane
+  /// (default) parses each input once into a run-scoped feature store and
+  /// ships 8-byte FeatureRef handles through assign/groupByKey/join instead
+  /// of deep Feature copies; every RDD sizer still charges the referenced
+  /// record's full modeled bytes, so memory accounting, shuffle volumes and
+  /// the OOM gate are identical to the seed copying plane (kept as the
+  /// bench_shuffle baseline). The broadcast join always uses the seed plane.
+  bool zero_copy_plane = true;
 };
 
 core::RunReport run_spatial_spark(const workload::Dataset& left,

@@ -4,6 +4,10 @@
 #include <cstdlib>
 #include <fstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "util/status.hpp"
 
 namespace sjc {
@@ -129,6 +133,20 @@ JsonWriter& JsonWriter::field(const std::string& key, bool value) {
   out_ += "\"" + json_escape(key) + "\": " + (value ? "true" : "false");
   need_comma_ = true;
   return *this;
+}
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // already bytes
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // kilobytes
+#endif
+#else
+  return 0;
+#endif
 }
 
 std::string write_bench_json(const std::string& name, const std::string& json) {

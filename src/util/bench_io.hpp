@@ -48,4 +48,10 @@ class JsonWriter {
 /// Throws SjcError on I/O failure.
 std::string write_bench_json(const std::string& name, const std::string& json);
 
+/// Process-lifetime peak resident set size in bytes (getrusage ru_maxrss).
+/// Monotone over the process lifetime: benches that compare variants must
+/// run the expected-smaller one first. Returns 0 on platforms without
+/// getrusage.
+std::uint64_t peak_rss_bytes();
+
 }  // namespace sjc

@@ -5,10 +5,30 @@
 // provides the former.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <ctime>
 
 namespace sjc {
+
+/// Global "virtual time" switch. When enabled, CpuStopwatch reports zero
+/// elapsed CPU so every modeled quantity (phase makespans included) becomes a
+/// pure function of the cost model — byte counts, overhead constants, task
+/// shapes — with no dependence on real machine timing. Tests use this to
+/// assert bit-identical RunReports across runs and across data-plane
+/// implementations; it is never enabled on the normal measurement path.
+inline std::atomic<bool>& virtual_time_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+inline void set_virtual_time(bool enabled) {
+  virtual_time_flag().store(enabled, std::memory_order_relaxed);
+}
+
+inline bool virtual_time_enabled() {
+  return virtual_time_flag().load(std::memory_order_relaxed);
+}
 
 /// Monotonic wall-clock stopwatch.
 class Stopwatch {
@@ -34,7 +54,10 @@ class CpuStopwatch {
 
   void reset() { start_ = now(); }
 
-  double seconds() const { return now() - start_; }
+  double seconds() const {
+    if (virtual_time_enabled()) return 0.0;
+    return now() - start_;
+  }
 
  private:
   static double now() {

@@ -9,6 +9,7 @@ Dataset::Dataset(std::string name, std::vector<geom::Feature> features,
                  std::uint64_t attr_pad_bytes)
     : name_(std::move(name)), features_(std::move(features)), attr_pad_(attr_pad_bytes) {
   wkt_sizes_.reserve(features_.size());
+  envelopes_.reserve(features_.size());
   for (const auto& f : features_) {
     // WKT length without materializing all strings permanently.
     const auto len = static_cast<std::uint32_t>(geom::to_wkt(f.geometry).size());
@@ -16,7 +17,8 @@ Dataset::Dataset(std::string name, std::vector<geom::Feature> features,
     const std::uint64_t record = 12 + len + attr_pad_;  // "<id>\t" + wkt + attrs + '\n'
     text_bytes_ += record;
     memory_bytes_ += f.geometry.size_bytes();
-    extent_.expand_to_include(f.geometry.envelope());
+    envelopes_.push_back(f.geometry.envelope());
+    extent_.expand_to_include(envelopes_.back());
   }
 }
 
@@ -25,18 +27,6 @@ double Dataset::mean_coords() const {
   std::size_t total = 0;
   for (const auto& f : features_) total += f.geometry.num_coords();
   return static_cast<double>(total) / static_cast<double>(features_.size());
-}
-
-std::uint64_t Dataset::record_text_bytes(std::size_t i) const {
-  require(i < features_.size(), "Dataset::record_text_bytes: index out of range");
-  return 12 + wkt_sizes_[i] + attr_pad_;
-}
-
-std::vector<geom::Envelope> Dataset::envelopes() const {
-  std::vector<geom::Envelope> out;
-  out.reserve(features_.size());
-  for (const auto& f : features_) out.push_back(f.geometry.envelope());
-  return out;
 }
 
 std::vector<std::pair<std::size_t, std::size_t>> Dataset::split_ranges(

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -39,11 +40,15 @@ class Dataset {
   /// Average coordinates per record (geometry complexity).
   double mean_coords() const;
 
-  /// On-disk TSV size of one record (id + wkt + attribute padding).
-  std::uint64_t record_text_bytes(std::size_t i) const;
+  /// On-disk TSV size of one record (id + wkt + attribute padding). Called
+  /// once per record per sizer in every MR job — kept inline and unchecked.
+  std::uint64_t record_text_bytes(std::size_t i) const {
+    return 12 + wkt_sizes_[i] + attr_pad_;
+  }
 
-  /// Envelopes of all features, in feature order.
-  std::vector<geom::Envelope> envelopes() const;
+  /// Envelopes of all features, in feature order. Built once at
+  /// construction; the span stays valid for the dataset's lifetime.
+  std::span<const geom::Envelope> envelopes() const { return envelopes_; }
 
   /// Splits feature indices into `n` contiguous chunks (HDFS-block-like
   /// splits of the raw file).
@@ -53,6 +58,7 @@ class Dataset {
   std::string name_;
   std::vector<geom::Feature> features_;
   std::vector<std::uint32_t> wkt_sizes_;  // cached per-record WKT length
+  std::vector<geom::Envelope> envelopes_;  // cached per-record envelope
   std::uint64_t attr_pad_ = 0;
   std::uint64_t text_bytes_ = 0;
   std::uint64_t memory_bytes_ = 0;

@@ -1,0 +1,239 @@
+// Zero-copy data plane tests: the grid cell directory must agree with the
+// STR tree, the duplicated-records counter must report the exact
+// multi-assignment overhead on a pinned grid, repeated runs must be
+// bit-identical with the thread pool active, and the zero-copy plane must
+// charge exactly the same modeled quantities as the seed copying plane.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "core/experiments.hpp"
+#include "core/spatial_join.hpp"
+#include "partition/partitioner.hpp"
+#include "systems/hadoopgis/hadoop_gis.hpp"
+#include "systems/spatialhadoop/spatial_hadoop.hpp"
+#include "systems/spatialspark/spatial_spark.hpp"
+#include "util/stopwatch.hpp"
+#include "workload/generators.hpp"
+
+namespace sjc {
+namespace {
+
+/// Pins measured CPU to zero for the scope, so every modeled second is a
+/// pure cost-model output and reports become exactly reproducible.
+struct VirtualTimeGuard {
+  VirtualTimeGuard() { set_virtual_time(true); }
+  ~VirtualTimeGuard() { set_virtual_time(false); }
+};
+
+bool double_identical(double a, double b) {
+  return (std::isnan(a) && std::isnan(b)) || a == b;
+}
+
+/// Requires two reports to agree on every modeled quantity, bit for bit.
+void expect_reports_identical(const core::RunReport& a, const core::RunReport& b,
+                              const std::string& tag) {
+  EXPECT_EQ(a.success, b.success) << tag;
+  EXPECT_EQ(a.failure_reason, b.failure_reason) << tag;
+  EXPECT_EQ(a.result_count, b.result_count) << tag;
+  EXPECT_EQ(a.result_hash, b.result_hash) << tag;
+  EXPECT_TRUE(double_identical(a.index_a_seconds, b.index_a_seconds)) << tag;
+  EXPECT_TRUE(double_identical(a.index_b_seconds, b.index_b_seconds)) << tag;
+  EXPECT_TRUE(double_identical(a.join_seconds, b.join_seconds)) << tag;
+  EXPECT_TRUE(double_identical(a.total_seconds, b.total_seconds)) << tag;
+  EXPECT_EQ(a.peak_memory_bytes, b.peak_memory_bytes) << tag;
+  EXPECT_EQ(a.attempts_used, b.attempts_used) << tag;
+  ASSERT_EQ(a.metrics.phases().size(), b.metrics.phases().size()) << tag;
+  for (std::size_t i = 0; i < a.metrics.phases().size(); ++i) {
+    const auto& pa = a.metrics.phases()[i];
+    const auto& pb = b.metrics.phases()[i];
+    EXPECT_EQ(pa.name, pb.name) << tag;
+    EXPECT_TRUE(double_identical(pa.sim_seconds, pb.sim_seconds))
+        << tag << " phase " << pa.name;
+    EXPECT_EQ(pa.bytes_read, pb.bytes_read) << tag << " phase " << pa.name;
+    EXPECT_EQ(pa.bytes_written, pb.bytes_written) << tag << " phase " << pa.name;
+    EXPECT_EQ(pa.bytes_shuffled, pb.bytes_shuffled) << tag << " phase " << pa.name;
+    EXPECT_EQ(pa.task_count, pb.task_count) << tag << " phase " << pa.name;
+    EXPECT_EQ(pa.max_task_pipe_bytes, pb.max_task_pipe_bytes)
+        << tag << " phase " << pa.name;
+    EXPECT_EQ(pa.task_attempts, pb.task_attempts) << tag << " phase " << pa.name;
+  }
+  EXPECT_EQ(a.counters.snapshot(), b.counters.snapshot()) << tag;
+}
+
+// ---------------------------------------------------------------------------
+// Grid cell directory vs STR tree
+// ---------------------------------------------------------------------------
+
+TEST(DataPlane, GridDirectoryAgreesWithTree) {
+  // assign_into() answers from the uniform-grid directory, assign() from the
+  // STR tree; the id *sets* must agree for every partitioner geometry, and
+  // min_assigned() must equal the minimum of assign().
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> pos(0.0, 1000.0);
+  std::uniform_real_distribution<double> len(0.0, 30.0);
+  const geom::Envelope extent(0.0, 0.0, 1000.0, 1000.0);
+  std::vector<geom::Envelope> sample;
+  for (int i = 0; i < 500; ++i) {
+    const double x = pos(rng);
+    const double y = pos(rng);
+    sample.emplace_back(x, y, x + len(rng), y + len(rng));
+  }
+  for (const auto kind :
+       {partition::PartitionerKind::kFixedGrid, partition::PartitionerKind::kStr,
+        partition::PartitionerKind::kBsp, partition::PartitionerKind::kQuadtree}) {
+    const auto scheme = partition::make_partitions(kind, sample, extent, 37);
+    std::vector<geom::Envelope> queries = sample;
+    // Degenerate (point) envelopes, the reference-point dedup shape.
+    for (int i = 0; i < 200; ++i) {
+      const double x = pos(rng);
+      const double y = pos(rng);
+      queries.emplace_back(x, y, x, y);
+    }
+    // Envelopes straddling or outside the extent (nearest-cell fallback).
+    queries.emplace_back(-50.0, -50.0, -10.0, -10.0);
+    queries.emplace_back(990.0, 990.0, 1100.0, 1100.0);
+    queries.emplace_back(-10.0, 400.0, 1100.0, 420.0);
+    std::vector<std::uint32_t> got;
+    for (const auto& q : queries) {
+      auto expected = scheme.assign(q);
+      scheme.assign_into(q, got);
+      const std::uint32_t expected_min =
+          *std::min_element(expected.begin(), expected.end());
+      std::sort(expected.begin(), expected.end());
+      std::sort(got.begin(), got.end());
+      ASSERT_EQ(got, expected) << partition::partitioner_kind_name(kind);
+      EXPECT_EQ(scheme.min_assigned(q), expected_min)
+          << partition::partitioner_kind_name(kind);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Duplicated-records counter on a pinned grid
+// ---------------------------------------------------------------------------
+
+geom::Feature box(std::uint64_t id, double x0, double y0, double x1, double y1) {
+  return {id, geom::Geometry::polygon({{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}, {x0, y0}})};
+}
+
+TEST(DataPlane, DuplicatedRecordsCounterOnPinnedGrid) {
+  // target_partitions=4 + kFixedGrid pins a 2x2 grid over the extent; both
+  // datasets carry corner anchors so every system (per-dataset extents for
+  // the Hadoop family, joint extent for Spark) derives the same [0,100]^2
+  // grid with the seam at 50. The expected count is then by construction:
+  // one extra assignment per seam crossing, three for the center box.
+  std::vector<geom::Feature> a_features;
+  a_features.push_back(box(0, 0, 0, 1, 1));         // anchor, 1 cell
+  a_features.push_back(box(1, 99, 99, 100, 100));   // anchor, 1 cell
+  a_features.push_back(box(2, 10, 10, 20, 20));     // 1 cell
+  a_features.push_back(box(3, 40, 10, 60, 20));     // crosses x=50: +1
+  a_features.push_back(box(4, 10, 40, 20, 60));     // crosses y=50: +1
+  a_features.push_back(box(5, 45, 45, 55, 55));     // crosses both: +3
+  std::vector<geom::Feature> b_features;
+  b_features.push_back(box(0, 0, 0, 1, 1));         // anchor, 1 cell
+  b_features.push_back(box(1, 99, 99, 100, 100));   // anchor, 1 cell
+  b_features.push_back(box(2, 60, 60, 70, 70));     // 1 cell
+  b_features.push_back(box(3, 40, 60, 60, 70));     // crosses x=50: +1
+  b_features.push_back(box(4, 45, 45, 55, 55));     // crosses both: +3
+  const std::uint64_t expected_dups = (1 + 1 + 3) + (1 + 3);
+
+  const workload::Dataset left("dup-a", std::move(a_features), 0);
+  const workload::Dataset right("dup-b", std::move(b_features), 0);
+  core::JoinQueryConfig query;
+  query.predicate = core::JoinPredicate::kIntersects;
+  query.partitioner = partition::PartitionerKind::kFixedGrid;
+  query.target_partitions = 4;
+  core::ExecutionConfig exec;
+  exec.cluster = cluster::ClusterSpec::workstation();
+
+  for (const auto kind :
+       {core::SystemKind::kHadoopGisSim, core::SystemKind::kSpatialHadoopSim,
+        core::SystemKind::kSpatialSparkSim}) {
+    const auto report = core::run_spatial_join(kind, left, right, query, exec);
+    ASSERT_TRUE(report.success)
+        << core::system_kind_name(kind) << ": " << report.failure_reason;
+    EXPECT_EQ(report.counters.get("partition.duplicated_records"), expected_dups)
+        << core::system_kind_name(kind);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism and plane invariance under virtual time
+// ---------------------------------------------------------------------------
+
+struct PlaneBench {
+  workload::Dataset left;
+  workload::Dataset right;
+  core::JoinQueryConfig query;
+  core::ExecutionConfig exec;
+
+  static PlaneBench make() {
+    workload::WorkloadConfig wc;
+    wc.scale = 2e-4;
+    // The taxi1m x nycb row: large enough to exercise every stage, small
+    // enough that HadoopGIS stays inside its (intentional) pipe gate.
+    PlaneBench b{workload::generate(workload::DatasetId::kTaxi1m, wc),
+                 workload::generate(workload::DatasetId::kNycb, wc),
+                 {},
+                 {}};
+    b.query.predicate = core::JoinPredicate::kWithin;
+    // Workstation keeps HadoopGIS inside its (intentional) pipe gate at
+    // this scale while still running multi-slot through the thread pool.
+    b.exec.cluster = cluster::ClusterSpec::workstation();
+    b.exec.data_scale = 1.0 / wc.scale;
+    return b;
+  }
+};
+
+TEST(DataPlane, RepeatedRunsBitIdenticalUnderVirtualTime) {
+  // With measured CPU pinned to zero, two runs of the same Table-2 config —
+  // thread pool active, arena shuffle buckets, prepared-geometry cache —
+  // must produce byte-identical reports: no scheduling-dependent modeled
+  // quantity may exist in the zero-copy plane.
+  const VirtualTimeGuard vt;
+  const PlaneBench b = PlaneBench::make();
+  for (const auto kind :
+       {core::SystemKind::kHadoopGisSim, core::SystemKind::kSpatialHadoopSim,
+        core::SystemKind::kSpatialSparkSim}) {
+    const auto first = core::run_spatial_join(kind, b.left, b.right, b.query, b.exec);
+    const auto second = core::run_spatial_join(kind, b.left, b.right, b.query, b.exec);
+    ASSERT_TRUE(first.success) << first.failure_reason;
+    expect_reports_identical(first, second,
+                             std::string("repeat/") + core::system_kind_name(kind));
+  }
+}
+
+TEST(DataPlane, ZeroCopyPlaneChargesIdenticalModeledQuantities) {
+  // The accounting-invariance contract: flipping zero_copy_plane changes
+  // how the harness holds records, never what the simulator charges.
+  const VirtualTimeGuard vt;
+  const PlaneBench b = PlaneBench::make();
+  {
+    systems::SpatialHadoopConfig seed_cfg;
+    seed_cfg.zero_copy_plane = false;
+    systems::SpatialHadoopConfig zc_cfg;
+    zc_cfg.zero_copy_plane = true;
+    const auto seed =
+        systems::run_spatial_hadoop(b.left, b.right, b.query, b.exec, seed_cfg);
+    const auto zc = systems::run_spatial_hadoop(b.left, b.right, b.query, b.exec, zc_cfg);
+    ASSERT_TRUE(seed.success) << seed.failure_reason;
+    expect_reports_identical(seed, zc, "spatialhadoop seed-vs-zero-copy");
+  }
+  {
+    systems::SpatialSparkConfig seed_cfg;
+    seed_cfg.zero_copy_plane = false;
+    systems::SpatialSparkConfig zc_cfg;
+    zc_cfg.zero_copy_plane = true;
+    const auto seed =
+        systems::run_spatial_spark(b.left, b.right, b.query, b.exec, seed_cfg);
+    const auto zc = systems::run_spatial_spark(b.left, b.right, b.query, b.exec, zc_cfg);
+    ASSERT_TRUE(seed.success) << seed.failure_reason;
+    expect_reports_identical(seed, zc, "spatialspark seed-vs-zero-copy");
+  }
+}
+
+}  // namespace
+}  // namespace sjc
