@@ -11,17 +11,32 @@
 // bench writes BENCH_table2.json with per-run simulated seconds AND the
 // real wall-clock each run took, so kernel-level regressions show up in
 // regression tracking even when the simulated model hides them.
+// Pass --trace=PREFIX to also record per-task timelines: each run writes a
+// Chrome trace-event file PREFIX_<experiment>_<system>_<cluster>.trace.json
+// (open in Perfetto or chrome://tracing) and prints its per-phase skew
+// summary. Tracing never changes the reported numbers (see DESIGN.md §5e).
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 
 #include "core/experiments.hpp"
 #include "core/spatial_join.hpp"
+#include "trace/chrome_trace.hpp"
 #include "util/bench_io.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "workload/generators.hpp"
 
 namespace {
+
+std::string slug(std::string text) {
+  for (auto& ch : text) {
+    const bool keep = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                      (ch >= '0' && ch <= '9') || ch == '-' || ch == '_';
+    if (!keep) ch = '-';
+  }
+  return text;
+}
 
 // Paper Table 2 values for reference columns.
 const char* paper_value(const std::string& exp, sjc::core::SystemKind system,
@@ -55,8 +70,12 @@ const char* paper_value(const std::string& exp, sjc::core::SystemKind system,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sjc;
+  std::string trace_prefix;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_prefix = argv[i] + 8;
+  }
   const double scale = core::bench_scale();
   workload::WorkloadConfig wc;
   wc.scale = scale;
@@ -90,11 +109,20 @@ int main() {
         core::ExecutionConfig exec;
         exec.cluster = c;
         exec.data_scale = 1.0 / scale;
+        exec.trace = !trace_prefix.empty();
         const auto wall_start = std::chrono::steady_clock::now();
         const auto report = core::run_spatial_join(system, left, right, query, exec);
         const double wall_seconds =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
                 .count();
+        if (exec.trace && !report.trace.empty()) {
+          const std::string path = trace_prefix + "_" + slug(def.id) + "_" +
+                                   slug(core::system_kind_name(system)) + "_" +
+                                   slug(c.name) + ".trace.json";
+          trace::write_chrome_trace_file(path, report.trace);
+          std::printf("trace written to %s\n%s", path.c_str(),
+                      trace::format_skew_table(report.trace).c_str());
+        }
         const std::string measured =
             report.success ? format_seconds(report.total_seconds) : "-";
         row.push_back(measured + " | " + paper_value(def.id, system, c.name));

@@ -4,16 +4,31 @@
 //   DJ  — distributed join               TOT — IA + IB + DJ
 // SpatialSpark reports TOT only (the paper could not attribute its stages
 // either); HadoopGIS rows are "-" where it failed.
+// Pass --trace=PREFIX to also record per-task timelines: each run writes a
+// Chrome trace-event file PREFIX_<experiment>_<system>_<cluster>.trace.json
+// (open in Perfetto or chrome://tracing) and prints its per-phase skew
+// summary. Tracing never changes the reported numbers (see DESIGN.md §5e).
 #include <cstdio>
+#include <cstring>
 
 #include "core/experiments.hpp"
 #include "core/spatial_join.hpp"
+#include "trace/chrome_trace.hpp"
 #include "util/bench_io.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "workload/generators.hpp"
 
 namespace {
+
+std::string slug(std::string text) {
+  for (auto& ch : text) {
+    const bool keep = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                      (ch >= '0' && ch <= '9') || ch == '-' || ch == '_';
+    if (!keep) ch = '-';
+  }
+  return text;
+}
 
 struct PaperRow {
   const char* ia;
@@ -59,8 +74,12 @@ std::string fmt(double seconds, bool success) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sjc;
+  std::string trace_prefix;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_prefix = argv[i] + 8;
+  }
   const double scale = core::bench_scale();
   workload::WorkloadConfig wc;
   wc.scale = scale;
@@ -87,7 +106,16 @@ int main() {
         core::ExecutionConfig exec;
         exec.cluster = c;
         exec.data_scale = 1.0 / scale;
+        exec.trace = !trace_prefix.empty();
         const auto report = core::run_spatial_join(system, left, right, query, exec);
+        if (exec.trace && !report.trace.empty()) {
+          const std::string path = trace_prefix + "_" + slug(def.id) + "_" +
+                                   slug(core::system_kind_name(system)) + "_" +
+                                   slug(c.name) + ".trace.json";
+          trace::write_chrome_trace_file(path, report.trace);
+          std::printf("trace written to %s\n%s", path.c_str(),
+                      trace::format_skew_table(report.trace).c_str());
+        }
         const PaperRow paper = paper_row(def.id, system, c.name);
         table.add_row({def.id, c.name, core::system_kind_name(system),
                        fmt(report.index_a_seconds, report.success) + " | " + paper.ia,

@@ -6,6 +6,7 @@
 // the end-to-end totals of Table 2.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -46,7 +47,22 @@ class RunMetrics {
   const std::vector<PhaseReport>& phases() const { return phases_; }
 
   /// Most recently added phase (for engines annotating extra detail).
-  PhaseReport& last_phase() { return phases_.back(); }
+  /// Calling this before any phase was added is a bug: asserts in debug
+  /// builds and returns a throwaway scratch report in release builds (the
+  /// annotation is dropped instead of corrupting memory via back() on an
+  /// empty vector). Caller audit (2026-08): no call sites exist today —
+  /// engines annotate through record_phase parameters instead, because a
+  /// datanode-loss repair phase can land after the phase just recorded (see
+  /// mr_context.hpp).
+  PhaseReport& last_phase() {
+    assert(!phases_.empty() && "last_phase() called before any add_phase()");
+    if (phases_.empty()) [[unlikely]] {
+      thread_local PhaseReport scratch;
+      scratch = PhaseReport{};
+      return scratch;
+    }
+    return phases_.back();
+  }
 
   /// Largest per-task pipe volume across all streaming phases.
   std::uint64_t max_task_pipe_bytes() const {

@@ -2,25 +2,49 @@
 
 #include <algorithm>
 #include <queue>
+#include <utility>
 
 #include "util/status.hpp"
 
 namespace sjc::cluster {
 
+namespace {
+
+/// Min-heap of (free-at time, slot id): among equally-free slots the lowest
+/// slot id wins, so slot placement — and with it the trace timeline — is a
+/// deterministic function of the task list alone. The slot id never feeds
+/// into any duration arithmetic, so makespans are unchanged from the
+/// time-only heap this replaces.
+using SlotHeap =
+    std::priority_queue<std::pair<double, std::uint32_t>,
+                        std::vector<std::pair<double, std::uint32_t>>,
+                        std::greater<>>;
+
+SlotHeap make_slot_heap(std::uint32_t slots) {
+  SlotHeap heap;
+  for (std::uint32_t s = 0; s < slots; ++s) heap.emplace(0.0, s);
+  return heap;
+}
+
+}  // namespace
+
 double list_schedule_makespan(const std::vector<double>& durations,
-                              std::uint32_t slots) {
+                              std::uint32_t slots,
+                              std::vector<ScheduledAttempt>* attempts_out) {
   require(slots > 0, "list_schedule_makespan: need at least one slot");
   if (durations.empty()) return 0.0;
-  // Min-heap of slot availability times.
-  std::priority_queue<double, std::vector<double>, std::greater<>> heap;
-  for (std::uint32_t s = 0; s < slots; ++s) heap.push(0.0);
+  SlotHeap heap = make_slot_heap(slots);
   double makespan = 0.0;
-  for (const double d : durations) {
-    const double start = heap.top();
+  for (std::size_t i = 0; i < durations.size(); ++i) {
+    const auto [start, slot] = heap.top();
     heap.pop();
-    const double end = start + d;
+    const double end = start + durations[i];
     makespan = std::max(makespan, end);
-    heap.push(end);
+    heap.emplace(end, slot);
+    if (attempts_out != nullptr) {
+      attempts_out->push_back({i, 1, false, slot, start, end,
+                               trace::SpanOutcome::kOk});
+    }
   }
   return makespan;
 }
@@ -35,7 +59,8 @@ ScheduleOutcome list_schedule_makespan(const std::vector<double>& durations,
                                        std::uint32_t slots,
                                        const FaultInjector& faults,
                                        std::uint64_t phase,
-                                       const std::vector<double>* intrinsic_severity) {
+                                       const std::vector<double>* intrinsic_severity,
+                                       std::vector<ScheduledAttempt>* attempts_out) {
   require(slots > 0, "list_schedule_makespan: need at least one slot");
   require(intrinsic_severity == nullptr ||
               intrinsic_severity->size() == durations.size(),
@@ -56,8 +81,15 @@ ScheduleOutcome list_schedule_makespan(const std::vector<double>& durations,
     median = sorted[mid];
   }
 
-  std::priority_queue<double, std::vector<double>, std::greater<>> heap;
-  for (std::uint32_t s = 0; s < slots; ++s) heap.push(0.0);
+  SlotHeap heap = make_slot_heap(slots);
+
+  const auto emit = [&](std::size_t task, std::uint32_t attempt, bool speculative,
+                        std::uint32_t slot, double start, double end,
+                        trace::SpanOutcome outcome) {
+    if (attempts_out != nullptr) {
+      attempts_out->push_back({task, attempt, speculative, slot, start, end, outcome});
+    }
+  };
 
   for (std::size_t i = 0; i < durations.size(); ++i) {
     const double base = durations[i];
@@ -65,12 +97,13 @@ ScheduleOutcome list_schedule_makespan(const std::vector<double>& durations,
     const double severity =
         intrinsic_severity != nullptr ? (*intrinsic_severity)[i] : 0.0;
 
-    const double start = heap.top();
+    const auto [start, slot] = heap.top();
     heap.pop();
 
     // ---- Attempt chain: retries run back-to-back on the same slot --------
     double chain = 0.0;
     bool succeeded = false;
+    double final_attempt_start = start;  // where the winning attempt began
     std::uint32_t attempt = 1;
     for (; attempt <= plan.max_attempts; ++attempt) {
       const double attempt_duration = base * slow;
@@ -81,14 +114,19 @@ ScheduleOutcome list_schedule_makespan(const std::vector<double>& durations,
         // capacity is exhausted, i.e. after capacity/severity of its work.
         const double consumed =
             attempt_duration * std::min(1.0, faults.capacity_factor(attempt) / severity);
+        emit(i, attempt, false, slot, start + chain, start + chain + consumed,
+             trace::SpanOutcome::kFailed);
         chain += consumed;
         out.wasted_seconds += consumed;
       } else if (faults.crashes(phase, i, attempt)) {
         const double consumed =
             attempt_duration * faults.crash_fraction(phase, i, attempt);
+        emit(i, attempt, false, slot, start + chain, start + chain + consumed,
+             trace::SpanOutcome::kFailed);
         chain += consumed;
         out.wasted_seconds += consumed;
       } else {
+        final_attempt_start = start + chain;
         chain += attempt_duration;
         succeeded = true;
         break;
@@ -107,7 +145,7 @@ ScheduleOutcome list_schedule_makespan(const std::vector<double>& durations,
       }
       const double end = start + chain;
       out.makespan = std::max(out.makespan, end);
-      heap.push(end);
+      heap.emplace(end, slot);
       continue;
     }
 
@@ -121,7 +159,7 @@ ScheduleOutcome list_schedule_makespan(const std::vector<double>& durations,
     if (plan.speculative_execution && straggler &&
         base * slow > plan.speculation_threshold * median && !heap.empty()) {
       const double launch_offset = plan.speculation_threshold * median;
-      const double clone_slot_free = heap.top();
+      const auto [clone_slot_free, clone_slot] = heap.top();
       heap.pop();
       const double clone_start = std::max(clone_slot_free, start + launch_offset);
       const double clone_end = clone_start + base;
@@ -131,18 +169,27 @@ ScheduleOutcome list_schedule_makespan(const std::vector<double>& durations,
       ++out.attempts;
       if (clone_end < primary_end) {
         out.wasted_seconds += winner_end - start;  // primary killed
+        emit(i, attempt, false, slot, final_attempt_start, winner_end,
+             trace::SpanOutcome::kSpeculativeLoser);
+        emit(i, attempt + 1, true, clone_slot, clone_start, clone_end,
+             trace::SpanOutcome::kOk);
       } else {
         out.wasted_seconds += std::max(0.0, winner_end - clone_start);  // clone killed
+        emit(i, attempt, false, slot, final_attempt_start, primary_end,
+             trace::SpanOutcome::kOk);
+        emit(i, attempt + 1, true, clone_slot, clone_start,
+             std::max(clone_start, winner_end), trace::SpanOutcome::kSpeculativeLoser);
       }
       out.makespan = std::max(out.makespan, winner_end);
-      heap.push(winner_end);
-      heap.push(winner_end);
+      heap.emplace(winner_end, slot);
+      heap.emplace(winner_end, clone_slot);
       continue;
     }
 
     const double end = start + chain;
+    emit(i, attempt, false, slot, final_attempt_start, end, trace::SpanOutcome::kOk);
     out.makespan = std::max(out.makespan, end);
-    heap.push(end);
+    heap.emplace(end, slot);
   }
   return out;
 }

@@ -19,14 +19,32 @@
 #include <vector>
 
 #include "cluster/fault_injector.hpp"
+#include "trace/trace.hpp"
 
 namespace sjc::cluster {
 
+/// One attempt the scheduler placed on a slot: the raw material for the
+/// trace timeline. Times are phase-relative seconds (the phase recorder
+/// shifts them onto the run clock). Slot choice among equally-free slots is
+/// deterministic (lowest slot id wins ties), and emission is a pure
+/// observation — it never feeds back into makespan arithmetic.
+struct ScheduledAttempt {
+  std::size_t task = 0;
+  std::uint32_t attempt = 1;     // 1-based; a speculative clone continues the chain
+  bool speculative = false;
+  std::uint32_t slot = 0;
+  double start = 0.0;
+  double end = 0.0;
+  trace::SpanOutcome outcome = trace::SpanOutcome::kOk;
+};
+
 /// FIFO list-scheduling makespan of `durations` onto `slots` identical
 /// slots. Returns 0 for an empty task list. Throws InvalidArgument when
-/// `slots == 0` (there is nothing meaningful to schedule onto).
+/// `slots == 0` (there is nothing meaningful to schedule onto). When
+/// `attempts_out` is non-null, one ScheduledAttempt per task is appended.
 double list_schedule_makespan(const std::vector<double>& durations,
-                              std::uint32_t slots);
+                              std::uint32_t slots,
+                              std::vector<ScheduledAttempt>* attempts_out = nullptr);
 
 /// Longest-processing-time variant (tasks sorted descending first): a lower
 /// bound used by the scalability bench to separate scheduling luck from
@@ -61,11 +79,17 @@ struct ScheduleOutcome {
 /// consumes duration * min(1, capacity_factor/r) before dying — the pipe
 /// breaks partway through the stream). Injected crashes from the plan are
 /// layered on top. Requires `slots > 0`.
+///
+/// When `attempts_out` is non-null, every launched attempt — failed
+/// attempts, retries, speculative clones and their race losers — is
+/// appended as a ScheduledAttempt.
 ScheduleOutcome list_schedule_makespan(const std::vector<double>& durations,
                                        std::uint32_t slots,
                                        const FaultInjector& faults,
                                        std::uint64_t phase,
                                        const std::vector<double>* intrinsic_severity =
+                                           nullptr,
+                                       std::vector<ScheduledAttempt>* attempts_out =
                                            nullptr);
 
 }  // namespace sjc::cluster

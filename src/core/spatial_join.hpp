@@ -21,6 +21,7 @@
 #include "cluster/cluster_spec.hpp"
 #include "cluster/counters.hpp"
 #include "cluster/metrics.hpp"
+#include "trace/trace.hpp"
 #include "geom/engine.hpp"
 #include "index/mbr_join.hpp"
 #include "partition/partitioner.hpp"
@@ -89,6 +90,11 @@ struct ExecutionConfig {
   /// Keep the joined (left_id, right_id) pairs in the report (tests); when
   /// false only count and hash are kept (benches).
   bool collect_pairs = false;
+  /// Collect a per-task trace timeline (RunReport::trace): one TaskSpan per
+  /// scheduled attempt, exportable as Chrome trace.json. Tracing is
+  /// accounting-neutral — under virtual time a traced run's report is
+  /// bit-identical to an untraced one.
+  bool trace = false;
 };
 
 struct RunReport {
@@ -119,6 +125,10 @@ struct RunReport {
   std::uint64_t peak_memory_bytes = 0;
 
   cluster::RunMetrics metrics;  // full per-phase detail
+
+  /// Per-attempt timeline (empty unless ExecutionConfig::trace): exported
+  /// via trace::write_chrome_trace / summarized via trace::skew_summary.
+  trace::TaskTimeline trace;
 
   /// Hadoop-style named counters accumulated by the run (records assigned,
   /// duplicates removed, candidate vs refined pairs, ...).

@@ -12,6 +12,25 @@ const cluster::FaultInjector& fault_injector(const MrContext& ctx) {
 
 namespace {
 
+/// Emits one slot-0 span for a serial single-task phase (master steps, DFS
+/// repairs). `start` is the run clock before the phase was appended.
+void emit_serial_span(MrContext& ctx, const cluster::PhaseReport& phase,
+                      double start, double cpu_seconds) {
+  if (ctx.trace == nullptr) return;
+  trace::TaskSpan span;
+  span.phase = phase.name;
+  span.task = 0;
+  span.attempt = 1;
+  span.slot = 0;
+  span.sim_start = start;
+  span.sim_end = start + phase.sim_seconds;
+  span.cpu_seconds = cpu_seconds;
+  span.bytes_in = phase.bytes_read;
+  span.bytes_out = phase.bytes_written;
+  span.bytes_shuffled = phase.bytes_shuffled;
+  ctx.trace->record(std::move(span));
+}
+
 /// Applies datanode-loss events the simulated clock has passed: kills the
 /// node in the DFS and charges the namenode's re-replication copies as a
 /// one-task repair phase.
@@ -38,6 +57,7 @@ void apply_due_datanode_losses(MrContext& ctx) {
     phase.task_count = 1;
     phase.task_attempts = 1;
     phase.rereplicated_bytes = repair.bytes_rereplicated;
+    emit_serial_span(ctx, phase, ctx.metrics->total_seconds(), 0.0);
     ctx.metrics->add_phase(std::move(phase));
   }
 }
@@ -69,6 +89,7 @@ void charge_master_step(MrContext& ctx, const std::string& name, double cpu_seco
   phase.bytes_written = write_bytes;
   phase.task_count = 1;
   phase.task_attempts = 1;
+  emit_serial_span(ctx, phase, ctx.metrics->total_seconds(), task.cpu_seconds);
   ctx.metrics->add_phase(std::move(phase));
   apply_due_datanode_losses(ctx);
 }
@@ -87,9 +108,33 @@ cluster::ScheduleOutcome record_phase(MrContext& ctx, const std::string& name,
     durations.push_back(t.duration(*ctx.cluster, ctx.data_scale));
   }
   const cluster::FaultInjector& faults = fault_injector(ctx);
+  std::vector<cluster::ScheduledAttempt> attempts;
   const cluster::ScheduleOutcome outcome = cluster::list_schedule_makespan(
       durations, ctx.cluster->total_slots(), faults,
-      cluster::FaultInjector::phase_id(name), task_severity);
+      cluster::FaultInjector::phase_id(name), task_severity,
+      ctx.trace != nullptr ? &attempts : nullptr);
+  // Shift phase-relative attempt times onto the run clock: the phase starts
+  // where the sequential clock stood, and its serial extra_seconds (job
+  // startup) precede the task waves.
+  if (ctx.trace != nullptr) {
+    const double offset = ctx.metrics->total_seconds() + extra_seconds;
+    for (const auto& a : attempts) {
+      trace::TaskSpan span;
+      span.phase = name;
+      span.task = a.task;
+      span.attempt = a.attempt;
+      span.speculative = a.speculative;
+      span.slot = a.slot;
+      span.sim_start = offset + a.start;
+      span.sim_end = offset + a.end;
+      span.cpu_seconds = tasks[a.task].cpu_seconds;
+      span.bytes_in = tasks[a.task].disk_read;
+      span.bytes_out = tasks[a.task].disk_write;
+      span.bytes_shuffled = tasks[a.task].network;
+      span.outcome = a.outcome;
+      ctx.trace->record(std::move(span));
+    }
+  }
   cluster::PhaseReport phase;
   phase.name = name;
   phase.sim_seconds = outcome.makespan + extra_seconds;

@@ -18,6 +18,7 @@
 #include "cluster/scheduler.hpp"
 #include "cluster/sim_task.hpp"
 #include "dfs/sim_dfs.hpp"
+#include "trace/trace.hpp"
 
 namespace sjc::mapreduce {
 
@@ -54,6 +55,11 @@ struct MrContext {
   /// Index of the next unapplied datanode-loss event from the fault plan
   /// (advanced as the simulated clock passes each event's time).
   std::size_t datanode_losses_applied = 0;
+  /// Optional per-task span sink. When set, every scheduled attempt (plus
+  /// master steps and DFS repairs) lands on the run's trace timeline;
+  /// tracing never changes what the phases charge. Kept last so existing
+  /// positional aggregate initializers stay valid.
+  trace::TraceCollector* trace = nullptr;
 
   /// Fraction of shuffled bytes that cross the network (a reducer co-hosted
   /// with a mapper reads locally): (nodes-1)/nodes.

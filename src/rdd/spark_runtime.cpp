@@ -33,9 +33,32 @@ void SparkRuntime::record(const std::string& name, std::vector<cluster::SimTask>
   std::vector<double> durations;
   durations.reserve(tasks.size());
   for (const auto& t : tasks) durations.push_back(t.duration(cluster_, data_scale_));
+  std::vector<cluster::ScheduledAttempt> attempts;
   const cluster::ScheduleOutcome outcome = cluster::list_schedule_makespan(
       durations, cluster_.total_slots(), faults_,
-      cluster::FaultInjector::phase_id(name));
+      cluster::FaultInjector::phase_id(name), nullptr,
+      trace_ != nullptr ? &attempts : nullptr);
+  if (trace_ != nullptr) {
+    // Stage overhead (scheduling/launch) precedes the task waves on the run
+    // clock.
+    const double offset = metrics_->total_seconds() + config_.stage_overhead_s;
+    for (const auto& a : attempts) {
+      trace::TaskSpan span;
+      span.phase = name;
+      span.task = a.task;
+      span.attempt = a.attempt;
+      span.speculative = a.speculative;
+      span.slot = a.slot;
+      span.sim_start = offset + a.start;
+      span.sim_end = offset + a.end;
+      span.cpu_seconds = tasks[a.task].cpu_seconds;
+      span.bytes_in = tasks[a.task].disk_read;
+      span.bytes_out = tasks[a.task].disk_write;
+      span.bytes_shuffled = tasks[a.task].network;
+      span.outcome = a.outcome;
+      trace_->record(std::move(span));
+    }
+  }
   cluster::PhaseReport phase;
   phase.name = name;
   phase.sim_seconds = outcome.makespan + config_.stage_overhead_s;
@@ -86,6 +109,15 @@ void SparkRuntime::apply_due_losses(const std::string& after_stage) {
         phase.task_count = 1;
         phase.task_attempts = 1;
         phase.rereplicated_bytes = repair.bytes_rereplicated;
+        if (trace_ != nullptr) {
+          trace::TaskSpan span;
+          span.phase = phase.name;
+          span.sim_start = metrics_->total_seconds();
+          span.sim_end = span.sim_start + phase.sim_seconds;
+          span.bytes_in = phase.bytes_read;
+          span.bytes_out = phase.bytes_written;
+          trace_->record(std::move(span));
+        }
         metrics_->add_phase(std::move(phase));
       }
     }
@@ -103,9 +135,23 @@ void SparkRuntime::apply_due_losses(const std::string& after_stage) {
     std::vector<double> recompute(lost_partitions, lineage_per_task_seconds_);
     cluster::PhaseReport phase;
     phase.name = after_stage + ".recompute[node" + std::to_string(node) + "]";
+    std::vector<cluster::ScheduledAttempt> attempts;
     phase.sim_seconds =
-        cluster::list_schedule_makespan(recompute, cluster_.total_slots()) +
+        cluster::list_schedule_makespan(recompute, cluster_.total_slots(),
+                                        trace_ != nullptr ? &attempts : nullptr) +
         config_.stage_overhead_s;
+    if (trace_ != nullptr) {
+      const double offset = metrics_->total_seconds() + config_.stage_overhead_s;
+      for (const auto& a : attempts) {
+        trace::TaskSpan span;
+        span.phase = phase.name;
+        span.task = a.task;
+        span.slot = a.slot;
+        span.sim_start = offset + a.start;
+        span.sim_end = offset + a.end;
+        trace_->record(std::move(span));
+      }
+    }
     phase.task_count = lost_partitions;
     phase.task_attempts = lost_partitions;
     phase.recomputed_partitions = lost_partitions;

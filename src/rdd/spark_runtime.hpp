@@ -25,6 +25,7 @@
 #include "cluster/sim_task.hpp"
 #include "dfs/sim_dfs.hpp"
 #include "rdd/memory_manager.hpp"
+#include "trace/trace.hpp"
 
 namespace sjc::rdd {
 
@@ -97,6 +98,11 @@ class SparkRuntime {
   /// Records collecting `bytes` back to the driver.
   void record_collect(const std::string& name, std::uint64_t bytes);
 
+  /// Attaches a per-task span sink: every stage task attempt, lineage
+  /// recompute and DFS repair lands on the run's trace timeline. Tracing
+  /// never changes what the stages charge.
+  void set_trace(trace::TraceCollector* trace) { trace_ = trace; }
+
   /// Executors lost to datanode-loss events so far.
   std::uint32_t lost_executors() const { return lost_executors_; }
   /// Partitions recomputed from lineage across all losses.
@@ -120,6 +126,7 @@ class SparkRuntime {
   SparkConfig config_;
   MemoryManager memory_;
   cluster::FaultInjector faults_;
+  trace::TraceCollector* trace_ = nullptr;
   std::size_t losses_applied_ = 0;
   std::uint32_t lost_executors_ = 0;
   std::uint64_t recomputed_partitions_ = 0;

@@ -243,6 +243,8 @@ core::RunReport run_hadoop_gis(const workload::Dataset& left,
   const cluster::FaultInjector faults(config.faults);
   mapreduce::MrContext ctx{&exec.cluster, exec.data_scale, &dfs, &report.metrics,
                            &report.counters, &faults};
+  trace::TraceCollector collector(exec.cluster.node_count, exec.cluster.node.cores);
+  if (exec.trace) ctx.trace = &collector;
 
   mapreduce::StreamingConfig streaming;
   streaming.mr = config.mr;
@@ -395,6 +397,7 @@ core::RunReport run_hadoop_gis(const workload::Dataset& left,
   report.index_b_seconds = report.metrics.seconds_with_prefix("B/");
   report.join_seconds = report.metrics.seconds_with_prefix("join/");
   report.total_seconds = report.metrics.total_seconds();
+  if (exec.trace) report.trace = collector.merged();
   core::annotate_recovery(report);
   return report;
 }

@@ -379,6 +379,8 @@ core::RunReport run_spatial_hadoop(const workload::Dataset& left,
   const cluster::FaultInjector faults(config.faults);
   mapreduce::MrContext ctx{&exec.cluster, exec.data_scale, &dfs, &report.metrics,
                            &report.counters, &faults};
+  trace::TraceCollector collector(exec.cluster.node_count, exec.cluster.node.cores);
+  if (exec.trace) ctx.trace = &collector;
 
   try {
     // ---- Preprocessing: index both inputs (IA, IB) -------------------------
@@ -394,6 +396,7 @@ core::RunReport run_spatial_hadoop(const workload::Dataset& left,
     report.total_seconds = report.metrics.total_seconds();
     core::annotate_recovery(report);
   }
+  if (exec.trace) report.trace = collector.merged();
   return report;
 }
 
@@ -441,12 +444,15 @@ core::RunReport run_spatial_hadoop_indexed(const SpatialHadoopIndex& left,
   dfs::SimDfs dfs(dfs_config(query, exec));
   mapreduce::MrContext ctx{&exec.cluster, exec.data_scale, &dfs, &report.metrics,
                            &report.counters};
+  trace::TraceCollector collector(exec.cluster.node_count, exec.cluster.node.cores);
+  if (exec.trace) ctx.trace = &collector;
   finalize_report(
       report, run_distributed_join(ctx, left.impl_->data, right.impl_->data, query, config),
       exec);
   // With re-partitioning skipped the run has no indexing phases.
   report.index_a_seconds = 0.0;
   report.index_b_seconds = 0.0;
+  if (exec.trace) report.trace = collector.merged();
   return report;
 }
 

@@ -242,6 +242,8 @@ core::RunReport run_spatial_spark(const workload::Dataset& left,
   });
   rdd::SparkRuntime rt(exec.cluster, exec.data_scale, &dfs, &report.metrics,
                        config.spark);
+  trace::TraceCollector collector(exec.cluster.node_count, exec.cluster.node.cores);
+  if (exec.trace) rt.set_trace(&collector);
 
   const std::uint64_t rec_overhead = config.record_overhead_bytes;
   const rdd::Sizer<Feature> feature_sizer = [rec_overhead](const Feature& f) {
@@ -282,6 +284,7 @@ core::RunReport run_spatial_spark(const workload::Dataset& left,
                                      local_spec, prepared_cache, parallelism, report);
       report.peak_memory_bytes = rt.memory().peak_paper_bytes();
       report.total_seconds = report.metrics.total_seconds();
+      if (exec.trace) report.trace = collector.merged();
       core::annotate_recovery(report);
       return report;
     }
@@ -394,6 +397,7 @@ core::RunReport run_spatial_spark(const workload::Dataset& left,
       }
       report.peak_memory_bytes = rt.memory().peak_paper_bytes();
       report.total_seconds = report.metrics.total_seconds();
+      if (exec.trace) report.trace = collector.merged();
       core::annotate_recovery(report);
       return report;
     }
@@ -505,6 +509,7 @@ core::RunReport run_spatial_spark(const workload::Dataset& left,
   // be attributed cleanly under asynchronous execution); IA/IB/DJ stay NaN.
   report.peak_memory_bytes = rt.memory().peak_paper_bytes();
   report.total_seconds = report.metrics.total_seconds();
+  if (exec.trace) report.trace = collector.merged();
   core::annotate_recovery(report);
   return report;
 }

@@ -1,0 +1,129 @@
+#include "trace/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/status.hpp"
+
+namespace sjc::trace {
+
+namespace {
+
+/// JSON string escaping for phase names (which may carry '[', '/', quotes
+/// from dataset names, ...).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest round-trip double formatting (matches bench_io's JSON style).
+std::string json_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+constexpr double kMicrosPerSecond = 1e6;
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const TaskTimeline& timeline) {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+  };
+
+  // Metadata: one process per simulated node, one named thread per slot —
+  // every slot gets a track even if no span ever landed on it, so idle
+  // capacity is visible in the viewer.
+  for (std::uint32_t node = 0; node < timeline.node_count; ++node) {
+    sep();
+    out << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << (node + 1)
+        << ",\"tid\":0,\"args\":{\"name\":\"node" << node << "\"}}";
+    for (std::uint32_t slot = 0; slot < timeline.slots_per_node; ++slot) {
+      sep();
+      out << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << (node + 1)
+          << ",\"tid\":" << (slot + 1) << ",\"args\":{\"name\":\"slot" << slot
+          << "\"}}";
+    }
+  }
+
+  for (const auto& span : timeline.spans) {
+    const std::uint32_t node = span.slot / timeline.slots_per_node;
+    const std::uint32_t local_slot = span.slot % timeline.slots_per_node;
+    sep();
+    out << "{\"ph\":\"X\",\"name\":\"" << json_escape(span.phase) << "\""
+        << ",\"cat\":\"" << span_outcome_name(span.outcome) << "\""
+        << ",\"pid\":" << (node + 1) << ",\"tid\":" << (local_slot + 1)
+        << ",\"ts\":" << json_double(span.sim_start * kMicrosPerSecond)
+        << ",\"dur\":"
+        << json_double(std::max(0.0, span.sim_end - span.sim_start) *
+                       kMicrosPerSecond)
+        << ",\"args\":{\"task\":" << span.task << ",\"attempt\":" << span.attempt
+        << ",\"speculative\":" << (span.speculative ? "true" : "false")
+        << ",\"outcome\":\"" << span_outcome_name(span.outcome) << "\""
+        << ",\"cpu_seconds\":" << json_double(span.cpu_seconds)
+        << ",\"bytes_in\":" << span.bytes_in << ",\"bytes_out\":" << span.bytes_out
+        << ",\"bytes_shuffled\":" << span.bytes_shuffled << "}}";
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void write_chrome_trace_file(const std::string& path, const TaskTimeline& timeline) {
+  std::ofstream out(path);
+  if (!out) throw SjcError("write_chrome_trace_file: cannot open " + path);
+  write_chrome_trace(out, timeline);
+}
+
+std::string format_skew_table(const TaskTimeline& timeline) {
+  const auto rows = skew_summary(timeline);
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "  %-40s %8s %9s %9s %9s %9s %6s %5s\n",
+                "phase", "attempts", "min_s", "p50_s", "p95_s", "max_s", "strag",
+                "fail");
+  out << line;
+  for (const auto& row : rows) {
+    std::snprintf(line, sizeof(line),
+                  "  %-40s %8zu %9.3f %9.3f %9.3f %9.3f %6zu %5zu\n",
+                  row.phase.c_str(), row.attempts, row.min_s, row.p50_s, row.p95_s,
+                  row.max_s, row.stragglers, row.failed + row.spec_losers);
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace sjc::trace

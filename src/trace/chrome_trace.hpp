@@ -1,0 +1,28 @@
+// Chrome trace-event export of a TaskTimeline.
+//
+// Emits the JSON object form ({"traceEvents": [...]}) that chrome://tracing
+// and Perfetto both load: one "X" (complete) event per TaskSpan with ts/dur
+// in microseconds of simulated time, and "M" (metadata) events naming one
+// process per simulated node and one thread per slot — so the viewer shows
+// one track per node slot, including slots that stayed idle.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace sjc::trace {
+
+/// Writes the timeline as Chrome trace-event JSON to `out`.
+void write_chrome_trace(std::ostream& out, const TaskTimeline& timeline);
+
+/// Writes the timeline to `path`; throws SjcError when the file cannot be
+/// opened.
+void write_chrome_trace_file(const std::string& path, const TaskTimeline& timeline);
+
+/// Fixed-width per-phase skew table (min/p50/p95/max attempt duration,
+/// straggler and failure counts) for terminal report output.
+std::string format_skew_table(const TaskTimeline& timeline);
+
+}  // namespace sjc::trace

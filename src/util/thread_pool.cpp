@@ -8,6 +8,15 @@ namespace {
 // Set while a pool worker is executing a task; nested parallel_for calls
 // from inside a worker run inline instead of queueing (deadlock avoidance).
 thread_local bool t_inside_worker = false;
+
+// Restores the flag's previous value on scope exit, so reentrant pool use
+// (a task body that itself drives the pool from this thread) cannot clear
+// the outer task's inside-worker state and defeat the inline fallback.
+struct InsideWorkerGuard {
+  bool prior;
+  InsideWorkerGuard() : prior(t_inside_worker) { t_inside_worker = true; }
+  ~InsideWorkerGuard() { t_inside_worker = prior; }
+};
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -40,9 +49,8 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    t_inside_worker = true;
+    const InsideWorkerGuard guard;
     task();
-    t_inside_worker = false;
   }
 }
 
@@ -56,7 +64,15 @@ void ThreadPool::parallel_for(std::size_t count,
   }
 
   std::atomic<std::size_t> next{0};
-  std::atomic<std::size_t> done{0};
+  // Completion state lives behind done_mutex (no lone atomic counter): each
+  // finishing shard increments and notifies *while holding the lock*, so the
+  // waiter — which owns the lock whenever it evaluates the predicate or
+  // returns from wait — cannot observe `done == shards` and destroy these
+  // stack objects until the last notifier has released the mutex. (The old
+  // scheme bumped an atomic before locking, letting the waiter return and
+  // unwind the frame between the notifier's fetch_add and its lock: a
+  // use-after-scope on done_mutex/done_cv.)
+  std::size_t done = 0;
   std::mutex done_mutex;
   std::condition_variable done_cv;
   std::exception_ptr first_error;
@@ -74,9 +90,9 @@ void ThreadPool::parallel_for(std::size_t count,
         if (!first_error) first_error = std::current_exception();
       }
     }
-    if (done.fetch_add(1) + 1 == shards) {
+    {
       std::lock_guard<std::mutex> lock(done_mutex);
-      done_cv.notify_all();
+      if (++done == shards) done_cv.notify_all();
     }
   };
 
@@ -87,7 +103,7 @@ void ThreadPool::parallel_for(std::size_t count,
   cv_.notify_all();
 
   std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return done.load() == shards; });
+  done_cv.wait(lock, [&] { return done == shards; });
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 #include <random>
+#include <set>
 
 #include "core/experiments.hpp"
 #include "core/spatial_join.hpp"
@@ -203,6 +204,76 @@ TEST(DataPlane, RepeatedRunsBitIdenticalUnderVirtualTime) {
     ASSERT_TRUE(first.success) << first.failure_reason;
     expect_reports_identical(first, second,
                              std::string("repeat/") + core::system_kind_name(kind));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trace accounting neutrality
+// ---------------------------------------------------------------------------
+
+/// The edges x linearwater row (kIntersects), the second Table-2 experiment
+/// shape, at a scale small enough for the test suite.
+PlaneBench make_edges_bench() {
+  workload::WorkloadConfig wc;
+  wc.scale = 2e-5;
+  PlaneBench b{workload::generate(workload::DatasetId::kEdges, wc),
+               workload::generate(workload::DatasetId::kLinearwater, wc),
+               {},
+               {}};
+  b.query.predicate = core::JoinPredicate::kIntersects;
+  b.exec.cluster = cluster::ClusterSpec::workstation();
+  b.exec.data_scale = 1.0 / wc.scale;
+  return b;
+}
+
+/// Requires a traced run's timeline to be structurally sound for its run.
+void expect_timeline_sane(const core::RunReport& report, const std::string& tag) {
+  const trace::TaskTimeline& t = report.trace;
+  EXPECT_GT(t.spans.size(), 0u) << tag;
+  EXPECT_EQ(t.total_slots(), cluster::ClusterSpec::workstation().total_slots()) << tag;
+  double max_end = 0.0;
+  std::set<std::string> phases_seen;
+  for (const auto& s : t.spans) {
+    EXPECT_LT(s.slot, t.total_slots()) << tag;
+    EXPECT_GE(s.sim_end, s.sim_start) << tag;
+    max_end = std::max(max_end, s.sim_end);
+    phases_seen.insert(s.phase);
+  }
+  // Spans never run past the sequential clock, and every recorded phase
+  // with tasks appears on the timeline.
+  EXPECT_LE(max_end, report.metrics.total_seconds() * (1.0 + 1e-12)) << tag;
+  for (const auto& p : report.metrics.phases()) {
+    if (p.task_count > 0) {
+      EXPECT_TRUE(phases_seen.count(p.name) > 0) << tag << " phase " << p.name;
+    }
+  }
+}
+
+TEST(DataPlane, TracedRunReportsBitIdenticalToUntraced) {
+  // The tentpole guarantee: flipping ExecutionConfig::trace changes what
+  // the run *records*, never what it *charges* — on both Table-2 experiment
+  // shapes, success and failure paths alike (HadoopGIS may die in its pipe
+  // gate on the edges row; the reports must still match bit for bit).
+  const VirtualTimeGuard vt;
+  const PlaneBench benches[] = {PlaneBench::make(), make_edges_bench()};
+  const char* bench_names[] = {"taxi-nycb", "edges-linearwater"};
+  for (std::size_t bi = 0; bi < 2; ++bi) {
+    const PlaneBench& b = benches[bi];
+    for (const auto kind :
+         {core::SystemKind::kHadoopGisSim, core::SystemKind::kSpatialHadoopSim,
+          core::SystemKind::kSpatialSparkSim}) {
+      core::ExecutionConfig traced_exec = b.exec;
+      traced_exec.trace = true;
+      const auto untraced =
+          core::run_spatial_join(kind, b.left, b.right, b.query, b.exec);
+      const auto traced =
+          core::run_spatial_join(kind, b.left, b.right, b.query, traced_exec);
+      const std::string tag = std::string(bench_names[bi]) + "/traced-vs-untraced/" +
+                              core::system_kind_name(kind);
+      expect_reports_identical(untraced, traced, tag);
+      EXPECT_TRUE(untraced.trace.empty()) << tag;
+      expect_timeline_sane(traced, tag);
+    }
   }
 }
 

@@ -222,6 +222,109 @@ TEST(FaultySchedule, SpeculationCutsStragglerTail) {
   EXPECT_LT(spec.makespan, slow.makespan);
 }
 
+TEST(FaultySchedule, RetriedAttemptNeverSpeculates) {
+  // A task that already crashed is handled by the retry chain; only a clean
+  // first-attempt straggler may spawn a speculative clone. Find a seed whose
+  // attempt 1 crashes and attempt 2 succeeds, with everything else arranged
+  // so that speculation WOULD trigger on a clean run (certain straggler far
+  // beyond the threshold).
+  const std::vector<double> durations = {1.0};
+  cluster::FaultPlan plan;
+  plan.task_crash_probability = 0.5;
+  plan.max_attempts = 4;
+  plan.straggler_probability = 1.0;
+  plan.straggler_slowdown = 8.0;
+  plan.speculative_execution = true;
+  plan.speculation_threshold = 1.5;
+
+  constexpr std::uint64_t kPhase = 7;
+  std::uint64_t crashing_seed = 0;
+  std::uint64_t clean_seed = 0;
+  for (std::uint64_t s = 1; s < 4096 && (crashing_seed == 0 || clean_seed == 0);
+       ++s) {
+    plan.seed = s;
+    const cluster::FaultInjector probe(plan);
+    if (crashing_seed == 0 && probe.crashes(kPhase, 0, 1) &&
+        !probe.crashes(kPhase, 0, 2)) {
+      crashing_seed = s;
+    }
+    if (clean_seed == 0 && !probe.crashes(kPhase, 0, 1)) clean_seed = s;
+  }
+  ASSERT_NE(0u, crashing_seed);
+  ASSERT_NE(0u, clean_seed);
+
+  // Control: without the crash the straggler does speculate.
+  plan.seed = clean_seed;
+  const auto speculated = cluster::list_schedule_makespan(
+      durations, 4, cluster::FaultInjector{plan}, kPhase);
+  EXPECT_TRUE(speculated.success);
+  EXPECT_EQ(1u, speculated.speculative_clones);
+
+  // The retried task never does, no matter how badly it straggles.
+  plan.seed = crashing_seed;
+  std::vector<cluster::ScheduledAttempt> attempts;
+  const auto retried = cluster::list_schedule_makespan(
+      durations, 4, cluster::FaultInjector{plan}, kPhase, nullptr, &attempts);
+  EXPECT_TRUE(retried.success);
+  EXPECT_EQ(0u, retried.speculative_clones);
+  EXPECT_EQ(2u, retried.attempts);  // crash + successful retry, no clone
+  EXPECT_EQ(2u, retried.max_attempts_used);
+  ASSERT_EQ(2u, attempts.size());
+  EXPECT_EQ(trace::SpanOutcome::kFailed, attempts[0].outcome);
+  EXPECT_EQ(trace::SpanOutcome::kOk, attempts[1].outcome);
+  EXPECT_EQ(2u, attempts[1].attempt);
+  EXPECT_FALSE(attempts[1].speculative);
+}
+
+TEST(FaultySchedule, LosingCloneChargesConsistentWaste) {
+  // Slowdown 1.6 with threshold 1.5: the clone launches at t=1.5 but the
+  // straggling primary still finishes first at t=1.6. The clone is killed,
+  // its 0.1s of work wasted-but-charged, and the accounting must agree with
+  // the emitted spans.
+  const std::vector<double> durations = {1.0, 1.0, 1.0, 1.0};
+  cluster::FaultPlan plan;
+  plan.straggler_probability = 1.0;
+  plan.straggler_slowdown = 1.6;
+  plan.speculative_execution = true;
+  plan.speculation_threshold = 1.5;
+
+  std::vector<cluster::ScheduledAttempt> attempts;
+  const auto outcome = cluster::list_schedule_makespan(
+      durations, 8, cluster::FaultInjector{plan}, 5, nullptr, &attempts);
+  EXPECT_TRUE(outcome.success);
+  EXPECT_DOUBLE_EQ(1.6, outcome.makespan);  // primary wins, clone never helps
+  EXPECT_EQ(durations.size(), outcome.speculative_clones);
+  EXPECT_EQ(2 * durations.size(), outcome.attempts);
+  EXPECT_DOUBLE_EQ(4.0 * (1.6 - 1.5), outcome.wasted_seconds);
+
+  // Span view of the same story: per task, a winning primary over [0, 1.6]
+  // and a killed clone over [1.5, 1.6].
+  ASSERT_EQ(2 * durations.size(), attempts.size());
+  std::size_t winners = 0;
+  std::size_t losers = 0;
+  double span_waste = 0.0;
+  for (const auto& a : attempts) {
+    if (a.outcome == trace::SpanOutcome::kOk) {
+      ++winners;
+      EXPECT_FALSE(a.speculative);
+      EXPECT_EQ(1u, a.attempt);
+      EXPECT_DOUBLE_EQ(0.0, a.start);
+      EXPECT_DOUBLE_EQ(1.6, a.end);
+    } else {
+      ASSERT_EQ(trace::SpanOutcome::kSpeculativeLoser, a.outcome);
+      ++losers;
+      EXPECT_TRUE(a.speculative);
+      EXPECT_EQ(2u, a.attempt);
+      EXPECT_DOUBLE_EQ(1.5, a.start);
+      EXPECT_DOUBLE_EQ(1.6, a.end);
+      span_waste += a.end - a.start;
+    }
+  }
+  EXPECT_EQ(durations.size(), winners);
+  EXPECT_EQ(durations.size(), losers);
+  EXPECT_DOUBLE_EQ(outcome.wasted_seconds, span_waste);
+}
+
 // ---------------------------------------------------------------------------
 // SimDfs: datanode loss, re-replication, block unavailability
 // ---------------------------------------------------------------------------

@@ -1,0 +1,104 @@
+// ThreadPool stress tests, written to run under TSan (see the tsan-smoke CI
+// job). The completion-race regression test hammers the exact window the
+// old parallel_for had: the last shard bumped an atomic counter *before*
+// locking done_mutex, so the waiting caller could observe done == shards,
+// return, and destroy done_mutex/done_cv on its stack while the shard was
+// still about to lock and notify them — a use-after-scope TSan reports
+// reliably at this iteration count. The fixed code increments and
+// notifies under the lock, which makes the waiter's frame unreachable until
+// the notifier has released the mutex.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace sjc {
+namespace {
+
+TEST(ThreadPoolStress, CompletionRaceRegression) {
+  // Many short parallel_for calls back to back: each call's completion
+  // objects live on this frame and are destroyed the moment wait() returns,
+  // so any notifier still touching them trips TSan / crashes. Empty bodies
+  // and a pool heavily oversubscribed against the host's cores maximize the
+  // chance a preempted last shard races the waiter's teardown — run against
+  // the old unfixed parallel_for, this exact shape makes TSan report a data
+  // race on the completion mutex (and exit non-zero) every run.
+  ThreadPool pool(32);
+  std::atomic<std::size_t> total{0};
+  constexpr std::size_t kIters = 80000;
+  for (std::size_t iter = 0; iter < kIters; ++iter) {
+    pool.parallel_for(32, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), kIters * 32u);
+}
+
+TEST(ThreadPoolStress, SharedPoolCompletionRace) {
+  // Same window on the process-wide pool the engines actually use.
+  std::atomic<std::size_t> total{0};
+  for (int iter = 0; iter < 1000; ++iter) {
+    ThreadPool::shared().parallel_for(
+        ThreadPool::shared().thread_count() + 3,
+        [&](std::size_t) { total.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_EQ(total.load(), 1000u * (ThreadPool::shared().thread_count() + 3));
+}
+
+TEST(ThreadPoolStress, NestedParallelForRunsInline) {
+  // A body that re-enters the pool must run its inner loop inline on the
+  // same worker (deadlock avoidance), at any nesting depth: the RAII guard
+  // restores the inside-worker flag after each task instead of clearing it.
+  ThreadPool pool(2);
+  std::atomic<std::size_t> inner_total{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(4, [&](std::size_t) {
+      pool.parallel_for(4, [&](std::size_t) {
+        inner_total.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 4u * 4u * 4u);
+}
+
+TEST(ThreadPoolStress, CrossPoolNestingRunsInline) {
+  // The inside-worker flag is shared by all pools on a thread: a worker of
+  // pool A executing a task that drives pool B must run B's bodies inline
+  // (queueing onto B could deadlock if B's workers are themselves blocked
+  // on A). The RAII guard keeps the flag correct through arbitrary
+  // interleavings of the two pools.
+  ThreadPool a(2);
+  ThreadPool b(2);
+  std::vector<std::size_t> hits(32, 0);
+  a.parallel_for(32, [&](std::size_t i) {
+    b.parallel_for(2, [&](std::size_t j) {
+      if (j == 0) ++hits[i];  // runs inline on a's worker: no race on hits[i]
+    });
+  });
+  for (const auto h : hits) EXPECT_EQ(h, 1u);
+}
+
+TEST(ThreadPoolStress, ExceptionLeavesPoolUsable) {
+  // The first exception is rethrown after all shards drain; the pool (and
+  // its completion machinery) must stay fully usable afterwards.
+  ThreadPool pool(4);
+  for (int iter = 0; iter < 50; ++iter) {
+    EXPECT_THROW(pool.parallel_for(16,
+                                   [&](std::size_t i) {
+                                     if (i == 7) throw std::runtime_error("boom");
+                                   }),
+                 std::runtime_error);
+    std::atomic<std::size_t> ok{0};
+    pool.parallel_for(16, [&](std::size_t) {
+      ok.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(ok.load(), 16u);
+  }
+}
+
+}  // namespace
+}  // namespace sjc
