@@ -121,7 +121,7 @@ int main(int argc, char** argv) {
                                    slug(c.name) + ".trace.json";
           trace::write_chrome_trace_file(path, report.trace);
           std::printf("trace written to %s\n%s", path.c_str(),
-                      trace::format_skew_table(report.trace).c_str());
+                      trace::format_skew_table(report.trace, report.counters.snapshot()).c_str());
         }
         const std::string measured =
             report.success ? format_seconds(report.total_seconds) : "-";

@@ -114,7 +114,7 @@ int main(int argc, char** argv) {
                                    slug(c.name) + ".trace.json";
           trace::write_chrome_trace_file(path, report.trace);
           std::printf("trace written to %s\n%s", path.c_str(),
-                      trace::format_skew_table(report.trace).c_str());
+                      trace::format_skew_table(report.trace, report.counters.snapshot()).c_str());
         }
         const PaperRow paper = paper_row(def.id, system, c.name);
         table.add_row({def.id, c.name, core::system_kind_name(system),

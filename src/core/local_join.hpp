@@ -33,7 +33,9 @@
 #include <span>
 #include <vector>
 
+#include "cluster/counters.hpp"
 #include "core/spatial_join.hpp"
+#include "geom/batch_refine.hpp"
 #include "geom/engine.hpp"
 #include "geom/prepared_cache.hpp"
 #include "index/mbr_join.hpp"
@@ -51,6 +53,22 @@ struct LocalJoinSpec {
   /// pairs (and tasks — it is thread-safe). Consulted only when `engine` is
   /// the Prepared one; the Simple engine's per-call work is the model.
   geom::PreparedCache* prepared_cache = nullptr;
+
+  /// Refinement strategy for the Prepared engine. When true (the default)
+  /// whole candidate groups are refined through geom::BatchRefiner (packed
+  /// SoA linework, inner/outer approximations, batched point-in-polygon);
+  /// when false every pair goes through the per-pair BoundPredicate path —
+  /// kept intact as the bench_refine baseline. Answers are bit-identical
+  /// either way. The Simple engine always refines per pair: its per-call
+  /// cost is the model being measured.
+  bool batch_refine = true;
+
+  /// Optional sink for refinement accounting. Per run_local_join call, adds
+  /// `refine.candidates` (accept-filtered candidates refined) and the
+  /// `refine.exact_tests` / `refine.early_accepts` / `refine.early_rejects`
+  /// split (the three always sum to refine.candidates; the per-pair path
+  /// counts every candidate as an exact test).
+  cluster::Counters* refine_counters = nullptr;
 
   /// Envelope expansion applied to BOTH sides throughout the pipeline
   /// (partition assignment, MBR filter, reference point) for epsilon
@@ -72,6 +90,11 @@ struct LocalJoinScratch {
   std::vector<std::pair<std::uint32_t, std::uint32_t>> candidates;  // (right, left)
   std::vector<std::uint32_t> group_ends;  // per-right-id group end offsets
   std::vector<std::uint32_t> group_left;  // left ids grouped by right id
+  // Batched-refinement buffers: per-group accept mask, gathered point
+  // probes and their batched covered results.
+  std::vector<std::uint8_t> accept_flags;
+  std::vector<geom::Coord> probe_points;
+  std::vector<std::uint8_t> point_covered;
 };
 
 /// Accept filter that keeps every pair (the `accept == nullptr` fast path).
@@ -150,10 +173,14 @@ void run_local_join(const LeftSeq& left, const RightSeq& right,
   // [ends[r], r + 1 < n ? ends[r + 1] : candidates.size()).
 
   const geom::GeometryEngine& engine = *spec.engine;
+  const bool prepared_engine = engine.kind() == geom::EngineKind::kPrepared;
   geom::PreparedCache* cache =
-      (spec.prepared_cache != nullptr && engine.kind() == geom::EngineKind::kPrepared)
-          ? spec.prepared_cache
-          : nullptr;
+      (spec.prepared_cache != nullptr && prepared_engine) ? spec.prepared_cache
+                                                         : nullptr;
+  const bool batched = spec.batch_refine && prepared_engine;
+
+  geom::RefineStats stats;
+  std::uint64_t refined = 0;
 
   for (std::uint32_t r = 0; r < right.size(); ++r) {
     const std::size_t begin = ends[r];
@@ -162,6 +189,74 @@ void run_local_join(const LeftSeq& left, const RightSeq& right,
     if (begin == end) continue;
     const auto& right_feature = right[r];
     const geom::Envelope& right_env = right_entries[r].env;
+
+    if (batched) {
+      // Batched group refinement: one BatchRefiner per right geometry,
+      // whole candidate group refined against it (point probes batched
+      // through the SoA point-in-polygon pass, everything else through the
+      // approximation-gated scalar predicates). Results and output order
+      // are bit-identical to the per-pair path below.
+      std::shared_ptr<const geom::BatchRefiner> shared_refiner;
+      std::unique_ptr<geom::BatchRefiner> owned_refiner;
+      const geom::BatchRefiner* refiner;
+      if (cache != nullptr) {
+        shared_refiner =
+            cache->acquire_refiner(right_feature.id, right_feature.geometry);
+        refiner = shared_refiner.get();
+      } else {
+        owned_refiner = std::make_unique<geom::BatchRefiner>(right_feature.geometry);
+        refiner = owned_refiner.get();
+      }
+      // For point probes against an areal anchor, the hole-aware covered
+      // test answers both kIntersects and kWithin; gather them and run one
+      // batched pass per group.
+      const bool point_batch = refiner->has_areal() &&
+                               (spec.predicate == JoinPredicate::kIntersects ||
+                                spec.predicate == JoinPredicate::kWithin);
+      auto& flags = scratch.accept_flags;
+      flags.resize(end - begin);
+      auto& pts = scratch.probe_points;
+      pts.clear();
+      for (std::size_t c = begin; c < end; ++c) {
+        const std::uint32_t l = grouped[c];
+        const bool ok = accept(left_entries[l].env, right_env);
+        flags[c - begin] = ok ? 1 : 0;
+        if (ok) {
+          ++refined;
+          if (point_batch && left[l].geometry.type() == geom::GeomType::kPoint) {
+            pts.push_back(left[l].geometry.as_point());
+          }
+        }
+      }
+      if (!pts.empty()) refiner->covers_points(pts, scratch.point_covered, stats);
+      // Emit in original candidate order (batched answers are consumed in
+      // gather order, which pass 1 produced in this same iteration order).
+      std::size_t cursor = 0;
+      for (std::size_t c = begin; c < end; ++c) {
+        if (flags[c - begin] == 0) continue;
+        const std::uint32_t l = grouped[c];
+        const auto& left_feature = left[l];
+        bool hit = false;
+        if (point_batch && left_feature.geometry.type() == geom::GeomType::kPoint) {
+          hit = scratch.point_covered[cursor++] != 0;
+        } else {
+          switch (spec.predicate) {
+            case JoinPredicate::kIntersects:
+              hit = refiner->intersects(left_feature.geometry, stats);
+              break;
+            case JoinPredicate::kWithin:
+              hit = refiner->contains(left_feature.geometry, stats);
+              break;
+            case JoinPredicate::kWithinDistance:
+              hit = refiner->within_distance(left_feature.geometry,
+                                             spec.within_distance, stats);
+              break;
+          }
+        }
+        if (hit) out.push_back({left_feature.id, right_feature.id});
+      }
+      continue;
+    }
 
     std::shared_ptr<const geom::BoundPredicate> shared_bound;
     std::unique_ptr<geom::BoundPredicate> owned_bound;
@@ -179,6 +274,10 @@ void run_local_join(const LeftSeq& left, const RightSeq& right,
       // The accept filter sees the same (expanded) envelopes used for
       // partition assignment so reference-point dedup stays consistent.
       if (!accept(left_entries[l].env, right_env)) continue;
+      // The per-pair path has no approximations: every refined candidate
+      // is an exact test, keeping the counter-sum invariant intact.
+      ++refined;
+      ++stats.exact_tests;
       const auto& left_feature = left[l];
       bool hit = false;
       switch (spec.predicate) {
@@ -194,6 +293,13 @@ void run_local_join(const LeftSeq& left, const RightSeq& right,
       }
       if (hit) out.push_back({left_feature.id, right_feature.id});
     }
+  }
+
+  if (spec.refine_counters != nullptr && refined > 0) {
+    spec.refine_counters->add("refine.candidates", refined);
+    spec.refine_counters->add("refine.exact_tests", stats.exact_tests);
+    spec.refine_counters->add("refine.early_accepts", stats.early_accepts);
+    spec.refine_counters->add("refine.early_rejects", stats.early_rejects);
   }
 }
 

@@ -1,0 +1,633 @@
+#include "geom/batch_refine.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "geom/algorithms.hpp"
+#include "geom/predicates.hpp"
+#include "util/status.hpp"
+
+namespace sjc::geom {
+
+namespace {
+
+// Early-exit path enumeration in collect_paths order (linestrings, then
+// shell before holes per polygon part). fn returns true to stop.
+template <typename Fn>
+bool any_path(const Geometry& g, Fn&& fn) {
+  switch (g.type()) {
+    case GeomType::kPoint:
+      return false;
+    case GeomType::kLineString:
+      return fn(std::span<const Coord>(g.as_line_string().coords));
+    case GeomType::kPolygon: {
+      const auto& poly = g.as_polygon();
+      if (fn(std::span<const Coord>(poly.shell))) return true;
+      for (const auto& hole : poly.holes) {
+        if (fn(std::span<const Coord>(hole))) return true;
+      }
+      return false;
+    }
+    case GeomType::kMultiLineString:
+      for (const auto& part : g.as_multi_line_string().parts) {
+        if (fn(std::span<const Coord>(part.coords))) return true;
+      }
+      return false;
+    case GeomType::kMultiPolygon:
+      for (const auto& part : g.as_multi_polygon().parts) {
+        if (fn(std::span<const Coord>(part.shell))) return true;
+        for (const auto& hole : part.holes) {
+          if (fn(std::span<const Coord>(hole))) return true;
+        }
+      }
+      return false;
+  }
+  return false;
+}
+
+// Does [a, b] share a point with the *closed* rectangle r?
+bool segment_touches_rect(const Coord& a, const Coord& b, const Envelope& r) {
+  if (std::max(a.x, b.x) < r.min_x() || std::min(a.x, b.x) > r.max_x() ||
+      std::max(a.y, b.y) < r.min_y() || std::min(a.y, b.y) > r.max_y()) {
+    return false;
+  }
+  if (r.contains(a.x, a.y) || r.contains(b.x, b.y)) return true;
+  const Coord c00{r.min_x(), r.min_y()};
+  const Coord c10{r.max_x(), r.min_y()};
+  const Coord c11{r.max_x(), r.max_y()};
+  const Coord c01{r.min_x(), r.max_y()};
+  return segments_intersect(a, b, c00, c10) || segments_intersect(a, b, c10, c11) ||
+         segments_intersect(a, b, c11, c01) || segments_intersect(a, b, c01, c00);
+}
+
+// Grid resolution for the inscribed-rectangle search. The search is a
+// heuristic — any candidate it proposes is verified exactly below — so a
+// coarse grid only costs approximation quality, never correctness.
+constexpr int kInnerGrid = 16;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+BatchRefiner::BatchRefiner(const Geometry& anchor)
+    : anchor_(&anchor), prepared_(anchor) {
+  switch (anchor.type()) {
+    case GeomType::kPolygon:
+      add_part(anchor.as_polygon());
+      break;
+    case GeomType::kMultiPolygon:
+      for (const auto& part : anchor.as_multi_polygon().parts) add_part(part);
+      break;
+    default:
+      break;
+  }
+  build_chunks();
+  build_segment_grid();
+  // Point anchors have neither parts nor linework, so the envelope union
+  // below would be vacuously empty and reject everything; fall back to
+  // exact-only for them.
+  approx_ = !parts_.empty() || !chunk_min_x_.empty();
+}
+
+void BatchRefiner::add_part(const Polygon& poly) {
+  // Mirror PreparedGeometry::add_areal_part's bucketing exactly (same edge
+  // multiset, same bucket formulas) so SoAPart::covers scans the same edge
+  // set per probe and stays bit-identical to ArealPart::point_covered.
+  SoAPart part;
+  std::vector<Coord> ea, eb;
+  const auto add_ring = [&](const Ring& ring) {
+    for (std::size_t i = 0; i + 1 < ring.size(); ++i) {
+      ea.push_back(ring[i]);
+      eb.push_back(ring[i + 1]);
+    }
+  };
+  add_ring(poly.shell);
+  for (const auto& hole : poly.holes) add_ring(hole);
+
+  double y_min = std::numeric_limits<double>::infinity();
+  double y_max = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    y_min = std::min({y_min, ea[i].y, eb[i].y});
+    y_max = std::max({y_max, ea[i].y, eb[i].y});
+    part.env.expand_to_include(ea[i].x, ea[i].y);
+    part.env.expand_to_include(eb[i].x, eb[i].y);
+  }
+  part.y_min = y_min;
+  part.y_max = y_max;
+  const double span = y_max - y_min;
+  part.bucket_count =
+      static_cast<std::uint32_t>(std::clamp<std::size_t>(ea.size() / 2, 1, 4096));
+  part.y_inv_step = span > 0.0 ? part.bucket_count / span : 0.0;
+
+  const auto bucket_range = [&part](const Coord& a, const Coord& b) {
+    const double lo = std::min(a.y, b.y);
+    const double hi = std::max(a.y, b.y);
+    auto b0 = static_cast<std::int64_t>((lo - part.y_min) * part.y_inv_step);
+    auto b1 = static_cast<std::int64_t>((hi - part.y_min) * part.y_inv_step);
+    b0 = std::clamp<std::int64_t>(b0, 0, part.bucket_count - 1);
+    b1 = std::clamp<std::int64_t>(b1, 0, part.bucket_count - 1);
+    return std::pair<std::uint32_t, std::uint32_t>(static_cast<std::uint32_t>(b0),
+                                                   static_cast<std::uint32_t>(b1));
+  };
+
+  // CSR fill, but scattering edge *coordinates* (duplicated per bucket)
+  // instead of edge ids: one probe reads one contiguous SoA run.
+  std::vector<std::uint32_t> counts(part.bucket_count, 0);
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    const auto [b0, b1] = bucket_range(ea[i], eb[i]);
+    for (std::uint32_t b = b0; b <= b1; ++b) ++counts[b];
+  }
+  part.bucket_offsets.assign(part.bucket_count + 1, 0);
+  for (std::uint32_t b = 0; b < part.bucket_count; ++b) {
+    part.bucket_offsets[b + 1] = part.bucket_offsets[b] + counts[b];
+  }
+  const std::size_t slots = part.bucket_offsets.back();
+  part.ax.resize(slots);
+  part.ay.resize(slots);
+  part.bx.resize(slots);
+  part.by.resize(slots);
+  std::vector<std::uint32_t> cursor(part.bucket_offsets.begin(),
+                                    part.bucket_offsets.end() - 1);
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    const auto [b0, b1] = bucket_range(ea[i], eb[i]);
+    for (std::uint32_t b = b0; b <= b1; ++b) {
+      const std::uint32_t s = cursor[b]++;
+      part.ax[s] = ea[i].x;
+      part.ay[s] = ea[i].y;
+      part.bx[s] = eb[i].x;
+      part.by[s] = eb[i].y;
+    }
+  }
+
+  // Inner approximation: grid search for a large all-covered rectangle,
+  // then exact verification (corner coverage + no edge touching the closed
+  // rectangle). A failed verification just drops the rectangle.
+  constexpr int G = kInnerGrid;
+  const double w = part.env.width();
+  const double h = part.env.height();
+  if (w > 0.0 && h > 0.0) {
+    const double sx = w / G;
+    const double sy = h / G;
+    const auto cell_of = [](double v, double lo, double step) {
+      return std::clamp(static_cast<int>((v - lo) / step), 0, G - 1);
+    };
+    // A cell is "free" when no edge envelope overlaps it (conservative: no
+    // boundary point can lie inside it) and its center is covered — then
+    // the whole cell is covered, since coverage is constant on a connected
+    // set that avoids the boundary.
+    std::array<std::array<bool, G>, G> blocked{};
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+      const int c0 = cell_of(std::min(ea[i].x, eb[i].x), part.env.min_x(), sx);
+      const int c1 = cell_of(std::max(ea[i].x, eb[i].x), part.env.min_x(), sx);
+      const int r0 = cell_of(std::min(ea[i].y, eb[i].y), part.env.min_y(), sy);
+      const int r1 = cell_of(std::max(ea[i].y, eb[i].y), part.env.min_y(), sy);
+      for (int r = r0; r <= r1; ++r) {
+        for (int c = c0; c <= c1; ++c) blocked[r][c] = true;
+      }
+    }
+    std::array<std::array<bool, G>, G> free_cell{};
+    for (int r = 0; r < G; ++r) {
+      for (int c = 0; c < G; ++c) {
+        if (blocked[r][c]) continue;
+        const Coord center{part.env.min_x() + (c + 0.5) * sx,
+                           part.env.min_y() + (r + 0.5) * sy};
+        free_cell[r][c] = part.covers(center);
+      }
+    }
+    // Largest rectangle of free cells: per-row histogram + stack.
+    int best_area = 0, best_r0 = 0, best_c0 = 0, best_r1 = 0, best_c1 = 0;
+    std::array<int, G> heights{};
+    for (int r = 0; r < G; ++r) {
+      for (int c = 0; c < G; ++c) heights[c] = free_cell[r][c] ? heights[c] + 1 : 0;
+      std::array<int, G + 1> stack{};
+      int top = -1;
+      for (int c = 0; c <= G; ++c) {
+        const int cur = c < G ? heights[c] : 0;
+        while (top >= 0 && heights[stack[top]] >= cur) {
+          const int hgt = heights[stack[top--]];
+          const int left = top >= 0 ? stack[top] + 1 : 0;
+          const int area = hgt * (c - left);
+          if (area > best_area) {
+            best_area = area;
+            best_r0 = r - hgt + 1;
+            best_c0 = left;
+            best_r1 = r;
+            best_c1 = c - 1;
+          }
+        }
+        stack[++top] = c;
+      }
+    }
+    if (best_area > 0) {
+      Envelope rect(part.env.min_x() + best_c0 * sx, part.env.min_y() + best_r0 * sy,
+                    part.env.min_x() + (best_c1 + 1) * sx,
+                    part.env.min_y() + (best_r1 + 1) * sy);
+      const std::array<Coord, 4> corners{
+          Coord{rect.min_x(), rect.min_y()}, Coord{rect.max_x(), rect.min_y()},
+          Coord{rect.max_x(), rect.max_y()}, Coord{rect.min_x(), rect.max_y()}};
+      bool ok = true;
+      for (const auto& corner : corners) ok = ok && part.covers(corner);
+      for (std::size_t i = 0; ok && i < ea.size(); ++i) {
+        ok = !segment_touches_rect(ea[i], eb[i], rect);
+      }
+      if (ok) part.inner = rect;
+    }
+  }
+
+  parts_.push_back(std::move(part));
+}
+
+void BatchRefiner::build_chunks() {
+  std::size_t total_segments = 0;
+  any_path(*anchor_, [&](std::span<const Coord> path) {
+    total_segments += path.size() > 0 ? path.size() - 1 : 0;
+    return false;
+  });
+  if (total_segments == 0) return;
+  // Adaptive chunk length: the reject scan stays a short SoA pass (≤ ~64
+  // envelope tests) even for long polylines.
+  constexpr std::size_t kMaxChunks = 64;
+  const std::size_t chunk_len =
+      std::max<std::size_t>(4, (total_segments + kMaxChunks - 1) / kMaxChunks);
+  any_path(*anchor_, [&](std::span<const Coord> path) {
+    std::size_t i = 0;
+    while (i + 1 < path.size()) {
+      Envelope e;
+      const std::size_t stop = std::min(path.size() - 1, i + chunk_len);
+      for (std::size_t j = i; j <= stop; ++j) e.expand_to_include(path[j].x, path[j].y);
+      chunk_min_x_.push_back(e.min_x());
+      chunk_min_y_.push_back(e.min_y());
+      chunk_max_x_.push_back(e.max_x());
+      chunk_max_y_.push_back(e.max_y());
+      i = stop;
+    }
+    return false;
+  });
+}
+
+void BatchRefiner::build_segment_grid() {
+  // Same sizing policy as PreparedGeometry::build_grid (≈ segments/2 cells,
+  // square grid over the anchor envelope), but the per-cell payload is SoA:
+  // endpoint and bbox doubles duplicated per cell entry. A segment is
+  // registered in every cell its bbox overlaps, so any probe segment's cell
+  // range covers every segment it could intersect.
+  std::vector<Coord> sa;
+  std::vector<Coord> sb;
+  any_path(*anchor_, [&](std::span<const Coord> path) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      sa.push_back(path[i]);
+      sb.push_back(path[i + 1]);
+    }
+    return false;
+  });
+  if (sa.empty()) return;
+  seg_env_ = anchor_->envelope();
+  const auto target_cells = std::clamp<std::size_t>(sa.size() / 2, 1, 64 * 64);
+  const auto side = static_cast<std::uint32_t>(std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::sqrt(static_cast<double>(target_cells)))));
+  seg_w_ = seg_h_ = side;
+  const double w = seg_env_.width();
+  const double h = seg_env_.height();
+  seg_x_inv_ = w > 0.0 ? seg_w_ / w : 0.0;
+  seg_y_inv_ = h > 0.0 ? seg_h_ / h : 0.0;
+
+  const auto clamp_cell = [](double v, std::uint32_t n) {
+    const auto i = static_cast<std::int64_t>(v);
+    return static_cast<std::uint32_t>(std::clamp<std::int64_t>(i, 0, n - 1));
+  };
+  const auto cell_range = [&](std::size_t s, std::uint32_t& x0, std::uint32_t& x1,
+                              std::uint32_t& y0, std::uint32_t& y1) {
+    x0 = clamp_cell((std::min(sa[s].x, sb[s].x) - seg_env_.min_x()) * seg_x_inv_, seg_w_);
+    x1 = clamp_cell((std::max(sa[s].x, sb[s].x) - seg_env_.min_x()) * seg_x_inv_, seg_w_);
+    y0 = clamp_cell((std::min(sa[s].y, sb[s].y) - seg_env_.min_y()) * seg_y_inv_, seg_h_);
+    y1 = clamp_cell((std::max(sa[s].y, sb[s].y) - seg_env_.min_y()) * seg_y_inv_, seg_h_);
+  };
+
+  // CSR fill: count, prefix-sum, scatter.
+  const std::size_t cells = static_cast<std::size_t>(seg_w_) * seg_h_;
+  std::vector<std::uint32_t> counts(cells, 0);
+  for (std::size_t s = 0; s < sa.size(); ++s) {
+    std::uint32_t x0, x1, y0, y1;
+    cell_range(s, x0, x1, y0, y1);
+    for (std::uint32_t cy = y0; cy <= y1; ++cy) {
+      for (std::uint32_t cx = x0; cx <= x1; ++cx) {
+        ++counts[static_cast<std::size_t>(cy) * seg_w_ + cx];
+      }
+    }
+  }
+  seg_offsets_.assign(cells + 1, 0);
+  for (std::size_t c = 0; c < cells; ++c) seg_offsets_[c + 1] = seg_offsets_[c] + counts[c];
+  const std::size_t entries = seg_offsets_[cells];
+  seg_ax_.resize(entries);
+  seg_ay_.resize(entries);
+  seg_bx_.resize(entries);
+  seg_by_.resize(entries);
+  seg_min_x_.resize(entries);
+  seg_min_y_.resize(entries);
+  seg_max_x_.resize(entries);
+  seg_max_y_.resize(entries);
+  std::vector<std::uint32_t> cursor(seg_offsets_.begin(), seg_offsets_.end() - 1);
+  for (std::size_t s = 0; s < sa.size(); ++s) {
+    std::uint32_t x0, x1, y0, y1;
+    cell_range(s, x0, x1, y0, y1);
+    for (std::uint32_t cy = y0; cy <= y1; ++cy) {
+      for (std::uint32_t cx = x0; cx <= x1; ++cx) {
+        const std::uint32_t at = cursor[static_cast<std::size_t>(cy) * seg_w_ + cx]++;
+        seg_ax_[at] = sa[s].x;
+        seg_ay_[at] = sa[s].y;
+        seg_bx_[at] = sb[s].x;
+        seg_by_[at] = sb[s].y;
+        seg_min_x_[at] = std::min(sa[s].x, sb[s].x);
+        seg_min_y_[at] = std::min(sa[s].y, sb[s].y);
+        seg_max_x_[at] = std::max(sa[s].x, sb[s].x);
+        seg_max_y_[at] = std::max(sa[s].y, sb[s].y);
+      }
+    }
+  }
+}
+
+bool BatchRefiner::segment_grid_intersects(const Coord& a, const Coord& b) const {
+  if (seg_w_ == 0) return false;
+  const double bx0 = std::min(a.x, b.x);
+  const double bx1 = std::max(a.x, b.x);
+  const double by0 = std::min(a.y, b.y);
+  const double by1 = std::max(a.y, b.y);
+  const auto clamp_cell = [](double v, std::uint32_t n) {
+    const auto i = static_cast<std::int64_t>(v);
+    return static_cast<std::uint32_t>(std::clamp<std::int64_t>(i, 0, n - 1));
+  };
+  const std::uint32_t x0 = clamp_cell((bx0 - seg_env_.min_x()) * seg_x_inv_, seg_w_);
+  const std::uint32_t x1 = clamp_cell((bx1 - seg_env_.min_x()) * seg_x_inv_, seg_w_);
+  const std::uint32_t y0 = clamp_cell((by0 - seg_env_.min_y()) * seg_y_inv_, seg_h_);
+  const std::uint32_t y1 = clamp_cell((by1 - seg_env_.min_y()) * seg_y_inv_, seg_h_);
+  for (std::uint32_t cy = y0; cy <= y1; ++cy) {
+    for (std::uint32_t cx = x0; cx <= x1; ++cx) {
+      const std::size_t cell = static_cast<std::size_t>(cy) * seg_w_ + cx;
+      for (std::uint32_t j = seg_offsets_[cell]; j < seg_offsets_[cell + 1]; ++j) {
+        // Branchless bbox prune: two segments can only intersect when their
+        // bboxes overlap, so skipping non-overlapping candidates never
+        // changes the boolean.
+        const bool overlap = (seg_min_x_[j] <= bx1) & (seg_max_x_[j] >= bx0) &
+                             (seg_min_y_[j] <= by1) & (seg_max_y_[j] >= by0);
+        if (overlap && segments_intersect(a, b, {seg_ax_[j], seg_ay_[j]},
+                                          {seg_bx_[j], seg_by_[j]})) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Approximations
+// ---------------------------------------------------------------------------
+
+bool BatchRefiner::inner_accepts(const Envelope& probe_env) const {
+  for (const auto& part : parts_) {
+    if (part.inner.contains(probe_env)) return true;
+  }
+  return false;
+}
+
+bool BatchRefiner::overlaps_any_part_env(const Envelope& probe_env) const {
+  for (const auto& part : parts_) {
+    if (part.env.intersects(probe_env)) return true;
+  }
+  return false;
+}
+
+bool BatchRefiner::outer_rejects(const Envelope& probe_env) const {
+  if (overlaps_any_part_env(probe_env)) return false;
+  const double px0 = probe_env.min_x(), px1 = probe_env.max_x();
+  const double py0 = probe_env.min_y(), py1 = probe_env.max_y();
+  for (std::size_t i = 0; i < chunk_min_x_.size(); ++i) {
+    if (chunk_min_x_[i] <= px1 && chunk_max_x_[i] >= px0 && chunk_min_y_[i] <= py1 &&
+        chunk_max_y_[i] >= py0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Batched point-in-polygon
+// ---------------------------------------------------------------------------
+
+bool BatchRefiner::SoAPart::covers(const Coord& p) const {
+  if (p.y < y_min || p.y > y_max) return false;
+  const auto b = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>((p.y - y_min) * y_inv_step), 0, bucket_count - 1);
+  const std::size_t begin = bucket_offsets[static_cast<std::size_t>(b)];
+  const std::size_t end = bucket_offsets[static_cast<std::size_t>(b) + 1];
+  // Branchless crossing count: per edge, accumulate boundary hits (OR) and
+  // parity toggles (XOR) without early exits, mirroring point_covered's
+  // arithmetic exactly. The division is masked by `spans`, which is false
+  // whenever the denominator would be zero.
+  unsigned on_boundary = 0;
+  unsigned inside = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const double eax = ax[i], eay = ay[i], ebx = bx[i], eby = by[i];
+    const double cross = (ebx - eax) * (p.y - eay) - (eby - eay) * (p.x - eax);
+    const bool on = (cross == 0.0) & (p.x >= std::min(eax, ebx)) &
+                    (p.x <= std::max(eax, ebx)) & (p.y >= std::min(eay, eby)) &
+                    (p.y <= std::max(eay, eby));
+    on_boundary |= static_cast<unsigned>(on);
+    const bool spans = (eay > p.y) != (eby > p.y);
+    const double x_cross = eax + (p.y - eay) * (ebx - eax) / (eby - eay);
+    inside ^= static_cast<unsigned>(spans) & static_cast<unsigned>(x_cross > p.x);
+  }
+  return (on_boundary | inside) != 0;
+}
+
+void BatchRefiner::covers_points(std::span<const Coord> pts,
+                                 std::vector<std::uint8_t>& out,
+                                 RefineStats& stats) const {
+  out.resize(pts.size());
+  const Envelope& env = anchor_->envelope();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const Coord& p = pts[i];
+    if (!env.contains(p.x, p.y)) {
+      ++stats.early_rejects;
+      out[i] = 0;
+      continue;
+    }
+    bool accepted = false;
+    for (const auto& part : parts_) {
+      if (part.inner.contains(p.x, p.y)) {
+        accepted = true;
+        break;
+      }
+    }
+    if (accepted) {
+      ++stats.early_accepts;
+      out[i] = 1;
+      continue;
+    }
+    ++stats.exact_tests;
+    bool covered = false;
+    for (const auto& part : parts_) {
+      if (part.covers(p)) {
+        covered = true;
+        break;
+      }
+    }
+    out[i] = covered ? 1 : 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar predicates: approximation gates + exact mirrors
+// ---------------------------------------------------------------------------
+
+bool BatchRefiner::intersects(const Geometry& probe, RefineStats& stats) const {
+  if (approx_) {
+    const Envelope& pe = probe.envelope();
+    if (inner_accepts(pe)) {
+      ++stats.early_accepts;
+      return true;
+    }
+    // Sound because the anchor's point set is contained in the union of
+    // part envelopes and linework chunk envelopes: a shared point would
+    // have to lie in the probe envelope too.
+    if (outer_rejects(pe)) {
+      ++stats.early_rejects;
+      return false;
+    }
+  }
+  ++stats.exact_tests;
+  return exact_intersects(probe);
+}
+
+bool BatchRefiner::contains(const Geometry& probe, RefineStats& stats) const {
+  // Same precondition as PreparedGeometry::contains — checked before the
+  // approximation gates so non-areal anchors throw identically in both
+  // refinement modes instead of early-rejecting here.
+  require(anchor_->is_areal(), "BatchRefiner::contains: target must be areal");
+  if (approx_) {
+    const Envelope& pe = probe.envelope();
+    if (inner_accepts(pe)) {
+      ++stats.early_accepts;
+      return true;
+    }
+    if (!anchor_->envelope().contains(pe) || !overlaps_any_part_env(pe)) {
+      ++stats.early_rejects;
+      return false;
+    }
+  }
+  ++stats.exact_tests;
+  return exact_contains(probe);
+}
+
+bool BatchRefiner::within_distance(const Geometry& probe, double d,
+                                   RefineStats& stats) const {
+  // Same envelope gate as GeometryEngine::BoundPredicate::within_distance.
+  if (anchor_->envelope().distance(probe.envelope()) > d) {
+    ++stats.early_rejects;
+    return false;
+  }
+  if (approx_ && inner_accepts(probe.envelope())) {
+    ++stats.early_accepts;  // probe inside a part: distance is exactly 0
+    return true;
+  }
+  ++stats.exact_tests;
+  return prepared_.distance(probe) <= d;
+}
+
+bool BatchRefiner::exact_intersects(const Geometry& probe) const {
+  // Branch-for-branch mirror of PreparedGeometry::intersects, minus the
+  // per-call path vectors.
+  if (!anchor_->envelope().intersects(probe.envelope())) return false;
+
+  if (probe.type() == GeomType::kPoint) {
+    const Coord& p = probe.as_point();
+    if (prepared_.has_areal() && prepared_.covers_point(p)) return true;
+    if (anchor_->type() == GeomType::kPoint) return anchor_->as_point() == p;
+    return prepared_.linework_touches_point(p);
+  }
+  if (anchor_->type() == GeomType::kPoint) {
+    return intersects_naive(*anchor_, probe);
+  }
+
+  // 1) Any boundary/linework crossing? (SoA grid; boolean-identical to
+  // prepared_.linework_intersects.)
+  if (any_path(probe, [&](std::span<const Coord> path) {
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+          if (segment_grid_intersects(path[i], path[i + 1])) return true;
+        }
+        return false;
+      })) {
+    return true;
+  }
+
+  // 2) No crossings: containment one way or the other decides.
+  if (prepared_.has_areal()) {
+    if (any_path(probe, [&](std::span<const Coord> path) {
+          return !path.empty() && prepared_.covers_point(path.front());
+        })) {
+      return true;
+    }
+  }
+  if (probe.is_areal()) {
+    const auto reps = prepared_.path_reps();
+    const auto check_poly = [&](const Polygon& poly) {
+      for (const auto& rep : reps) {
+        if (point_in_polygon(rep, poly)) return true;
+      }
+      return false;
+    };
+    if (probe.type() == GeomType::kPolygon) return check_poly(probe.as_polygon());
+    for (const auto& part : probe.as_multi_polygon().parts) {
+      if (check_poly(part)) return true;
+    }
+  }
+  return false;
+}
+
+bool BatchRefiner::exact_contains(const Geometry& probe) const {
+  require(anchor_->is_areal(), "BatchRefiner::contains: target must be areal");
+  if (!anchor_->envelope().contains(probe.envelope())) return false;
+  // Mirror of PreparedGeometry::contains without materializing the probe's
+  // SimplePart list: every simple part of the probe must be covered by at
+  // least one areal part of the anchor.
+  switch (probe.type()) {
+    case GeomType::kPoint:
+      // The probe point is inside our envelope (checked above), so
+      // covers_point's envelope gate cannot reject it spuriously.
+      return prepared_.covers_point(probe.as_point());
+    case GeomType::kLineString:
+      return prepared_.any_part_covers_path(probe.as_line_string().coords);
+    case GeomType::kPolygon:
+      return prepared_.any_part_covers_path(probe.as_polygon().shell);
+    case GeomType::kMultiLineString:
+      for (const auto& part : probe.as_multi_line_string().parts) {
+        if (!prepared_.any_part_covers_path(part.coords)) return false;
+      }
+      return true;
+    case GeomType::kMultiPolygon:
+      for (const auto& part : probe.as_multi_polygon().parts) {
+        if (!prepared_.any_part_covers_path(part.shell)) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+std::size_t BatchRefiner::index_size_bytes() const {
+  std::size_t bytes = prepared_.index_size_bytes();
+  for (const auto& part : parts_) {
+    bytes += (part.ax.size() + part.ay.size() + part.bx.size() + part.by.size()) *
+             sizeof(double);
+    bytes += part.bucket_offsets.size() * sizeof(std::uint32_t);
+  }
+  bytes += (chunk_min_x_.size() + chunk_min_y_.size() + chunk_max_x_.size() +
+            chunk_max_y_.size()) *
+           sizeof(double);
+  return bytes;
+}
+
+}  // namespace sjc::geom

@@ -234,17 +234,73 @@ bool contains_naive(const Geometry& a, const Geometry& b) {
   return true;
 }
 
+namespace {
+
+Envelope part_envelope(const SimplePart& part) {
+  Envelope e;
+  if (part.point != nullptr) {
+    e.expand_to_include(part.point->x, part.point->y);
+  } else if (part.line != nullptr) {
+    for (const auto& c : part.line->coords) e.expand_to_include(c.x, c.y);
+  } else {
+    for (const auto& c : part.polygon->shell) e.expand_to_include(c.x, c.y);
+  }
+  return e;
+}
+
+// Squared envelope gap (Envelope::distance without the sqrt): a lower bound
+// on parts_sqdist for the two parts the envelopes bound.
+double envelope_gap_sq(const Envelope& ea, const Envelope& eb) {
+  const double dx = std::max({0.0, eb.min_x() - ea.max_x(), ea.min_x() - eb.max_x()});
+  const double dy = std::max({0.0, eb.min_y() - ea.max_y(), ea.min_y() - eb.max_y()});
+  return dx * dx + dy * dy;
+}
+
+}  // namespace
+
 double distance_naive(const Geometry& a, const Geometry& b) {
   std::vector<SimplePart> parts_a;
   std::vector<SimplePart> parts_b;
   collect_parts(a, parts_a);
   collect_parts(b, parts_b);
-  double best = std::numeric_limits<double>::infinity();
-  for (const auto& pa : parts_a) {
-    for (const auto& pb : parts_b) {
-      best = std::min(best, parts_sqdist(pa, pb));
-      if (best == 0.0) return 0.0;
+
+  // Single-part pair (the overwhelmingly common case): one exact test, no
+  // pruning machinery.
+  if (parts_a.size() == 1 && parts_b.size() == 1) {
+    return std::sqrt(parts_sqdist(parts_a[0], parts_b[0]));
+  }
+
+  // Multipart: the per-part envelope gap lower-bounds the exact part
+  // distance, so processing part pairs in ascending gap order seeds the
+  // running bound from the closest-envelope pair and lets every later pair
+  // whose gap already exceeds the bound exit without a coordinate scan.
+  struct PairGap {
+    double gap_sq;
+    std::uint32_t ia;
+    std::uint32_t ib;
+  };
+  std::vector<Envelope> envs_a(parts_a.size());
+  std::vector<Envelope> envs_b(parts_b.size());
+  for (std::size_t i = 0; i < parts_a.size(); ++i) envs_a[i] = part_envelope(parts_a[i]);
+  for (std::size_t i = 0; i < parts_b.size(); ++i) envs_b[i] = part_envelope(parts_b[i]);
+  std::vector<PairGap> order;
+  order.reserve(parts_a.size() * parts_b.size());
+  for (std::uint32_t i = 0; i < parts_a.size(); ++i) {
+    for (std::uint32_t j = 0; j < parts_b.size(); ++j) {
+      order.push_back({envelope_gap_sq(envs_a[i], envs_b[j]), i, j});
     }
+  }
+  std::sort(order.begin(), order.end(),
+            [](const PairGap& x, const PairGap& y) { return x.gap_sq < y.gap_sq; });
+
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& pg : order) {
+    // Conservative slack: prune only when the gap exceeds the bound by a
+    // relative margin, so ulp-level noise in the exact kernels can never
+    // change the returned minimum.
+    if (pg.gap_sq > best * (1.0 + 1e-9)) break;  // sorted: nothing later helps
+    best = std::min(best, parts_sqdist(parts_a[pg.ia], parts_b[pg.ib]));
+    if (best == 0.0) return 0.0;
   }
   return std::sqrt(best);
 }

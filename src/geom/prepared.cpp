@@ -410,6 +410,28 @@ bool PreparedGeometry::contains(const Geometry& other) const {
   return true;
 }
 
+bool PreparedGeometry::linework_touches_point(const Coord& p) const {
+  bool hit = false;
+  for_cells(Envelope::of_point(p.x, p.y), [&](std::size_t cell) {
+    if (hit) return;
+    for (std::uint32_t i = cell_offsets_[cell]; i < cell_offsets_[cell + 1]; ++i) {
+      const Segment& s = segments_[cell_segments_[i]];
+      if (point_on_segment(p, s.a, s.b)) {
+        hit = true;
+        return;
+      }
+    }
+  });
+  return hit;
+}
+
+bool PreparedGeometry::any_part_covers_path(std::span<const Coord> path) const {
+  for (const auto& part : areal_parts_) {
+    if (part.covers_path(path)) return true;
+  }
+  return false;
+}
+
 double PreparedGeometry::min_sqdist_to_segments(const Coord& p) const {
   double best = std::numeric_limits<double>::infinity();
   for (const auto& s : segments_) {

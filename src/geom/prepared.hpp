@@ -46,6 +46,31 @@ class PreparedGeometry {
   /// Hole-aware covered test against the areal parts of the target.
   bool covers_point(const Coord& p) const;
 
+  // Allocation-free building blocks used by geom::BatchRefiner to mirror
+  // intersects()/contains() without the per-call path/part vectors those
+  // entry points materialize. Each is exactly the corresponding fragment of
+  // the public predicates above.
+
+  /// True when the target has areal (polygon) parts.
+  bool has_areal() const { return !areal_parts_.empty(); }
+
+  /// First vertex of every coordinate path (the containment-fallback
+  /// representatives used by intersects()).
+  std::span<const Coord> path_reps() const { return path_reps_; }
+
+  /// True when [a, b] shares a point with any linework segment (grid scan).
+  bool linework_intersects(const Coord& a, const Coord& b) const {
+    return any_segment_intersecting(a, b);
+  }
+
+  /// True when p lies on any linework segment (grid scan); the point-probe
+  /// branch of intersects().
+  bool linework_touches_point(const Coord& p) const;
+
+  /// True when at least one areal part covers the whole path — the
+  /// part-by-part covered test contains() applies to each probe part.
+  bool any_part_covers_path(std::span<const Coord> path) const;
+
   /// Approximate bytes used by the acceleration structures.
   std::size_t index_size_bytes() const;
 

@@ -2,12 +2,33 @@
 
 #include <utility>
 
+#include "geom/batch_refine.hpp"
 #include "util/status.hpp"
 
 namespace sjc::geom {
 
+// Out-of-line so unique_ptr<BatchRefiner> destroys where the type is
+// complete (the header only forward-declares it).
+PreparedCache::Holder::~Holder() = default;
+
 PreparedCache::PreparedCache(std::size_t capacity) : capacity_(capacity) {
   require(capacity > 0, "PreparedCache: capacity must be > 0");
+}
+
+void PreparedCache::touch_and_evict_locked(Entry& entry, std::uint64_t keep_id) {
+  entry.last_used = ++tick_;
+  if (entries_.size() <= capacity_) return;
+  // Evict the least-recently-used entry other than the one just touched
+  // (size > capacity >= 1 guarantees one exists).
+  auto victim = entries_.end();
+  for (auto cur = entries_.begin(); cur != entries_.end(); ++cur) {
+    if (cur->first == keep_id) continue;
+    if (victim == entries_.end() || cur->second.last_used < victim->second.last_used) {
+      victim = cur;
+    }
+  }
+  entries_.erase(victim);
+  ++evictions_;
 }
 
 std::shared_ptr<const BoundPredicate> PreparedCache::acquire(
@@ -38,21 +59,41 @@ std::shared_ptr<const BoundPredicate> PreparedCache::acquire(
     return {it->second.holder, it->second.holder->bound.get()};
   }
   it->second.holder = std::move(holder);
-  it->second.last_used = ++tick_;
-  if (entries_.size() > capacity_) {
-    // Evict the least-recently-used entry other than the one just inserted
-    // (size > capacity >= 1 guarantees one exists).
-    auto victim = entries_.end();
-    for (auto cur = entries_.begin(); cur != entries_.end(); ++cur) {
-      if (cur->first == id) continue;
-      if (victim == entries_.end() || cur->second.last_used < victim->second.last_used) {
-        victim = cur;
-      }
-    }
-    entries_.erase(victim);
-    ++evictions_;
-  }
+  touch_and_evict_locked(it->second, id);
   return {it->second.holder, it->second.holder->bound.get()};
+}
+
+std::shared_ptr<const BatchRefiner> PreparedCache::acquire_refiner(
+    std::uint64_t id, const Geometry& geometry) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(id);
+    if (it != entries_.end() && it->second.holder->refiner != nullptr) {
+      ++hits_;
+      it->second.last_used = ++tick_;
+      return {it->second.holder, it->second.holder->refiner.get()};
+    }
+    ++misses_;
+  }
+
+  // Build outside the lock (same reasoning as acquire): the loser of a
+  // concurrent miss race discards its work below.
+  auto holder = std::make_shared<Holder>();
+  holder->geometry = geometry;
+  holder->refiner = std::make_unique<BatchRefiner>(holder->geometry);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = entries_.try_emplace(id);
+  if (!inserted && it->second.holder->refiner != nullptr) {
+    it->second.last_used = ++tick_;
+    return {it->second.holder, it->second.holder->refiner.get()};
+  }
+  // Fresh entry, or an acquire()-only entry upgraded to carry a refiner.
+  // Replacing the holder is safe: outstanding handles share ownership of
+  // the old one.
+  it->second.holder = std::move(holder);
+  touch_and_evict_locked(it->second, id);
+  return {it->second.holder, it->second.holder->refiner.get()};
 }
 
 std::size_t PreparedCache::size() const {

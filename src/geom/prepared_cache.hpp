@@ -31,6 +31,8 @@
 
 namespace sjc::geom {
 
+class BatchRefiner;
+
 class PreparedCache {
  public:
   static constexpr std::size_t kDefaultCapacity = 8192;
@@ -45,6 +47,14 @@ class PreparedCache {
                                                 std::uint64_t id,
                                                 const Geometry& geometry);
 
+  /// Like acquire(), but for the batched refinement engine: returns the
+  /// BatchRefiner for feature `id`, building one (against an internally
+  /// owned copy of `geometry`) on a miss. A hit whose entry was populated
+  /// by acquire() only (no refiner yet) upgrades the entry in place;
+  /// handles already handed out stay valid through shared ownership.
+  std::shared_ptr<const BatchRefiner> acquire_refiner(std::uint64_t id,
+                                                      const Geometry& geometry);
+
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const;
   std::uint64_t hits() const;
@@ -57,13 +67,19 @@ class PreparedCache {
 
  private:
   struct Holder {
-    Geometry geometry;  // owned copy; `bound` references it
+    Geometry geometry;  // owned copy; `bound` / `refiner` reference it
     std::unique_ptr<BoundPredicate> bound;
+    std::unique_ptr<BatchRefiner> refiner;  // built lazily by acquire_refiner
+    ~Holder();
   };
   struct Entry {
     std::shared_ptr<Holder> holder;
     std::uint64_t last_used = 0;
   };
+
+  /// Bumps last_used and, when over capacity, evicts the LRU entry other
+  /// than `keep_id`. Caller holds mutex_.
+  void touch_and_evict_locked(Entry& entry, std::uint64_t keep_id);
 
   const std::size_t capacity_;
   mutable std::mutex mutex_;

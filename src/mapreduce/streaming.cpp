@@ -98,7 +98,11 @@ std::vector<std::string> run_streaming(MrContext& ctx, const StreamingSpec& spec
     const StreamingMapFn mapper = spec.make_mapper ? spec.make_mapper(s) : spec.map;
     std::uint64_t in_bytes = 0;
     std::uint64_t out_bytes = 0;
-    std::vector<std::string> emitted;
+    // Reused per-record emit buffer: thread_local so a pool thread keeps the
+    // vector's capacity across records AND tasks (strings are moved out per
+    // record, so only the capacity persists). The modeled byte accounting
+    // below reads the line/output text itself and is unchanged by the reuse.
+    static thread_local std::vector<std::string> emitted;
     for (const auto& line : splits[s]) {
       in_bytes += line.size() + 1;
       emitted.clear();
@@ -239,7 +243,9 @@ std::vector<std::string> run_streaming_map_only(
     const StreamingMapFn mapper = spec.make_mapper ? spec.make_mapper(s) : spec.map;
     std::uint64_t in_bytes = 0;
     std::uint64_t out_bytes = 0;
-    std::vector<std::string> emitted;
+    // Same reused thread_local emit buffer as run_streaming's map loop;
+    // modeled byte accounting is computed from the text and unchanged.
+    static thread_local std::vector<std::string> emitted;
     for (const auto& line : splits[s]) {
       in_bytes += line.size() + 1;
       emitted.clear();

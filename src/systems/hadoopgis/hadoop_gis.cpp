@@ -49,8 +49,12 @@ std::string mbr_line(const geom::Envelope& e) {
 }
 
 geom::Envelope parse_mbr_line(const std::string& line) {
-  const auto fields = split(line, '\t');
-  const auto nums = split(trim(fields.at(1)), ' ');
+  // Reparse scratch: this runs once per record in the streaming loops, so
+  // the token vectors are thread_local and reused instead of reallocated.
+  static thread_local std::vector<std::string_view> fields;
+  static thread_local std::vector<std::string_view> nums;
+  split_into(line, '\t', fields);
+  split_into(trim(fields.at(1)), ' ', nums);
   return {parse_double(nums.at(0)), parse_double(nums.at(1)), parse_double(nums.at(2)),
           parse_double(nums.at(3))};
 }
@@ -298,6 +302,10 @@ core::RunReport run_hadoop_gis(const workload::Dataset& left,
     // the system's measured per-call refinement cost is unchanged.
     geom::PreparedCache prepared_cache;
     local_spec.prepared_cache = &prepared_cache;
+    // refine.* accounting (thread-safe; flushed once per run_local_join
+    // call). Under the default Simple engine every refined candidate counts
+    // as an exact test — the approximations are a Prepared-path feature.
+    local_spec.refine_counters = &report.counters;
 
     StreamingSpec join_job;
     join_job.name = "join/b-distributed-join";
@@ -316,12 +324,22 @@ core::RunReport run_hadoop_gis(const workload::Dataset& left,
         // Input lines look like "p<pid>\t<id>\t<wkt>[\t<pad>]": the stale
         // pid is skipped, the record re-parsed, the joint index queried.
         const geom::Feature f = workload::feature_from_tsv_at(line, 1);
-        const auto rest = line.substr(line.find('\t') + 1);
+        // View, not substr: the emitted line is assembled below without an
+        // intermediate copy of the record tail.
+        const std::string_view rest = std::string_view(line).substr(line.find('\t') + 1);
         const geom::Envelope env = f.geometry.envelope().expanded_by(expand);
         std::vector<std::uint32_t> pids = tree->query_ids(env);
         if (pids.empty()) pids = scheme_ptr->assign(env);
         for (const auto pid : pids) {
-          emit.push_back("j" + std::to_string(pid) + "\t" + side + "\t" + rest);
+          std::string out;
+          out.reserve(rest.size() + 16);
+          out += 'j';
+          out += std::to_string(pid);
+          out += '\t';
+          out += side;
+          out += '\t';
+          out += rest;
+          emit.push_back(std::move(out));
         }
       };
     };
@@ -335,7 +353,8 @@ core::RunReport run_hadoop_gis(const workload::Dataset& left,
         std::vector<geom::Feature> left_features;
         std::vector<geom::Feature> right_features;
         while (i < lines.size() && mapreduce::streaming_key(lines[i]) == key) {
-          const auto fields = split(lines[i], '\t');
+          static thread_local std::vector<std::string_view> fields;
+          split_into(lines[i], '\t', fields);
           geom::Feature f = workload::feature_from_tsv_at(lines[i], 2);
           (fields.at(1) == "A" ? left_features : right_features).push_back(std::move(f));
           ++i;
@@ -376,8 +395,9 @@ core::RunReport run_hadoop_gis(const workload::Dataset& left,
     report.counters.add("join.pair_lines_after_dedup", final_lines.size());
     std::vector<JoinPair> pairs;
     pairs.reserve(final_lines.size());
+    std::vector<std::string_view> fields;  // master-side reuse, one per loop
     for (const auto& line : final_lines) {
-      const auto fields = split(line, '\t');
+      split_into(line, '\t', fields);
       pairs.push_back({parse_u64(fields.at(0)), parse_u64(fields.at(1))});
     }
 

@@ -291,6 +291,10 @@ std::vector<JoinPair> run_distributed_join(mapreduce::MrContext& ctx,
   local_spec.predicate = query.predicate;
   local_spec.within_distance = query.within_distance;
   local_spec.prepared_cache = &prepared_cache;
+  // Surface the refine.* accounting (exact tests vs approximation early
+  // accepts/rejects) in this run's counters; Counters is thread-safe and
+  // run_local_join flushes once per call, not per pair.
+  local_spec.refine_counters = ctx.counters;
 
   const bool zero_copy = config.zero_copy_plane;
   const auto join_map = [&, zero_copy](const JoinSplit& split,

@@ -274,6 +274,9 @@ core::RunReport run_spatial_spark(const workload::Dataset& left,
       .predicate = query.predicate,
       .within_distance = query.within_distance,
       .prepared_cache = &prepared_cache,
+      // refine.* accounting; Counters is thread-safe and run_local_join
+      // flushes once per call.
+      .refine_counters = &report.counters,
   };
 
   try {

@@ -126,4 +126,31 @@ std::string format_skew_table(const TaskTimeline& timeline) {
   return out.str();
 }
 
+std::string format_skew_table(const TaskTimeline& timeline,
+                              const std::map<std::string, std::uint64_t>& counters) {
+  std::string out = format_skew_table(timeline);
+  const auto value = [&counters](const char* name) -> std::uint64_t {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  };
+  const std::uint64_t candidates = value("refine.candidates");
+  if (candidates == 0) return out;
+  const auto pct = [candidates](std::uint64_t n) {
+    return 100.0 * static_cast<double>(n) / static_cast<double>(candidates);
+  };
+  const std::uint64_t exact = value("refine.exact_tests");
+  const std::uint64_t accepts = value("refine.early_accepts");
+  const std::uint64_t rejects = value("refine.early_rejects");
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "  refine: %llu candidates | exact %llu (%.1f%%) | early-accept "
+                "%llu (%.1f%%) | early-reject %llu (%.1f%%)\n",
+                static_cast<unsigned long long>(candidates),
+                static_cast<unsigned long long>(exact), pct(exact),
+                static_cast<unsigned long long>(accepts), pct(accepts),
+                static_cast<unsigned long long>(rejects), pct(rejects));
+  out += line;
+  return out;
+}
+
 }  // namespace sjc::trace

@@ -7,6 +7,8 @@
 // one track per node slot, including slots that stayed idle.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <ostream>
 #include <string>
 
@@ -24,5 +26,14 @@ void write_chrome_trace_file(const std::string& path, const TaskTimeline& timeli
 /// Fixed-width per-phase skew table (min/p50/p95/max attempt duration,
 /// straggler and failure counts) for terminal report output.
 std::string format_skew_table(const TaskTimeline& timeline);
+
+/// Skew table plus a refinement-accounting footer derived from a counter
+/// snapshot (refine.candidates split into exact tests vs approximation
+/// early accepts/rejects). Counters other than refine.* are ignored; the
+/// footer is omitted when no refine.* counters are present. Takes a plain
+/// snapshot map rather than cluster::Counters so sjc_trace keeps depending
+/// only on sjc_util.
+std::string format_skew_table(const TaskTimeline& timeline,
+                              const std::map<std::string, std::uint64_t>& counters);
 
 }  // namespace sjc::trace

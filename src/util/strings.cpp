@@ -10,12 +10,18 @@ namespace sjc {
 
 std::vector<std::string_view> split(std::string_view text, char sep) {
   std::vector<std::string_view> out;
+  split_into(text, sep, out);
+  return out;
+}
+
+void split_into(std::string_view text, char sep, std::vector<std::string_view>& out) {
+  out.clear();
   std::size_t begin = 0;
   while (true) {
     const std::size_t pos = text.find(sep, begin);
     if (pos == std::string_view::npos) {
       out.push_back(text.substr(begin));
-      return out;
+      return;
     }
     out.push_back(text.substr(begin, pos - begin));
     begin = pos + 1;

@@ -17,6 +17,11 @@ namespace sjc {
 /// field, matching the semantics of common TSV tooling.
 std::vector<std::string_view> split(std::string_view text, char sep);
 
+/// split() into a caller-owned buffer (cleared first): per-record reparse
+/// loops reuse one scratch vector instead of allocating a fresh one per
+/// line.
+void split_into(std::string_view text, char sep, std::vector<std::string_view>& out);
+
 /// Splits and copies (for callers that outlive the source buffer).
 std::vector<std::string> split_copy(std::string_view text, char sep);
 

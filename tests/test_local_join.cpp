@@ -186,6 +186,78 @@ TEST(LocalJoin, AllAlgorithmsAndPathsProduceIdenticalPairs) {
   }
 }
 
+// Batched vs per-pair refinement: spec.batch_refine must not change a
+// single emitted pair — not even their order — across predicates and cache
+// configurations, and the refine.* counters must account every candidate.
+TEST(LocalJoin, BatchRefineOnOffBitIdenticalWithAccounting) {
+  for (const std::uint64_t seed : {5u, 17u}) {
+    Rng rng(seed);
+    std::vector<geom::Feature> left;
+    std::vector<geom::Feature> right;
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      const double x = rng.uniform(0, 25);
+      const double y = rng.uniform(0, 25);
+      // Mixed probe types so the batched point pass and the scalar
+      // dispatch both engage.
+      if (i % 3 == 0) {
+        left.push_back({i, geom::Geometry::point(x, y)});
+      } else {
+        left.push_back({i, geom::Geometry::line_string({{x, y}, {x + 2, y + 2}})});
+      }
+      const double u = rng.uniform(0, 25);
+      const double v = rng.uniform(0, 25);
+      right.push_back({1000 + i, geom::Geometry::polygon(
+                                     {{u, v}, {u + 3, v}, {u + 3, v + 3},
+                                      {u, v + 3}, {u, v}})});
+    }
+    for (const auto predicate :
+         {JoinPredicate::kIntersects, JoinPredicate::kWithin,
+          JoinPredicate::kWithinDistance}) {
+      for (const bool use_cache : {false, true}) {
+        geom::PreparedCache cache;
+        LocalJoinScratch scratch;
+        const auto run = [&](bool batch) {
+          cluster::Counters counters;
+          LocalJoinSpec spec;
+          spec.predicate = predicate;
+          spec.within_distance = predicate == JoinPredicate::kWithinDistance ? 1.5 : 0.0;
+          spec.batch_refine = batch;
+          spec.prepared_cache = use_cache ? &cache : nullptr;
+          spec.refine_counters = &counters;
+          std::vector<JoinPair> out;
+          run_local_join(std::span<const geom::Feature>(left),
+                         std::span<const geom::Feature>(right), spec, AcceptAllPairs{},
+                         scratch, out);
+          return std::pair(std::move(out), counters.snapshot());
+        };
+        const auto [pairs_off, counters_off] = run(false);
+        const auto [pairs_on, counters_on] = run(true);
+        // Bit-identical including emission order.
+        EXPECT_EQ(pairs_on, pairs_off)
+            << "seed " << seed << " predicate " << static_cast<int>(predicate);
+        EXPECT_GT(pairs_on.size(), 0u);
+        const auto get = [](const std::map<std::string, std::uint64_t>& m,
+                            const char* key) {
+          const auto it = m.find(key);
+          return it == m.end() ? std::uint64_t{0} : it->second;
+        };
+        const std::uint64_t cand = get(counters_off, "refine.candidates");
+        EXPECT_EQ(get(counters_on, "refine.candidates"), cand);
+        EXPECT_GT(cand, 0u);
+        // Per-pair mode: every candidate is an exact test.
+        EXPECT_EQ(get(counters_off, "refine.exact_tests"), cand);
+        EXPECT_EQ(get(counters_off, "refine.early_accepts"), 0u);
+        EXPECT_EQ(get(counters_off, "refine.early_rejects"), 0u);
+        // Batched mode: the three buckets partition the candidates.
+        EXPECT_EQ(get(counters_on, "refine.exact_tests") +
+                      get(counters_on, "refine.early_accepts") +
+                      get(counters_on, "refine.early_rejects"),
+                  cand);
+      }
+    }
+  }
+}
+
 TEST(LocalJoin, AcceptFilterDropsPairs) {
   const auto left = point_features({{1, 1}, {2, 2}});
   std::vector<geom::Feature> right = {

@@ -1,7 +1,12 @@
 // Tests for the naive (reference) predicates across geometry type pairs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+#include <vector>
+
 #include "geom/predicates.hpp"
+#include "util/rng.hpp"
 #include "util/status.hpp"
 
 namespace sjc::geom {
@@ -186,6 +191,67 @@ TEST(Distance, PolygonToPolygon) {
   const Geometry a = unit_square();
   const Geometry b = Geometry::polygon({{7, 0}, {9, 0}, {9, 4}, {7, 4}, {7, 0}});
   EXPECT_DOUBLE_EQ(distance_naive(a, b), 3.0);
+}
+
+// Pin for the multipart envelope-gap pruning in distance_naive: the pruned
+// scan must return the EXACT value of the unoptimized all-pairs scan. The
+// reference decomposes both sides into single-part geometries (whose
+// distance_naive calls take the pruning-free 1x1 fast path) and minimizes
+// over every part pair; min/sqrt commute exactly, so EXPECT_DOUBLE_EQ.
+TEST(Distance, MultipartPruningMatchesUnprunedScan) {
+  const auto decompose = [](const Geometry& g) {
+    std::vector<Geometry> parts;
+    switch (g.type()) {
+      case GeomType::kMultiLineString:
+        for (const auto& part : g.as_multi_line_string().parts) {
+          parts.push_back(Geometry::line_string(part.coords));
+        }
+        break;
+      case GeomType::kMultiPolygon:
+        for (const auto& part : g.as_multi_polygon().parts) {
+          parts.push_back(Geometry::polygon(part.shell, part.holes));
+        }
+        break;
+      default:
+        parts.push_back(g);
+    }
+    return parts;
+  };
+  Rng rng(808);
+  const auto random_multi = [&rng](bool lines) -> Geometry {
+    const auto k = 2 + rng.next_below(4);
+    if (lines) {
+      std::vector<LineString> parts;
+      for (std::uint64_t p = 0; p < k; ++p) {
+        const double x = rng.uniform(-80, 80);
+        const double y = rng.uniform(-80, 80);
+        parts.push_back(LineString{{{x, y},
+                                    {x + rng.uniform(-9, 9), y + rng.uniform(-9, 9)},
+                                    {x + rng.uniform(-9, 9), y + rng.uniform(-9, 9)}}});
+      }
+      return Geometry::multi_line_string(std::move(parts));
+    }
+    std::vector<Polygon> parts;
+    for (std::uint64_t p = 0; p < k; ++p) {
+      const double x = rng.uniform(-80, 80);
+      const double y = rng.uniform(-80, 80);
+      const double w = rng.uniform(1, 8);
+      parts.push_back(Polygon{{{x, y}, {x + w, y}, {x + w, y + w}, {x, y + w}, {x, y}},
+                              {}});
+    }
+    return Geometry::multi_polygon(std::move(parts));
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    const Geometry a = random_multi(trial % 2 == 0);
+    const Geometry b = random_multi(trial % 3 == 0);
+    double reference = std::numeric_limits<double>::infinity();
+    for (const Geometry& pa : decompose(a)) {
+      for (const Geometry& pb : decompose(b)) {
+        reference = std::min(reference, distance_naive(pa, pb));
+      }
+    }
+    EXPECT_DOUBLE_EQ(distance_naive(a, b), reference) << "trial " << trial;
+  }
 }
 
 TEST(WithinDistance, ThresholdSemantics) {
