@@ -18,6 +18,15 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
           "FaultPlan: straggler_slowdown must be >= 1");
   require(plan_.max_attempts >= 1, "FaultPlan: max_attempts must be >= 1");
   require(plan_.retry_backoff_s >= 0.0, "FaultPlan: retry_backoff_s must be >= 0");
+  require(plan_.max_backoff_s >= 0.0, "FaultPlan: max_backoff_s must be >= 0");
+  require(plan_.backoff_jitter >= 0.0 && plan_.backoff_jitter <= 1.0,
+          "FaultPlan: backoff_jitter must be in [0, 1]");
+  require(plan_.bad_node_probability >= 0.0 && plan_.bad_node_probability <= 1.0,
+          "FaultPlan: bad_node_probability must be in [0, 1]");
+  require(plan_.bad_node_crash_probability >= 0.0 &&
+              plan_.bad_node_crash_probability < 1.0,
+          "FaultPlan: bad_node_crash_probability must be in [0, 1)");
+  require(plan_.phase_timeout_s >= 0.0, "FaultPlan: phase_timeout_s must be >= 0");
   require(plan_.speculation_threshold >= 1.0,
           "FaultPlan: speculation_threshold must be >= 1");
   require(plan_.pipe_retry_headroom >= 0.0,
@@ -67,8 +76,36 @@ double FaultInjector::slowdown(std::uint64_t phase, std::size_t task) const {
              : 1.0;
 }
 
+bool FaultInjector::bad_node(std::uint32_t node) const {
+  if (plan_.bad_node_probability <= 0.0) return false;
+  // Node flakiness is a run-level property: hash only (seed, node) so the
+  // same node misbehaves in every phase.
+  return unit(/*phase=*/0x6e6f6465ULL, /*task=*/node, /*attempt=*/0,
+              /*salt=*/5) < plan_.bad_node_probability;
+}
+
+bool FaultInjector::crashes_on(std::uint64_t phase, std::size_t task,
+                               std::uint32_t attempt, std::uint32_t node) const {
+  if (crashes(phase, task, attempt)) return true;
+  if (plan_.bad_node_crash_probability <= 0.0 || !bad_node(node)) return false;
+  // Fold the node into the task coordinate so the extra crash draw is
+  // independent of the base draw and of other nodes' draws.
+  const std::size_t coord =
+      task ^ (static_cast<std::size_t>(node) * 0x9e3779b97f4a7c15ULL + 0x6b61);
+  return unit(phase, coord, attempt, /*salt=*/6) < plan_.bad_node_crash_probability;
+}
+
 double FaultInjector::backoff_s(std::uint32_t attempt) const {
-  return plan_.retry_backoff_s * std::ldexp(1.0, static_cast<int>(attempt) - 1);
+  return std::min(plan_.max_backoff_s,
+                  plan_.retry_backoff_s * std::ldexp(1.0, static_cast<int>(attempt) - 1));
+}
+
+double FaultInjector::backoff_s(std::uint64_t phase, std::size_t task,
+                                std::uint32_t attempt) const {
+  const double base = backoff_s(attempt);
+  if (plan_.backoff_jitter <= 0.0) return base;
+  const double u = unit(phase, task, attempt, /*salt=*/4);
+  return base * (1.0 - plan_.backoff_jitter + 2.0 * plan_.backoff_jitter * u);
 }
 
 double FaultInjector::capacity_factor(std::uint32_t attempt) const {
@@ -83,6 +120,34 @@ std::vector<DatanodeLossEvent> FaultInjector::losses_due(double now_s,
     due.push_back(plan_.datanode_losses[i]);
   }
   return due;
+}
+
+std::string describe(const FaultPlan& plan) {
+  std::string out = "FaultPlan{seed=" + std::to_string(plan.seed);
+  out += " crash_p=" + std::to_string(plan.task_crash_probability);
+  out += " straggler_p=" + std::to_string(plan.straggler_probability);
+  out += " straggler_x=" + std::to_string(plan.straggler_slowdown);
+  out += " bad_node_p=" + std::to_string(plan.bad_node_probability);
+  out += " bad_node_crash_p=" + std::to_string(plan.bad_node_crash_probability);
+  out += " malformed_rows=" + std::to_string(plan.malformed_rows);
+  out += " max_attempts=" + std::to_string(plan.max_attempts);
+  out += " backoff_s=" + std::to_string(plan.retry_backoff_s);
+  out += " max_backoff_s=" + std::to_string(plan.max_backoff_s);
+  out += " jitter=" + std::to_string(plan.backoff_jitter);
+  out += " blacklist_threshold=" + std::to_string(plan.node_blacklist_threshold);
+  out += " retry_budget=" + std::to_string(plan.job_retry_budget);
+  out += " phase_timeout_s=" + std::to_string(plan.phase_timeout_s);
+  out += " speculative=" + std::string(plan.speculative_execution ? "1" : "0");
+  out += " spec_threshold=" + std::to_string(plan.speculation_threshold);
+  out += " pipe_headroom=" + std::to_string(plan.pipe_retry_headroom);
+  out += " losses=[";
+  for (std::size_t i = 0; i < plan.datanode_losses.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(plan.datanode_losses[i].time_s) + "s@node" +
+           std::to_string(plan.datanode_losses[i].node);
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace sjc::cluster

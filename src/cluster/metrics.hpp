@@ -38,6 +38,17 @@ struct PhaseReport {
   /// Bytes copied by the DFS to restore replication after datanode loss
   /// (paper magnitude).
   std::uint64_t rereplicated_bytes = 0;
+
+  // ---- output-commit ledger (see scheduler.hpp ScheduleOutcome) -----------
+  /// Winning attempts whose output was published (one per finished task;
+  /// master-side serial steps count as one published commit).
+  std::uint64_t commits_published = 0;
+  /// Speculative race losers whose commit the ledger rejected.
+  std::uint64_t commits_rejected = 0;
+  /// Failed attempts that aborted without committing.
+  std::uint64_t attempts_aborted = 0;
+  /// Nodes blacklisted during this phase.
+  std::uint64_t nodes_quarantined = 0;
 };
 
 class RunMetrics {
@@ -124,6 +135,30 @@ class RunMetrics {
   std::uint64_t total_rereplicated_bytes() const {
     std::uint64_t total = 0;
     for (const auto& p : phases_) total += p.rereplicated_bytes;
+    return total;
+  }
+
+  std::uint64_t total_commits_published() const {
+    std::uint64_t total = 0;
+    for (const auto& p : phases_) total += p.commits_published;
+    return total;
+  }
+
+  std::uint64_t total_commits_rejected() const {
+    std::uint64_t total = 0;
+    for (const auto& p : phases_) total += p.commits_rejected;
+    return total;
+  }
+
+  std::uint64_t total_attempts_aborted() const {
+    std::uint64_t total = 0;
+    for (const auto& p : phases_) total += p.attempts_aborted;
+    return total;
+  }
+
+  std::uint64_t total_nodes_quarantined() const {
+    std::uint64_t total = 0;
+    for (const auto& p : phases_) total += p.nodes_quarantined;
     return total;
   }
 

@@ -51,6 +51,15 @@ double list_schedule_makespan(const std::vector<double>& durations,
 /// capacity limits. Also requires `slots > 0`.
 double lpt_schedule_makespan(std::vector<double> durations, std::uint32_t slots);
 
+/// One node quarantined (blacklisted) during a phase.
+struct QuarantineEvent {
+  std::uint32_t node = 0;
+  /// Phase-relative simulated time of the failure that tripped the threshold.
+  double time_s = 0.0;
+  /// Failed attempts the node had accumulated when it was quarantined.
+  std::uint32_t failures = 0;
+};
+
 /// Outcome of scheduling one phase under a FaultPlan.
 struct ScheduleOutcome {
   double makespan = 0.0;
@@ -68,6 +77,22 @@ struct ScheduleOutcome {
   bool success = true;
   /// First task (by submission index) that exhausted its attempts.
   std::size_t first_failed_task = static_cast<std::size_t>(-1);
+
+  // ---- output-commit ledger ----------------------------------------------
+  // Every attempt reaches exactly one terminal commit state, so for any
+  // phase: attempts == commits_published + commits_rejected + attempts_aborted,
+  // and on success commits_published == task count. The scheduler enforces
+  // the single-committer rule internally: a second publish for the same task
+  // throws (the checked invariant of the commit protocol).
+  /// Winning attempts whose output was published (exactly one per task).
+  std::uint64_t commits_published = 0;
+  /// Speculative race losers whose commit the ledger rejected.
+  std::uint64_t commits_rejected = 0;
+  /// Crashed / intrinsically-failed attempts that aborted without committing.
+  std::uint64_t attempts_aborted = 0;
+
+  /// Nodes blacklisted during this phase, in quarantine order.
+  std::vector<QuarantineEvent> quarantines;
 };
 
 /// Failure/speculation-aware FIFO list schedule.
@@ -83,6 +108,14 @@ struct ScheduleOutcome {
 /// When `attempts_out` is non-null, every launched attempt — failed
 /// attempts, retries, speculative clones and their race losers — is
 /// appended as a ScheduledAttempt.
+///
+/// `slots_per_node` groups slots into nodes for the bad-node crash model and
+/// node blacklisting: slot s lives on node s / slots_per_node. 0 treats the
+/// whole cluster as one node (quarantine disabled — the seed behaviour).
+/// When the plan's node_blacklist_threshold is set, a node accumulating that
+/// many failed attempts within the phase is quarantined: its slots stop
+/// taking work and in-flight retry chains relocate to a healthy slot. The
+/// last healthy node is never quarantined.
 ScheduleOutcome list_schedule_makespan(const std::vector<double>& durations,
                                        std::uint32_t slots,
                                        const FaultInjector& faults,
@@ -90,6 +123,7 @@ ScheduleOutcome list_schedule_makespan(const std::vector<double>& durations,
                                        const std::vector<double>* intrinsic_severity =
                                            nullptr,
                                        std::vector<ScheduledAttempt>* attempts_out =
-                                           nullptr);
+                                           nullptr,
+                                       std::uint32_t slots_per_node = 0);
 
 }  // namespace sjc::cluster

@@ -22,6 +22,7 @@
 #include "cluster/counters.hpp"
 #include "cluster/metrics.hpp"
 #include "trace/trace.hpp"
+#include "util/status.hpp"
 #include "geom/engine.hpp"
 #include "index/mbr_join.hpp"
 #include "partition/partitioner.hpp"
@@ -100,6 +101,12 @@ struct ExecutionConfig {
 struct RunReport {
   bool success = false;
   std::string failure_reason;  // e.g. "broken pipe ...", "out of memory ..."
+  /// Structured failure class: Ok on success, else the Status mapped from
+  /// the SimFailure/SjcError that killed the run (status_from_exception).
+  /// Harnesses branch on status.code() instead of string-matching
+  /// failure_reason; bench binaries print status.to_string() as the
+  /// one-line diagnosis.
+  sjc::Status status;
 
   /// Total task attempts launched across all phases (retries and
   /// speculative clones included); equals the task count on a clean run.

@@ -208,4 +208,13 @@ std::string to_wkt(const Geometry& geometry) {
 
 Geometry from_wkt(std::string_view wkt) { return WktParser(wkt).parse(); }
 
+std::optional<Geometry> try_from_wkt(std::string_view wkt, std::string* error) {
+  try {
+    return WktParser(wkt).parse();
+  } catch (const ParseError& e) {
+    if (error != nullptr) *error = e.what();
+    return std::nullopt;
+  }
+}
+
 }  // namespace sjc::geom

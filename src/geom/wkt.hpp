@@ -7,6 +7,7 @@
 // malformed input with precise ParseError messages.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -21,5 +22,10 @@ std::string to_wkt(const Geometry& geometry);
 /// Parses WKT for the five supported types. Throws ParseError on malformed
 /// input (unknown tag, unbalanced parens, bad numbers, unclosed rings, ...).
 Geometry from_wkt(std::string_view wkt);
+
+/// Non-throwing parse for hardened input paths: nullopt on malformed input,
+/// with the ParseError text copied into `*error` when `error` is non-null.
+std::optional<Geometry> try_from_wkt(std::string_view wkt,
+                                     std::string* error = nullptr);
 
 }  // namespace sjc::geom

@@ -56,6 +56,7 @@ void apply_due_datanode_losses(MrContext& ctx) {
     phase.bytes_written = repair.cost.disk_write;
     phase.task_count = 1;
     phase.task_attempts = 1;
+    phase.commits_published = 1;
     phase.rereplicated_bytes = repair.bytes_rereplicated;
     emit_serial_span(ctx, phase, ctx.metrics->total_seconds(), 0.0);
     ctx.metrics->add_phase(std::move(phase));
@@ -89,6 +90,7 @@ void charge_master_step(MrContext& ctx, const std::string& name, double cpu_seco
   phase.bytes_written = write_bytes;
   phase.task_count = 1;
   phase.task_attempts = 1;
+  phase.commits_published = 1;
   emit_serial_span(ctx, phase, ctx.metrics->total_seconds(), task.cpu_seconds);
   ctx.metrics->add_phase(std::move(phase));
   apply_due_datanode_losses(ctx);
@@ -108,11 +110,16 @@ cluster::ScheduleOutcome record_phase(MrContext& ctx, const std::string& name,
     durations.push_back(t.duration(*ctx.cluster, ctx.data_scale));
   }
   const cluster::FaultInjector& faults = fault_injector(ctx);
+  const cluster::FaultPlan& plan = faults.plan();
   std::vector<cluster::ScheduledAttempt> attempts;
   const cluster::ScheduleOutcome outcome = cluster::list_schedule_makespan(
       durations, ctx.cluster->total_slots(), faults,
       cluster::FaultInjector::phase_id(name), task_severity,
-      ctx.trace != nullptr ? &attempts : nullptr);
+      ctx.trace != nullptr ? &attempts : nullptr, ctx.cluster->node.cores);
+  // A successful phase that overran its deadline is killed by the job
+  // tracker at exactly the timeout: charge the timeout, not the makespan.
+  const bool timed_out = plan.phase_timeout_s > 0.0 && outcome.success &&
+                         outcome.makespan + extra_seconds > plan.phase_timeout_s;
   // Shift phase-relative attempt times onto the run clock: the phase starts
   // where the sequential clock stood, and its serial extra_seconds (job
   // startup) precede the task waves.
@@ -134,10 +141,23 @@ cluster::ScheduleOutcome record_phase(MrContext& ctx, const std::string& name,
       span.outcome = a.outcome;
       ctx.trace->record(std::move(span));
     }
+    // Zero-duration markers at the moment each node was blacklisted.
+    for (const auto& q : outcome.quarantines) {
+      trace::TaskSpan span;
+      span.phase = name;
+      span.task = q.node;
+      span.attempt = q.failures;
+      span.slot = q.node * ctx.cluster->node.cores;
+      span.sim_start = offset + q.time_s;
+      span.sim_end = offset + q.time_s;
+      span.outcome = trace::SpanOutcome::kQuarantined;
+      ctx.trace->record(std::move(span));
+    }
   }
   cluster::PhaseReport phase;
   phase.name = name;
-  phase.sim_seconds = outcome.makespan + extra_seconds;
+  phase.sim_seconds =
+      timed_out ? plan.phase_timeout_s : outcome.makespan + extra_seconds;
   phase.bytes_read = bytes_read;
   phase.bytes_written = bytes_written;
   phase.bytes_shuffled = bytes_shuffled;
@@ -146,8 +166,50 @@ cluster::ScheduleOutcome record_phase(MrContext& ctx, const std::string& name,
   phase.task_attempts = outcome.attempts;
   phase.speculative_clones = outcome.speculative_clones;
   phase.wasted_seconds = outcome.wasted_seconds;
+  phase.commits_published = outcome.commits_published;
+  phase.commits_rejected = outcome.commits_rejected;
+  phase.attempts_aborted = outcome.attempts_aborted;
+  phase.nodes_quarantined = outcome.quarantines.size();
   ctx.metrics->add_phase(std::move(phase));
+  if (ctx.counters != nullptr) {
+    if (outcome.commits_published > 0) {
+      ctx.counters->add("commit.published", outcome.commits_published);
+    }
+    if (outcome.commits_rejected > 0) {
+      ctx.counters->add("commit.rejected", outcome.commits_rejected);
+    }
+    if (outcome.attempts_aborted > 0) {
+      ctx.counters->add("commit.aborted", outcome.attempts_aborted);
+    }
+    if (!outcome.quarantines.empty()) {
+      ctx.counters->add("quarantine.nodes", outcome.quarantines.size());
+    }
+  }
   apply_due_datanode_losses(ctx);
+  // Lifecycle enforcement, after the phase (and any DFS repairs) are on the
+  // books so a killed job's metrics show where its clock stopped. A failed
+  // phase is exempt — the caller throws its own, more specific failure.
+  if (outcome.success) {
+    if (timed_out) {
+      if (ctx.counters != nullptr) ctx.counters->add("budget.phase_timeouts", 1);
+      throw DeadlineExceeded("phase '" + name + "' overran its deadline: makespan " +
+                             std::to_string(outcome.makespan + extra_seconds) +
+                             "s > timeout " + std::to_string(plan.phase_timeout_s) +
+                             "s");
+    }
+    const std::uint64_t retries =
+        outcome.attempts - tasks.size() - outcome.speculative_clones;
+    if (retries > 0) {
+      ctx.retries_used += retries;
+      if (ctx.counters != nullptr) ctx.counters->add("budget.retries_used", retries);
+    }
+    if (plan.job_retry_budget > 0 && ctx.retries_used > plan.job_retry_budget) {
+      throw RetryBudgetExhausted(
+          "job retry budget exhausted: " + std::to_string(ctx.retries_used) +
+          " retries used, budget " + std::to_string(plan.job_retry_budget) +
+          " (last phase '" + name + "')");
+    }
+  }
   return outcome;
 }
 

@@ -60,6 +60,10 @@ struct MrContext {
   /// tracing never changes what the phases charge. Kept last so existing
   /// positional aggregate initializers stay valid.
   trace::TraceCollector* trace = nullptr;
+  /// Failed-attempt retries consumed so far across the whole job (attempts
+  /// beyond each task's first, excluding speculative clones). Checked
+  /// against the plan's job_retry_budget after every successful phase.
+  std::uint64_t retries_used = 0;
 
   /// Fraction of shuffled bytes that cross the network (a reducer co-hosted
   /// with a mapper reads locally): (nodes-1)/nodes.
@@ -98,6 +102,13 @@ const cluster::FaultInjector& fault_injector(const MrContext& ctx);
 /// the phase, charging re-replication traffic as its own phase — so the
 /// recorded phase may not be the metrics' last; per-phase annotations go
 /// through `max_task_pipe_bytes` here rather than metrics->last_phase().
+///
+/// Lifecycle enforcement (throwing paths; the phase is recorded first so a
+/// killed job's metrics show where the clock stopped): a successful phase
+/// whose makespan overruns the plan's phase_timeout_s charges exactly the
+/// timeout and throws DeadlineExceeded; retries beyond the plan's
+/// job_retry_budget (accumulated in ctx.retries_used) throw
+/// RetryBudgetExhausted.
 cluster::ScheduleOutcome record_phase(MrContext& ctx, const std::string& name,
                                       const std::vector<cluster::SimTask>& tasks,
                                       std::uint64_t bytes_read,

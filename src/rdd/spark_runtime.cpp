@@ -37,7 +37,13 @@ void SparkRuntime::record(const std::string& name, std::vector<cluster::SimTask>
   const cluster::ScheduleOutcome outcome = cluster::list_schedule_makespan(
       durations, cluster_.total_slots(), faults_,
       cluster::FaultInjector::phase_id(name), nullptr,
-      trace_ != nullptr ? &attempts : nullptr);
+      trace_ != nullptr ? &attempts : nullptr, cluster_.node.cores);
+  const cluster::FaultPlan& plan = faults_.plan();
+  // A successful stage overrunning its deadline is killed at exactly the
+  // timeout: charge the timeout, not the makespan.
+  const bool timed_out =
+      plan.phase_timeout_s > 0.0 && outcome.success &&
+      outcome.makespan + config_.stage_overhead_s > plan.phase_timeout_s;
   if (trace_ != nullptr) {
     // Stage overhead (scheduling/launch) precedes the task waves on the run
     // clock.
@@ -58,10 +64,23 @@ void SparkRuntime::record(const std::string& name, std::vector<cluster::SimTask>
       span.outcome = a.outcome;
       trace_->record(std::move(span));
     }
+    // Zero-duration markers at the moment each node was blacklisted.
+    for (const auto& q : outcome.quarantines) {
+      trace::TaskSpan span;
+      span.phase = name;
+      span.task = q.node;
+      span.attempt = q.failures;
+      span.slot = q.node * cluster_.node.cores;
+      span.sim_start = offset + q.time_s;
+      span.sim_end = offset + q.time_s;
+      span.outcome = trace::SpanOutcome::kQuarantined;
+      trace_->record(std::move(span));
+    }
   }
   cluster::PhaseReport phase;
   phase.name = name;
-  phase.sim_seconds = outcome.makespan + config_.stage_overhead_s;
+  phase.sim_seconds = timed_out ? plan.phase_timeout_s
+                                : outcome.makespan + config_.stage_overhead_s;
   phase.bytes_read = bytes_read;
   phase.bytes_written = bytes_written;
   phase.bytes_shuffled = bytes_shuffled;
@@ -69,11 +88,48 @@ void SparkRuntime::record(const std::string& name, std::vector<cluster::SimTask>
   phase.task_attempts = outcome.attempts;
   phase.speculative_clones = outcome.speculative_clones;
   phase.wasted_seconds = outcome.wasted_seconds;
+  phase.commits_published = outcome.commits_published;
+  phase.commits_rejected = outcome.commits_rejected;
+  phase.attempts_aborted = outcome.attempts_aborted;
+  phase.nodes_quarantined = outcome.quarantines.size();
   metrics_->add_phase(std::move(phase));
+  if (counters_ != nullptr) {
+    if (outcome.commits_published > 0) {
+      counters_->add("commit.published", outcome.commits_published);
+    }
+    if (outcome.commits_rejected > 0) {
+      counters_->add("commit.rejected", outcome.commits_rejected);
+    }
+    if (outcome.attempts_aborted > 0) {
+      counters_->add("commit.aborted", outcome.attempts_aborted);
+    }
+    if (!outcome.quarantines.empty()) {
+      counters_->add("quarantine.nodes", outcome.quarantines.size());
+    }
+  }
   if (!outcome.success) {
     throw TaskFailed(name + ": task " +
                      std::to_string(outcome.first_failed_task) +
                      " crashed and exhausted its attempts");
+  }
+  if (timed_out) {
+    if (counters_ != nullptr) counters_->add("budget.phase_timeouts", 1);
+    throw DeadlineExceeded(
+        "stage '" + name + "' overran its deadline: makespan " +
+        std::to_string(outcome.makespan + config_.stage_overhead_s) +
+        "s > timeout " + std::to_string(plan.phase_timeout_s) + "s");
+  }
+  const std::uint64_t retries =
+      outcome.attempts - tasks.size() - outcome.speculative_clones;
+  if (retries > 0) {
+    retries_used_ += retries;
+    if (counters_ != nullptr) counters_->add("budget.retries_used", retries);
+  }
+  if (plan.job_retry_budget > 0 && retries_used_ > plan.job_retry_budget) {
+    throw RetryBudgetExhausted(
+        "job retry budget exhausted: " + std::to_string(retries_used_) +
+        " retries used, budget " + std::to_string(plan.job_retry_budget) +
+        " (last stage '" + name + "')");
   }
   // Grow the lineage: recomputing one partition later costs the average
   // per-task time of every stage it passed through.
@@ -108,6 +164,7 @@ void SparkRuntime::apply_due_losses(const std::string& after_stage) {
         phase.bytes_written = repair.cost.disk_write;
         phase.task_count = 1;
         phase.task_attempts = 1;
+        phase.commits_published = 1;
         phase.rereplicated_bytes = repair.bytes_rereplicated;
         if (trace_ != nullptr) {
           trace::TaskSpan span;
@@ -154,6 +211,7 @@ void SparkRuntime::apply_due_losses(const std::string& after_stage) {
     }
     phase.task_count = lost_partitions;
     phase.task_attempts = lost_partitions;
+    phase.commits_published = lost_partitions;
     phase.recomputed_partitions = lost_partitions;
     recomputed_partitions_ += lost_partitions;
     metrics_->add_phase(std::move(phase));

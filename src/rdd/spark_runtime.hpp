@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cluster/cluster_spec.hpp"
+#include "cluster/counters.hpp"
 #include "cluster/fault_injector.hpp"
 #include "cluster/metrics.hpp"
 #include "cluster/sim_task.hpp"
@@ -103,6 +104,13 @@ class SparkRuntime {
   /// never changes what the stages charge.
   void set_trace(trace::TraceCollector* trace) { trace_ = trace; }
 
+  /// Attaches a named-counter sink for commit/quarantine/budget accounting
+  /// (the RDD engine has no MrContext to carry one).
+  void set_counters(cluster::Counters* counters) { counters_ = counters; }
+
+  /// Failed-attempt retries consumed so far across the job.
+  std::uint64_t retries_used() const { return retries_used_; }
+
   /// Executors lost to datanode-loss events so far.
   std::uint32_t lost_executors() const { return lost_executors_; }
   /// Partitions recomputed from lineage across all losses.
@@ -127,6 +135,8 @@ class SparkRuntime {
   MemoryManager memory_;
   cluster::FaultInjector faults_;
   trace::TraceCollector* trace_ = nullptr;
+  cluster::Counters* counters_ = nullptr;
+  std::uint64_t retries_used_ = 0;
   std::size_t losses_applied_ = 0;
   std::uint32_t lost_executors_ = 0;
   std::uint64_t recomputed_partitions_ = 0;

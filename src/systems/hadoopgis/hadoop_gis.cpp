@@ -11,6 +11,7 @@
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
+#include "workload/quarantine.hpp"
 #include "workload/tsv.hpp"
 
 namespace sjc::systems {
@@ -72,6 +73,9 @@ struct GisContext {
   const core::JoinQueryConfig* query;
   const core::ExecutionConfig* exec;
   const HadoopGisConfig* config;
+  /// Sink for malformed records on every streaming reparse path; the
+  /// hardened parse sites divert bad rows here instead of dying mid-phase.
+  workload::RowQuarantine* quarantine;
 };
 
 /// The six-step HadoopGIS preprocessing for one dataset (paper §II.A).
@@ -83,9 +87,20 @@ PreprocessedDataset preprocess(GisContext& gis, const workload::Dataset& data,
       std::max<std::size_t>(gis.exec->cluster.total_slots(),
                             data.text_bytes() / ctx.dfs->config().block_size + 1);
 
-  // Raw input as it lands in HDFS.
-  auto raw_splits = chunk_lines(workload::dataset_to_tsv(data, /*include_pad=*/true),
-                                split_count);
+  // Raw input as it lands in HDFS, plus any junk rows the fault plan
+  // injects (extra lines, never corrupted real ones — so a run that
+  // quarantines them all joins bit-identically to the fault-free run).
+  auto raw_lines = workload::dataset_to_tsv(data, /*include_pad=*/true);
+  if (gis.config->faults.malformed_rows > 0) {
+    workload::inject_malformed_rows(
+        raw_lines, gis.config->faults.malformed_rows,
+        gis.config->faults.seed ^ std::hash<std::string>{}(tag));
+    if (ctx.counters != nullptr) {
+      ctx.counters->add("input.malformed_rows_injected",
+                        gis.config->faults.malformed_rows);
+    }
+  }
+  auto raw_splits = chunk_lines(std::move(raw_lines), split_count);
   {
     std::uint64_t raw_bytes = 0;
     for (const auto& s : raw_splits) raw_bytes += lines_bytes(s);
@@ -113,12 +128,21 @@ PreprocessedDataset preprocess(GisContext& gis, const workload::Dataset& data,
   const double sample_rate = core::effective_sample_rate(
       gis.query->sample_rate, data.size(),
       core::effective_target_partitions(*gis.query, gis.exec->cluster));
-  sample.make_mapper = [&](std::size_t task) -> mapreduce::StreamingMapFn {
+  workload::RowQuarantine* quarantine = gis.quarantine;
+  const std::string sample_site = sample.name;
+  sample.make_mapper = [&, quarantine, sample_site](std::size_t task)
+      -> mapreduce::StreamingMapFn {
     auto rng = std::make_shared<Rng>(sample_base.fork(task));
     const double rate = sample_rate;
-    return [rng, rate](const std::string& line, std::vector<std::string>& emit) {
-      const geom::Feature f = workload::feature_from_tsv(line);
-      if (rng->bernoulli(rate)) emit.push_back(mbr_line(f.geometry.envelope()));
+    return [rng, rate, quarantine, sample_site](const std::string& line,
+                                                std::vector<std::string>& emit) {
+      std::string error;
+      const auto f = workload::try_feature_from_tsv(line, &error);
+      if (!f) {
+        quarantine->divert(sample_site, line, error);
+        return;
+      }
+      if (rng->bernoulli(rate)) emit.push_back(mbr_line(f->geometry.envelope()));
     };
   };
   const auto sample_lines = mapreduce::run_streaming_map_only(ctx, sample, converted);
@@ -192,7 +216,9 @@ PreprocessedDataset preprocess(GisContext& gis, const workload::Dataset& data,
   // multi-assignment (boundary-straddling MBRs) — the same quantity the
   // other two systems report as partition.duplicated_records.
   auto dup_records = std::make_shared<std::atomic<std::uint64_t>>(0);
-  assign.make_mapper = [&scheme, dup_records](std::size_t) -> mapreduce::StreamingMapFn {
+  const std::string assign_site = assign.name;
+  assign.make_mapper = [&scheme, dup_records, quarantine,
+                        assign_site](std::size_t) -> mapreduce::StreamingMapFn {
     // Every mapper rebuilds the partition index (insert-built R-tree on the
     // broadcast partition file) — a HadoopGIS design cost the paper calls
     // out explicitly.
@@ -201,11 +227,16 @@ PreprocessedDataset preprocess(GisContext& gis, const workload::Dataset& data,
       tree->insert(scheme.cells()[pid], pid);
     }
     const auto* scheme_ptr = &scheme;
-    return [tree, scheme_ptr, dup_records](const std::string& line,
-                                           std::vector<std::string>& emit) {
-      const geom::Feature f = workload::feature_from_tsv(line);
-      std::vector<std::uint32_t> pids = tree->query_ids(f.geometry.envelope());
-      if (pids.empty()) pids = scheme_ptr->assign(f.geometry.envelope());
+    return [tree, scheme_ptr, dup_records, quarantine,
+            assign_site](const std::string& line, std::vector<std::string>& emit) {
+      std::string error;
+      const auto f = workload::try_feature_from_tsv(line, &error);
+      if (!f) {
+        quarantine->divert(assign_site, line, error);
+        return;
+      }
+      std::vector<std::uint32_t> pids = tree->query_ids(f->geometry.envelope());
+      if (pids.empty()) pids = scheme_ptr->assign(f->geometry.envelope());
       if (!pids.empty()) {
         dup_records->fetch_add(pids.size() - 1, std::memory_order_relaxed);
       }
@@ -237,30 +268,35 @@ core::RunReport run_hadoop_gis(const workload::Dataset& left,
                                const core::ExecutionConfig& exec,
                                const HadoopGisConfig& config) {
   core::RunReport report;
-  dfs::SimDfs dfs(dfs::DfsConfig{
-      .block_size = std::max<std::uint64_t>(
-          1, static_cast<std::uint64_t>(64.0 * 1024 * 1024 / exec.data_scale)),
-      .replication = 3,
-      .datanode_count = exec.cluster.node_count,
-      .seed = query.seed,
-  });
-  const cluster::FaultInjector faults(config.faults);
-  mapreduce::MrContext ctx{&exec.cluster, exec.data_scale, &dfs, &report.metrics,
-                           &report.counters, &faults};
   trace::TraceCollector collector(exec.cluster.node_count, exec.cluster.node.cores);
-  if (exec.trace) ctx.trace = &collector;
-
-  mapreduce::StreamingConfig streaming;
-  streaming.mr = config.mr;
-  streaming.pipe_bandwidth = config.pipe_bandwidth;
-  streaming.pipe_capacity_bytes = static_cast<std::uint64_t>(
-      config.pipe_capacity_fraction *
-      static_cast<double>(exec.cluster.node.memory_bytes) / exec.cluster.node.cores *
-      (exec.cluster.node_count > 1 ? config.multi_node_pipe_derating : 1.0));
-
-  GisContext gis{&ctx, streaming, &query, &exec, &config};
+  workload::RowQuarantine quarantine_sink;
 
   try {
+    // Fault-plan validation (FaultInjector's constructor) and DFS setup can
+    // throw on a bad plan: inside the try so a chaos-generated invalid plan
+    // reports a structured Status instead of escaping the driver.
+    dfs::SimDfs dfs(dfs::DfsConfig{
+        .block_size = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(64.0 * 1024 * 1024 / exec.data_scale)),
+        .replication = 3,
+        .datanode_count = exec.cluster.node_count,
+        .seed = query.seed,
+    });
+    const cluster::FaultInjector faults(config.faults);
+    mapreduce::MrContext ctx{&exec.cluster, exec.data_scale, &dfs, &report.metrics,
+                             &report.counters, &faults};
+    if (exec.trace) ctx.trace = &collector;
+
+    mapreduce::StreamingConfig streaming;
+    streaming.mr = config.mr;
+    streaming.pipe_bandwidth = config.pipe_bandwidth;
+    streaming.pipe_capacity_bytes = static_cast<std::uint64_t>(
+        config.pipe_capacity_fraction *
+        static_cast<double>(exec.cluster.node.memory_bytes) / exec.cluster.node.cores *
+        (exec.cluster.node_count > 1 ? config.multi_node_pipe_derating : 1.0));
+
+    GisContext gis{&ctx, streaming, &query, &exec, &config, &quarantine_sink};
+
     // ---- Preprocessing (IA, IB) --------------------------------------------
     PreprocessedDataset pa = preprocess(gis, left, "A");
     PreprocessedDataset pb = preprocess(gis, right, "B");
@@ -311,7 +347,8 @@ core::RunReport run_hadoop_gis(const workload::Dataset& left,
     join_job.name = "join/b-distributed-join";
     join_job.config = streaming;
     const double expand = local_spec.envelope_expansion();
-    join_job.make_mapper = [&joint_scheme, n_a, expand](std::size_t task)
+    workload::RowQuarantine* quarantine = &quarantine_sink;
+    join_job.make_mapper = [&joint_scheme, n_a, expand, quarantine](std::size_t task)
         -> mapreduce::StreamingMapFn {
       const char side = task < n_a ? 'A' : 'B';
       auto tree = std::make_shared<index::DynamicRTree>();
@@ -319,11 +356,17 @@ core::RunReport run_hadoop_gis(const workload::Dataset& left,
         tree->insert(joint_scheme.cells()[pid], pid);
       }
       const auto* scheme_ptr = &joint_scheme;
-      return [tree, scheme_ptr, side, expand](const std::string& line,
-                                              std::vector<std::string>& emit) {
+      return [tree, scheme_ptr, side, expand, quarantine](
+                 const std::string& line, std::vector<std::string>& emit) {
         // Input lines look like "p<pid>\t<id>\t<wkt>[\t<pad>]": the stale
         // pid is skipped, the record re-parsed, the joint index queried.
-        const geom::Feature f = workload::feature_from_tsv_at(line, 1);
+        std::string error;
+        const auto parsed = workload::try_feature_from_tsv_at(line, 1, &error);
+        if (!parsed) {
+          quarantine->divert("join/b-distributed-join.map", line, error);
+          return;
+        }
+        const geom::Feature& f = *parsed;
         // View, not substr: the emitted line is assembled below without an
         // intermediate copy of the record tail.
         const std::string_view rest = std::string_view(line).substr(line.find('\t') + 1);
@@ -343,8 +386,8 @@ core::RunReport run_hadoop_gis(const workload::Dataset& left,
         }
       };
     };
-    join_job.reduce = [&local_spec](const std::vector<std::string>& lines,
-                                    std::vector<std::string>& emit) {
+    join_job.reduce = [&local_spec, quarantine](const std::vector<std::string>& lines,
+                                                std::vector<std::string>& emit) {
       // Lines arrive sorted, so partitions are contiguous and, within one,
       // side A sorts before side B.
       std::size_t i = 0;
@@ -355,8 +398,15 @@ core::RunReport run_hadoop_gis(const workload::Dataset& left,
         while (i < lines.size() && mapreduce::streaming_key(lines[i]) == key) {
           static thread_local std::vector<std::string_view> fields;
           split_into(lines[i], '\t', fields);
-          geom::Feature f = workload::feature_from_tsv_at(lines[i], 2);
-          (fields.at(1) == "A" ? left_features : right_features).push_back(std::move(f));
+          std::string error;
+          auto f = workload::try_feature_from_tsv_at(lines[i], 2, &error);
+          if (!f) {
+            quarantine->divert("join/b-distributed-join.reduce", lines[i], error);
+            ++i;
+            continue;
+          }
+          (fields.at(1) == "A" ? left_features : right_features)
+              .push_back(std::move(*f));
           ++i;
         }
         std::vector<JoinPair> pairs;
@@ -402,17 +452,22 @@ core::RunReport run_hadoop_gis(const workload::Dataset& left,
     }
 
     report.success = true;
+    report.status = Status::Ok();
     report.result_count = pairs.size();
     report.result_hash = core::hash_pairs_unordered(pairs);
     if (exec.collect_pairs) report.pairs = std::move(pairs);
-  } catch (const SimFailure& e) {
+  } catch (const SjcError& e) {
     // BrokenPipe (pipe overflow past the retry budget), TaskFailed
     // (injected crash exhausting attempts), BlockUnavailable (all replicas
-    // of an input lost): simulated outcomes, captured in the report.
+    // of an input lost), DeadlineExceeded / RetryBudgetExhausted (lifecycle
+    // enforcement), InvalidArgument (a bad fault plan): every library error
+    // becomes a structured Status — nothing escapes the driver.
     report.success = false;
     report.failure_reason = e.what();
+    report.status = status_from_exception(e);
   }
 
+  quarantine_sink.flush_counters(report.counters);
   report.index_a_seconds = report.metrics.seconds_with_prefix("A/");
   report.index_b_seconds = report.metrics.seconds_with_prefix("B/");
   report.join_seconds = report.metrics.seconds_with_prefix("join/");

@@ -361,6 +361,7 @@ std::vector<JoinPair> run_distributed_join(mapreduce::MrContext& ctx,
 void finalize_report(core::RunReport& report, std::vector<JoinPair> pairs,
                      const core::ExecutionConfig& exec) {
   report.success = true;
+  report.status = Status::Ok();
   report.result_count = pairs.size();
   report.result_hash = core::hash_pairs_unordered(pairs);
   if (exec.collect_pairs) report.pairs = std::move(pairs);
@@ -379,24 +380,29 @@ core::RunReport run_spatial_hadoop(const workload::Dataset& left,
                                    const core::ExecutionConfig& exec,
                                    const SpatialHadoopConfig& config) {
   core::RunReport report;
-  dfs::SimDfs dfs(dfs_config(query, exec));
-  const cluster::FaultInjector faults(config.faults);
-  mapreduce::MrContext ctx{&exec.cluster, exec.data_scale, &dfs, &report.metrics,
-                           &report.counters, &faults};
   trace::TraceCollector collector(exec.cluster.node_count, exec.cluster.node.cores);
-  if (exec.trace) ctx.trace = &collector;
 
   try {
+    // Fault-plan validation and DFS setup inside the try: a chaos-generated
+    // invalid plan reports a structured Status instead of escaping.
+    dfs::SimDfs dfs(dfs_config(query, exec));
+    const cluster::FaultInjector faults(config.faults);
+    mapreduce::MrContext ctx{&exec.cluster, exec.data_scale, &dfs, &report.metrics,
+                             &report.counters, &faults};
+    if (exec.trace) ctx.trace = &collector;
+
     // ---- Preprocessing: index both inputs (IA, IB) -------------------------
     const IndexedDataset ia = index_dataset(ctx, left, "A", query, exec, config);
     const IndexedDataset ib = index_dataset(ctx, right, "B", query, exec, config);
 
     finalize_report(report, run_distributed_join(ctx, ia, ib, query, config), exec);
-  } catch (const SimFailure& e) {
-    // SpatialHadoop has no intrinsic failure modes; only injected faults
-    // (TaskFailed past the retry budget, BlockUnavailable) land here.
+  } catch (const SjcError& e) {
+    // SpatialHadoop has no intrinsic failure modes; injected faults
+    // (TaskFailed past the retry budget, BlockUnavailable, lifecycle kills)
+    // and invalid fault plans land here as a structured Status.
     report.success = false;
     report.failure_reason = e.what();
+    report.status = status_from_exception(e);
     report.total_seconds = report.metrics.total_seconds();
     core::annotate_recovery(report);
   }

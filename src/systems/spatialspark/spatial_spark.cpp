@@ -1,7 +1,9 @@
 #include "systems/spatialspark/spatial_spark.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <memory>
+#include <optional>
 
 #include "core/feature_view.hpp"
 #include "core/local_join.hpp"
@@ -9,6 +11,7 @@
 #include "partition/partitioner.hpp"
 #include "rdd/rdd.hpp"
 #include "util/stopwatch.hpp"
+#include "workload/quarantine.hpp"
 #include "workload/tsv.hpp"
 
 namespace sjc::systems {
@@ -35,6 +38,23 @@ std::vector<std::vector<std::string>> chunk_lines(std::vector<std::string> lines
   return out;
 }
 
+/// TSV lines for one input, with the fault plan's malformed rows injected at
+/// deterministic positions (seed x tag). Junk lines are always *extra*
+/// records — real rows are never corrupted — so a quarantining parse yields
+/// exactly the fault-free feature set.
+std::vector<std::string> input_lines(const workload::Dataset& data,
+                                     const std::string& tag,
+                                     const cluster::FaultPlan& plan,
+                                     cluster::Counters& counters) {
+  auto lines = workload::dataset_to_tsv(data, /*include_pad=*/true);
+  if (plan.malformed_rows > 0) {
+    workload::inject_malformed_rows(lines, plan.malformed_rows,
+                                    plan.seed ^ std::hash<std::string>{}(tag));
+    counters.add("input.malformed_rows_injected", plan.malformed_rows);
+  }
+  return lines;
+}
+
 /// Zero-copy partitioned join: the same stage sequence as the seed plane
 /// below (parse -> sample -> assign -> groupByKey x2 -> join -> local-join)
 /// with one difference — each input is parsed once into a run-scoped
@@ -48,7 +68,8 @@ void run_partitioned_join_zero_copy(
     const core::JoinQueryConfig& query, const core::ExecutionConfig& exec,
     const SpatialSparkConfig& config, rdd::SparkRuntime& rt, dfs::SimDfs& dfs,
     const core::LocalJoinSpec& local_spec, geom::PreparedCache& prepared_cache,
-    std::uint32_t parallelism, core::RunReport& report) {
+    std::uint32_t parallelism, workload::RowQuarantine& quarantine,
+    core::RunReport& report) {
   using core::FeatureRef;
   const std::uint64_t rec_overhead = config.record_overhead_bytes;
   const rdd::Sizer<FeatureRef> ref_sizer = [rec_overhead](const FeatureRef& r) {
@@ -79,12 +100,14 @@ void run_partitioned_join_zero_copy(
   // Dropping an Rdd<FeatureRef> handle releases its *modeled* bytes on the
   // seed schedule while the backing features stay valid for later refs.
   auto store = std::make_shared<std::vector<std::vector<Feature>>>();
+  workload::RowQuarantine* qsink = &quarantine;
   const auto read_and_parse = [&](const workload::Dataset& data,
                                   const std::string& tag) {
     dfs.put(tag + ".raw", std::any(), data.text_bytes());
     auto lines = rdd::Rdd<std::string>::create(
         rt,
-        chunk_lines(workload::dataset_to_tsv(data, /*include_pad=*/true), parallelism),
+        chunk_lines(input_lines(data, tag, config.spark.faults, report.counters),
+                    parallelism),
         line_sizer, tag + ".text");
     rt.record_input_read(tag + ".read", data.text_bytes(),
                          dfs.block_count(tag + ".raw"));
@@ -92,12 +115,19 @@ void run_partitioned_join_zero_copy(
     store->resize(base + lines.num_partitions());
     return lines.map_partitions_indexed<FeatureRef>(
         "parse",
-        [store, base](std::size_t p, const std::vector<std::string>& in,
-                      std::vector<FeatureRef>& out) {
+        [store, base, qsink](std::size_t p, const std::vector<std::string>& in,
+                             std::vector<FeatureRef>& out) {
           auto& slot = (*store)[base + p];
           slot.reserve(in.size());
-          for (const auto& line : in) slot.push_back(workload::feature_from_tsv(line));
-          out.reserve(in.size());
+          std::string error;
+          for (const auto& line : in) {
+            if (auto f = workload::try_feature_from_tsv(line, &error)) {
+              slot.push_back(std::move(*f));
+            } else {
+              qsink->divert("spark/parse", line, error);
+            }
+          }
+          out.reserve(slot.size());
           for (const auto& f : slot) out.push_back(FeatureRef{&f});
         },
         ref_sizer);
@@ -209,6 +239,7 @@ void run_partitioned_join_zero_copy(
   report.counters.add("join.prepared_cache_misses", prepared_cache.misses());
 
   report.success = true;
+  report.status = Status::Ok();
   if (exec.collect_pairs) {
     std::vector<JoinPair> pairs = pairs_rdd.collect();
     report.result_count = pairs.size();
@@ -233,17 +264,14 @@ core::RunReport run_spatial_spark(const workload::Dataset& left,
                                   const core::ExecutionConfig& exec,
                                   const SpatialSparkConfig& config) {
   core::RunReport report;
-  dfs::SimDfs dfs(dfs::DfsConfig{
-      .block_size = std::max<std::uint64_t>(
-          1, static_cast<std::uint64_t>(64.0 * 1024 * 1024 / exec.data_scale)),
-      .replication = 3,
-      .datanode_count = exec.cluster.node_count,
-      .seed = query.seed,
-  });
-  rdd::SparkRuntime rt(exec.cluster, exec.data_scale, &dfs, &report.metrics,
-                       config.spark);
   trace::TraceCollector collector(exec.cluster.node_count, exec.cluster.node.cores);
-  if (exec.trace) rt.set_trace(&collector);
+  workload::RowQuarantine quarantine;
+  // Emplaced inside the try: constructing the runtime validates the fault
+  // plan, and an invalid plan must surface as a structured Status, not an
+  // escaped exception. The optionals outlive the catch so the epilogue can
+  // still read peak memory from a partially-run job.
+  std::optional<dfs::SimDfs> dfs;
+  std::optional<rdd::SparkRuntime> rt;
 
   const std::uint64_t rec_overhead = config.record_overhead_bytes;
   const rdd::Sizer<Feature> feature_sizer = [rec_overhead](const Feature& f) {
@@ -280,12 +308,25 @@ core::RunReport run_spatial_spark(const workload::Dataset& left,
   };
 
   try {
-    const std::uint32_t parallelism = rt.default_parallelism() * 2;
+    dfs.emplace(dfs::DfsConfig{
+        .block_size = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(64.0 * 1024 * 1024 / exec.data_scale)),
+        .replication = 3,
+        .datanode_count = exec.cluster.node_count,
+        .seed = query.seed,
+    });
+    rt.emplace(exec.cluster, exec.data_scale, &*dfs, &report.metrics, config.spark);
+    rt->set_counters(&report.counters);
+    if (exec.trace) rt->set_trace(&collector);
+
+    const std::uint32_t parallelism = rt->default_parallelism() * 2;
 
     if (config.zero_copy_plane && !config.broadcast_join) {
-      run_partitioned_join_zero_copy(left, right, query, exec, config, rt, dfs,
-                                     local_spec, prepared_cache, parallelism, report);
-      report.peak_memory_bytes = rt.memory().peak_paper_bytes();
+      run_partitioned_join_zero_copy(left, right, query, exec, config, *rt, *dfs,
+                                     local_spec, prepared_cache, parallelism,
+                                     quarantine, report);
+      quarantine.flush_counters(report.counters);
+      report.peak_memory_bytes = rt->memory().peak_paper_bytes();
       report.total_seconds = report.metrics.total_seconds();
       if (exec.trace) report.trace = collector.merged();
       core::annotate_recovery(report);
@@ -300,18 +341,30 @@ core::RunReport run_spatial_spark(const workload::Dataset& left,
     const rdd::Sizer<std::string> line_sizer = [](const std::string& l) {
       return static_cast<std::uint64_t>(l.size()) + 48;  // JVM string header
     };
+    workload::RowQuarantine* qsink = &quarantine;
     const auto read_and_parse = [&](const workload::Dataset& data,
                                     const std::string& tag) {
-      dfs.put(tag + ".raw", std::any(), data.text_bytes());
+      dfs->put(tag + ".raw", std::any(), data.text_bytes());
       auto lines = rdd::Rdd<std::string>::create(
-          rt,
-          chunk_lines(workload::dataset_to_tsv(data, /*include_pad=*/true), parallelism),
+          *rt,
+          chunk_lines(input_lines(data, tag, config.spark.faults, report.counters),
+                      parallelism),
           line_sizer, tag + ".text");
-      rt.record_input_read(tag + ".read", data.text_bytes(),
-                           dfs.block_count(tag + ".raw"));
-      return lines.map<Feature>(
+      rt->record_input_read(tag + ".read", data.text_bytes(),
+                            dfs->block_count(tag + ".raw"));
+      // flat_map rather than map: a malformed line emits nothing and lands
+      // in the quarantine instead of throwing mid-stage. Same stage name,
+      // same per-record accounting for every surviving feature.
+      return lines.flat_map<Feature>(
           "parse",
-          [](const std::string& line) { return workload::feature_from_tsv(line); },
+          [qsink](const std::string& line, std::vector<Feature>& out) {
+            std::string error;
+            if (auto f = workload::try_feature_from_tsv(line, &error)) {
+              out.push_back(std::move(*f));
+            } else {
+              qsink->divert("spark/parse", line, error);
+            }
+          },
           feature_sizer);
     };
     auto left_rdd = read_and_parse(left, "A");
@@ -334,10 +387,10 @@ core::RunReport run_spatial_spark(const workload::Dataset& left,
         core::effective_target_partitions(query, exec.cluster);
     partition::PartitionScheme scheme = partition::make_partitions(
         query.partitioner, sample_envs, joint_extent, target_cells);
-    rt.record_narrow_stage("driver.partition", {driver_cpu.seconds()});
+    rt->record_narrow_stage("driver.partition", {driver_cpu.seconds()});
 
     const std::uint64_t scheme_bytes = scheme.size_bytes() * 2;  // cells + index
-    rdd::Broadcast<partition::PartitionScheme> scheme_bc(rt, std::move(scheme),
+    rdd::Broadcast<partition::PartitionScheme> scheme_bc(*rt, std::move(scheme),
                                                          scheme_bytes, "scheme");
 
     if (config.broadcast_join) {
@@ -358,12 +411,12 @@ core::RunReport run_spatial_spark(const workload::Dataset& left,
       }
       RightIndex rindex{std::move(right_all),
                         std::make_unique<index::StrTree>(std::move(entries))};
-      rt.record_narrow_stage("driver.build-right-index", {build_cpu.seconds()});
+      rt->record_narrow_stage("driver.build-right-index", {build_cpu.seconds()});
       std::uint64_t rindex_bytes = rindex.tree->size_bytes();
       for (const auto& f : rindex.features) {
         rindex_bytes += f.geometry.size_bytes() + rec_overhead;
       }
-      rdd::Broadcast<RightIndex> right_bc(rt, std::move(rindex), rindex_bytes,
+      rdd::Broadcast<RightIndex> right_bc(*rt, std::move(rindex), rindex_bytes,
                                           "right-index");
 
       auto pairs_rdd = left_rdd.flat_map<JoinPair>(
@@ -384,6 +437,7 @@ core::RunReport run_spatial_spark(const workload::Dataset& left,
           },
           pair_sizer);
       report.success = true;
+      report.status = Status::Ok();
       if (exec.collect_pairs) {
         std::vector<JoinPair> pairs = pairs_rdd.collect();
         report.result_count = pairs.size();
@@ -395,10 +449,11 @@ core::RunReport run_spatial_spark(const workload::Dataset& left,
           report.result_count += part.size();
           report.result_hash += core::hash_pairs_unordered(part);
         }
-        rt.record_narrow_stage("broadcast-join.aggregate", {agg_cpu.seconds()});
-        rt.record_collect("result.aggregate", 16 * pairs_rdd.num_partitions());
+        rt->record_narrow_stage("broadcast-join.aggregate", {agg_cpu.seconds()});
+        rt->record_collect("result.aggregate", 16 * pairs_rdd.num_partitions());
       }
-      report.peak_memory_bytes = rt.memory().peak_paper_bytes();
+      quarantine.flush_counters(report.counters);
+      report.peak_memory_bytes = rt->memory().peak_paper_bytes();
       report.total_seconds = report.metrics.total_seconds();
       if (exec.trace) report.trace = collector.merged();
       core::annotate_recovery(report);
@@ -486,6 +541,7 @@ core::RunReport run_spatial_spark(const workload::Dataset& left,
     // driver). Only when the caller wants the pairs do we pay a real
     // collect.
     report.success = true;
+    report.status = Status::Ok();
     if (exec.collect_pairs) {
       std::vector<JoinPair> pairs = pairs_rdd.collect();
       report.result_count = pairs.size();
@@ -497,20 +553,25 @@ core::RunReport run_spatial_spark(const workload::Dataset& left,
         report.result_count += part.size();
         report.result_hash += core::hash_pairs_unordered(part);
       }
-      rt.record_narrow_stage("local-join.aggregate", {agg_cpu.seconds()});
-      rt.record_collect("result.aggregate", 16 * pairs_rdd.num_partitions());
+      rt->record_narrow_stage("local-join.aggregate", {agg_cpu.seconds()});
+      rt->record_collect("result.aggregate", 16 * pairs_rdd.num_partitions());
     }
-  } catch (const SimFailure& e) {
+  } catch (const SjcError& e) {
     // SimOutOfMemory (the paper's EC2-8/EC2-6 failure) plus injected
-    // faults: TaskFailed past the retry budget, BlockUnavailable when a
-    // lost executor's datanode took the last replica of an input block.
+    // faults: TaskFailed past the retry budget, DeadlineExceeded /
+    // RetryBudgetExhausted from the lifecycle limits, BlockUnavailable when
+    // a lost executor's datanode took the last replica of an input block,
+    // and invalid fault plans rejected at runtime construction. The
+    // structured Status lets harnesses branch without string-matching.
     report.success = false;
     report.failure_reason = e.what();
+    report.status = status_from_exception(e);
   }
+  quarantine.flush_counters(report.counters);
 
   // The paper reports only end-to-end times for SpatialSpark (stages cannot
   // be attributed cleanly under asynchronous execution); IA/IB/DJ stay NaN.
-  report.peak_memory_bytes = rt.memory().peak_paper_bytes();
+  if (rt) report.peak_memory_bytes = rt->memory().peak_paper_bytes();
   report.total_seconds = report.metrics.total_seconds();
   if (exec.trace) report.trace = collector.merged();
   core::annotate_recovery(report);

@@ -15,6 +15,8 @@ const char* span_outcome_name(SpanOutcome outcome) {
       return "failed";
     case SpanOutcome::kSpeculativeLoser:
       return "speculative-loser";
+    case SpanOutcome::kQuarantined:
+      return "quarantined";
   }
   return "unknown";
 }
@@ -108,6 +110,12 @@ std::vector<PhaseSkew> skew_summary(const TaskTimeline& timeline) {
       durations.emplace_back();
     }
     PhaseSkew& row = rows[it->second];
+    if (span.outcome == SpanOutcome::kQuarantined) {
+      // Zero-duration blacklist markers are not attempts: count them but
+      // keep them out of the duration percentiles.
+      ++row.quarantined;
+      continue;
+    }
     ++row.attempts;
     if (span.outcome == SpanOutcome::kFailed) ++row.failed;
     if (span.outcome == SpanOutcome::kSpeculativeLoser) ++row.spec_losers;
@@ -115,6 +123,7 @@ std::vector<PhaseSkew> skew_summary(const TaskTimeline& timeline) {
   }
   for (std::size_t r = 0; r < rows.size(); ++r) {
     auto& d = durations[r];
+    if (d.empty()) continue;
     std::sort(d.begin(), d.end());
     const std::size_t n = d.size();
     // Nearest-rank percentiles over the sorted attempt durations.

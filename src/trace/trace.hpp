@@ -27,6 +27,7 @@ enum class SpanOutcome : std::uint8_t {
   kOk = 0,                // the attempt finished and its output was used
   kFailed = 1,            // crashed / pipe overflow; work wasted
   kSpeculativeLoser = 2,  // lost a speculative race; killed, work wasted
+  kQuarantined = 3,       // zero-duration marker: a node was blacklisted here
 };
 
 const char* span_outcome_name(SpanOutcome outcome);
@@ -107,6 +108,7 @@ struct PhaseSkew {
   std::size_t stragglers = 0;
   std::size_t failed = 0;       // attempts with outcome kFailed
   std::size_t spec_losers = 0;  // attempts with outcome kSpeculativeLoser
+  std::size_t quarantined = 0;  // node-quarantine markers (outcome kQuarantined)
 };
 
 /// Per-phase skew rows in first-appearance order of the phases.

@@ -23,12 +23,13 @@ void write_tsv_file(const Dataset& dataset, const std::string& path) {
 }
 
 Dataset read_tsv_file(const std::string& path, const std::string& name,
-                      std::uint64_t attr_pad_bytes) {
+                      std::uint64_t attr_pad_bytes, RowQuarantine* quarantine) {
   std::FILE* f = std::fopen(path.c_str(), "r");
   if (f == nullptr) throw SjcError("read_tsv_file: cannot open " + path);
 
   std::vector<geom::Feature> features;
   std::string line;
+  std::string error;
   int c = 0;
   while (c != EOF) {
     line.clear();
@@ -36,6 +37,14 @@ Dataset read_tsv_file(const std::string& path, const std::string& name,
       line.push_back(static_cast<char>(c));
     }
     if (line.empty()) continue;
+    if (quarantine != nullptr) {
+      if (auto feature = try_feature_from_tsv(line, &error)) {
+        features.push_back(std::move(*feature));
+      } else {
+        quarantine->divert("read_tsv_file[" + name + "]", line, error);
+      }
+      continue;
+    }
     try {
       features.push_back(feature_from_tsv(line));
     } catch (...) {

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "workload/dataset.hpp"
+#include "workload/quarantine.hpp"
 
 namespace sjc::workload {
 
@@ -19,8 +20,14 @@ void write_tsv_file(const Dataset& dataset, const std::string& path);
 /// Reads a TSV dataset written by write_tsv_file (or hand-made in the same
 /// format; blank lines are skipped). `name` labels the dataset;
 /// `attr_pad_bytes` sets the accounted per-record attribute footprint.
-/// Throws SjcError on I/O failure and ParseError on malformed lines.
+/// Throws SjcError on I/O failure.
+///
+/// Malformed lines: with `quarantine == nullptr` (the default) the first
+/// bad line throws ParseError, exactly as before. With a quarantine
+/// attached, bad lines are diverted there and the read continues — the
+/// hardened ingest path.
 Dataset read_tsv_file(const std::string& path, const std::string& name,
-                      std::uint64_t attr_pad_bytes = 0);
+                      std::uint64_t attr_pad_bytes = 0,
+                      RowQuarantine* quarantine = nullptr);
 
 }  // namespace sjc::workload

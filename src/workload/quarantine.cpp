@@ -1,0 +1,78 @@
+#include "workload/quarantine.hpp"
+
+#include "util/rng.hpp"
+
+namespace sjc::workload {
+
+void RowQuarantine::divert(std::string_view where, std::string_view line,
+                           std::string_view reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++count_;
+  if (samples_.size() < sample_capacity_) {
+    std::string entry;
+    entry.reserve(where.size() + line.size() + reason.size() + 6);
+    entry.append(where);
+    entry.append(": ");
+    entry.append(line);
+    entry.append(" (");
+    entry.append(reason);
+    entry.push_back(')');
+    samples_.push_back(std::move(entry));
+  }
+}
+
+std::uint64_t RowQuarantine::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+std::vector<std::string> RowQuarantine::samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_;
+}
+
+void RowQuarantine::flush_counters(cluster::Counters& counters) const {
+  const std::uint64_t n = count();
+  if (n > 0) counters.add("input.quarantined_rows", n);
+}
+
+namespace {
+constexpr std::string_view kJunkMarker = "XJUNK";
+}
+
+void inject_malformed_rows(std::vector<std::string>& lines, std::uint64_t count,
+                           std::uint64_t seed) {
+  if (count == 0) return;
+  Rng rng(seed ^ 0x6a756e6bULL);  // decorrelate from other uses of the seed
+  for (std::uint64_t k = 0; k < count; ++k) {
+    // Four junk shapes covering the parse failure modes: bad id, unknown
+    // WKT tag, bad coordinate, missing field. Every shape carries the
+    // marker and fails feature_from_tsv.
+    std::string junk;
+    switch (k % 4) {
+      case 0:
+        junk = std::string(kJunkMarker) + "\tPOINT (1 2)";
+        break;
+      case 1:
+        junk = std::to_string(900000000 + k) + "\t" + std::string(kJunkMarker) +
+               " (0 0)";
+        break;
+      case 2:
+        junk = std::to_string(900000000 + k) + "\tPOINT (" +
+               std::string(kJunkMarker) + " " + std::to_string(k) + ")";
+        break;
+      default:
+        junk = std::string(kJunkMarker) + "-row-" + std::to_string(k);
+        break;
+    }
+    const auto pos = static_cast<std::ptrdiff_t>(
+        rng.next_below(static_cast<std::uint64_t>(lines.size()) + 1));
+    lines.insert(lines.begin() + pos, std::move(junk));
+  }
+}
+
+bool is_injected_junk(std::string_view line) {
+  return line.find(kJunkMarker) != std::string_view::npos;
+}
+
+}  // namespace sjc::workload

@@ -1,0 +1,74 @@
+// Input-row quarantine: the sink for malformed records on hardened parse
+// paths.
+//
+// A production ingest job cannot die because one record out of a billion
+// carries broken WKT — real Hadoop pipelines divert such records to a
+// "bad records" side file and keep the job alive. RowQuarantine is that
+// side file's simulator analog: parse sites call try_* parse variants and
+// hand rejects here instead of throwing mid-phase. The sink is thread-safe
+// (mappers on the pool reject concurrently), keeps a bounded sample of the
+// offending lines for diagnosis, and reports totals into the run's named
+// counters ("input.quarantined_rows").
+//
+// The chaos sweep's malformed-row injection (FaultPlan::malformed_rows)
+// appends *extra* junk lines to raw inputs — it never corrupts real rows —
+// so a run that quarantines every junk line produces a join result
+// bit-identical to the fault-free run. That is the invariant the sweep
+// asserts.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/counters.hpp"
+
+namespace sjc::workload {
+
+/// Thread-safe sink for rows rejected by hardened parse paths.
+class RowQuarantine {
+ public:
+  /// Keeps at most `sample_capacity` rejected lines for diagnosis.
+  explicit RowQuarantine(std::size_t sample_capacity = 8)
+      : sample_capacity_(sample_capacity) {}
+
+  RowQuarantine(const RowQuarantine&) = delete;
+  RowQuarantine& operator=(const RowQuarantine&) = delete;
+
+  /// Diverts one malformed row. `where` names the parse site (phase or
+  /// stage), `reason` is the parse error text.
+  void divert(std::string_view where, std::string_view line,
+              std::string_view reason);
+
+  /// Total rows diverted so far.
+  std::uint64_t count() const;
+
+  /// Up to sample_capacity "<where>: <line> (<reason>)" diagnostics, in
+  /// divert order.
+  std::vector<std::string> samples() const;
+
+  /// Adds this sink's totals to `counters` as "input.quarantined_rows"
+  /// (only when nonzero). Call once, after the run's parallel work drained.
+  void flush_counters(cluster::Counters& counters) const;
+
+ private:
+  const std::size_t sample_capacity_;
+  mutable std::mutex mutex_;
+  std::uint64_t count_ = 0;
+  std::vector<std::string> samples_;
+};
+
+/// Appends `count` deterministic junk lines (tab-separated records with
+/// broken WKT) to `lines`, interleaved at seeded pseudo-random positions so
+/// they land in different splits/partitions run to run only as a function
+/// of `seed`. Every produced line fails feature_from_tsv, so hardened
+/// paths divert all of them and survivors stay bit-identical.
+void inject_malformed_rows(std::vector<std::string>& lines, std::uint64_t count,
+                           std::uint64_t seed);
+
+/// True when `line` is one of inject_malformed_rows' junk lines (tests).
+bool is_injected_junk(std::string_view line);
+
+}  // namespace sjc::workload

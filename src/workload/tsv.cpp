@@ -43,6 +43,22 @@ geom::Feature feature_from_tsv_at(std::string_view line, std::size_t field_offse
   return feature;
 }
 
+std::optional<geom::Feature> try_feature_from_tsv(std::string_view line,
+                                                  std::string* error) {
+  return try_feature_from_tsv_at(line, 0, error);
+}
+
+std::optional<geom::Feature> try_feature_from_tsv_at(std::string_view line,
+                                                     std::size_t field_offset,
+                                                     std::string* error) {
+  try {
+    return feature_from_tsv_at(line, field_offset);
+  } catch (const ParseError& e) {
+    if (error != nullptr) *error = e.what();
+    return std::nullopt;
+  }
+}
+
 std::vector<std::string> dataset_to_tsv(const Dataset& dataset, bool include_pad) {
   std::vector<std::string> lines;
   lines.reserve(dataset.size());

@@ -7,6 +7,7 @@
 // attributes to the streaming design.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -26,6 +27,16 @@ geom::Feature feature_from_tsv(std::string_view line);
 /// "<prefix-fields...>\t<id>\t<wkt>" — parse a feature from the record
 /// starting at field `field_offset` (streaming stages prepend keys).
 geom::Feature feature_from_tsv_at(std::string_view line, std::size_t field_offset);
+
+/// Non-throwing parse variants for hardened (quarantine-backed) input
+/// paths: nullopt on a malformed line, with the ParseError text copied into
+/// `*error` when `error` is non-null. InvalidArgument and other
+/// non-parse errors still propagate — those are caller bugs, not bad data.
+std::optional<geom::Feature> try_feature_from_tsv(std::string_view line,
+                                                  std::string* error = nullptr);
+std::optional<geom::Feature> try_feature_from_tsv_at(std::string_view line,
+                                                     std::size_t field_offset,
+                                                     std::string* error = nullptr);
 
 /// Serializes a whole dataset (used to seed the streaming pipeline).
 /// When `include_pad` is set every line carries the dataset's attribute

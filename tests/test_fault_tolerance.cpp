@@ -520,6 +520,265 @@ TEST(SystemRecovery, SpatialHadoopCrashWithoutRetryBudgetIsFatal) {
       << report.failure_reason;
 }
 
+// ---------------------------------------------------------------------------
+// Job-lifecycle hardening: backoff cap/jitter, output-commit ledger, node
+// quarantine, phase timeouts, retry budgets, structured status
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, BackoffIsCappedAndJitterBounded) {
+  cluster::FaultPlan plan;
+  plan.retry_backoff_s = 2.0;
+  plan.max_backoff_s = 10.0;
+  const cluster::FaultInjector capped(plan);
+  EXPECT_DOUBLE_EQ(2.0, capped.backoff_s(1));
+  EXPECT_DOUBLE_EQ(4.0, capped.backoff_s(2));
+  EXPECT_DOUBLE_EQ(8.0, capped.backoff_s(3));
+  EXPECT_DOUBLE_EQ(10.0, capped.backoff_s(4));   // 16 hits the cap
+  EXPECT_DOUBLE_EQ(10.0, capped.backoff_s(12));  // deep chains stay bounded
+
+  // Jitter 0 (the default): the per-(phase, task) overload is exactly the
+  // capped base, so existing runs are bit-identical.
+  for (std::uint32_t k = 1; k <= 6; ++k) {
+    EXPECT_DOUBLE_EQ(capped.backoff_s(k), capped.backoff_s(3, 7, k));
+  }
+
+  plan.backoff_jitter = 0.5;
+  const cluster::FaultInjector jittered(plan);
+  const cluster::FaultInjector rerun(plan);
+  bool jitter_changes_something = false;
+  for (std::uint64_t phase = 0; phase < 4; ++phase) {
+    for (std::size_t task = 0; task < 16; ++task) {
+      for (std::uint32_t k = 1; k <= 4; ++k) {
+        const double base = jittered.backoff_s(k);
+        const double b = jittered.backoff_s(phase, task, k);
+        EXPECT_GE(b, 0.5 * base);
+        EXPECT_LE(b, 1.5 * base);
+        EXPECT_DOUBLE_EQ(b, rerun.backoff_s(phase, task, k));
+        if (b != base) jitter_changes_something = true;
+      }
+    }
+  }
+  EXPECT_TRUE(jitter_changes_something);
+}
+
+TEST(FaultInjector, DescribeNamesEveryKnob) {
+  cluster::FaultPlan plan;
+  plan.seed = 42;
+  plan.datanode_losses = {{3.0, 1}};
+  const std::string text = cluster::describe(plan);
+  for (const char* key :
+       {"seed=42", "crash_p=", "straggler_p=", "bad_node_p=", "malformed_rows=",
+        "max_attempts=", "max_backoff_s=", "jitter=", "blacklist_threshold=",
+        "retry_budget=", "phase_timeout_s=", "speculative=", "losses=["}) {
+    EXPECT_NE(std::string::npos, text.find(key)) << key << " missing: " << text;
+  }
+}
+
+TEST(FaultySchedule, CommitLedgerBalancesUnderCrashes) {
+  std::vector<double> durations(24, 2.0);
+  cluster::FaultPlan plan;
+  plan.seed = 77;
+  plan.task_crash_probability = 0.4;
+  plan.max_attempts = 8;
+  const auto outcome = cluster::list_schedule_makespan(durations, 4,
+                                                       cluster::FaultInjector{plan}, 23);
+  ASSERT_TRUE(outcome.success);
+  // Every attempt reached exactly one terminal state, and exactly one
+  // attempt per task published.
+  EXPECT_EQ(durations.size(), outcome.commits_published);
+  EXPECT_EQ(0u, outcome.commits_rejected);
+  EXPECT_GT(outcome.attempts_aborted, 0u);
+  EXPECT_EQ(outcome.attempts,
+            outcome.commits_published + outcome.commits_rejected +
+                outcome.attempts_aborted);
+
+  // A dead phase still balances: the winner never published.
+  plan.max_attempts = 1;
+  const auto dead = cluster::list_schedule_makespan(durations, 4,
+                                                    cluster::FaultInjector{plan}, 23);
+  ASSERT_FALSE(dead.success);
+  EXPECT_EQ(dead.attempts,
+            dead.commits_published + dead.commits_rejected + dead.attempts_aborted);
+  EXPECT_LT(dead.commits_published, durations.size());
+}
+
+TEST(FaultySchedule, LosingCloneCommitIsRejectedNotPublished) {
+  // Same race as LosingCloneChargesConsistentWaste: the straggling primary
+  // (1.6x) beats the clone launched at 1.5x. The loser finishing *after*
+  // the winner must observe a rejected commit — never a double publish —
+  // and its span carries the speculative-loser outcome.
+  const std::vector<double> durations = {1.0, 1.0, 1.0, 1.0};
+  cluster::FaultPlan plan;
+  plan.straggler_probability = 1.0;
+  plan.straggler_slowdown = 1.6;
+  plan.speculative_execution = true;
+  plan.speculation_threshold = 1.5;
+
+  std::vector<cluster::ScheduledAttempt> attempts;
+  const auto outcome = cluster::list_schedule_makespan(
+      durations, 8, cluster::FaultInjector{plan}, 5, nullptr, &attempts);
+  ASSERT_TRUE(outcome.success);
+  EXPECT_EQ(durations.size(), outcome.speculative_clones);
+  EXPECT_EQ(durations.size(), outcome.commits_published);  // one per task
+  EXPECT_EQ(durations.size(), outcome.commits_rejected);   // every clone lost
+  EXPECT_EQ(0u, outcome.attempts_aborted);
+  EXPECT_EQ(outcome.attempts,
+            outcome.commits_published + outcome.commits_rejected);
+  // The rejected work is exactly the charged waste, visible span by span.
+  std::size_t losers = 0;
+  double loser_seconds = 0.0;
+  for (const auto& a : attempts) {
+    if (a.outcome == trace::SpanOutcome::kSpeculativeLoser) {
+      ++losers;
+      loser_seconds += a.end - a.start;
+    }
+  }
+  EXPECT_EQ(outcome.commits_rejected, losers);
+  EXPECT_DOUBLE_EQ(outcome.wasted_seconds, loser_seconds);
+
+  // And when the clone wins (slowdown 4 >> launch point 1.5), the ledger
+  // flips: still one publish per task, the losing *primary* rejected.
+  plan.straggler_slowdown = 4.0;
+  const auto clone_wins = cluster::list_schedule_makespan(
+      durations, 8, cluster::FaultInjector{plan}, 5);
+  ASSERT_TRUE(clone_wins.success);
+  EXPECT_EQ(durations.size(), clone_wins.commits_published);
+  EXPECT_EQ(durations.size(), clone_wins.commits_rejected);
+}
+
+TEST(FaultySchedule, QuarantineShiftsWorkOffFlakyNodes) {
+  // 2 nodes x 2 slots; find a seed where node 0 is flaky and node 1 is not.
+  cluster::FaultPlan plan;
+  plan.bad_node_probability = 0.5;
+  plan.bad_node_crash_probability = 0.9;
+  plan.max_attempts = 10;
+  plan.node_blacklist_threshold = 2;
+  std::uint64_t seed = 0;
+  for (std::uint64_t s = 1; s < 4096 && seed == 0; ++s) {
+    plan.seed = s;
+    const cluster::FaultInjector probe(plan);
+    if (probe.bad_node(0) && !probe.bad_node(1)) seed = s;
+  }
+  ASSERT_NE(0u, seed);
+  plan.seed = seed;
+
+  std::vector<double> durations(16, 1.0);
+  const auto outcome = cluster::list_schedule_makespan(
+      durations, 4, cluster::FaultInjector{plan}, 11, nullptr, nullptr,
+      /*slots_per_node=*/2);
+  ASSERT_TRUE(outcome.success);
+  ASSERT_FALSE(outcome.quarantines.empty());
+  for (const auto& q : outcome.quarantines) {
+    EXPECT_EQ(0u, q.node);  // only the flaky node gets blacklisted
+    EXPECT_GE(q.failures, plan.node_blacklist_threshold);
+  }
+  EXPECT_EQ(outcome.attempts,
+            outcome.commits_published + outcome.commits_rejected +
+                outcome.attempts_aborted);
+
+  // Same plan without node grouping: quarantine stays off.
+  const auto ungrouped = cluster::list_schedule_makespan(
+      durations, 4, cluster::FaultInjector{plan}, 11);
+  EXPECT_TRUE(ungrouped.quarantines.empty());
+
+  // Single-node cluster: the last healthy node is never quarantined, no
+  // matter how flaky.
+  const auto single = cluster::list_schedule_makespan(
+      durations, 4, cluster::FaultInjector{plan}, 11, nullptr, nullptr,
+      /*slots_per_node=*/4);
+  EXPECT_TRUE(single.quarantines.empty());
+}
+
+TEST(SystemRecovery, PhaseTimeoutKillsJobWithStructuredStatus) {
+  const auto& b = FaultBench::instance();
+  systems::SpatialHadoopConfig faulty;
+  faulty.faults.phase_timeout_s = 1e-6;  // no phase can fit
+  const auto report =
+      systems::run_spatial_hadoop(b.points, b.polys, b.query, b.exec, faulty);
+  EXPECT_FALSE(report.success);
+  EXPECT_EQ(StatusCode::kDeadlineExceeded, report.status.code())
+      << report.status.to_string();
+  EXPECT_NE(std::string::npos, report.failure_reason.find("deadline"))
+      << report.failure_reason;
+  EXPECT_GT(report.counters.get("budget.phase_timeouts"), 0u);
+  // The killed phase charged exactly the timeout, not its full makespan.
+  ASSERT_FALSE(report.metrics.phases().empty());
+  EXPECT_DOUBLE_EQ(faulty.faults.phase_timeout_s,
+                   report.metrics.phases().back().sim_seconds);
+}
+
+TEST(SystemRecovery, RetryBudgetExhaustionIsStructured) {
+  const auto& b = FaultBench::instance();
+  systems::SpatialHadoopConfig faulty;
+  faulty.faults.seed = 99;
+  faulty.faults.task_crash_probability = 0.2;
+  faulty.faults.max_attempts = 8;
+
+  // Unlimited budget: the crashes are survivable (proved above); count the
+  // retries the run actually needed.
+  const auto unlimited =
+      systems::run_spatial_hadoop(b.points, b.polys, b.query, b.exec, faulty);
+  ASSERT_TRUE(unlimited.success) << unlimited.failure_reason;
+  const std::uint64_t needed = unlimited.counters.get("budget.retries_used");
+  ASSERT_GT(needed, 1u);
+
+  // A budget one short of that kills the job with the structured status.
+  faulty.faults.job_retry_budget = needed - 1;
+  const auto exhausted =
+      systems::run_spatial_hadoop(b.points, b.polys, b.query, b.exec, faulty);
+  EXPECT_FALSE(exhausted.success);
+  EXPECT_EQ(StatusCode::kRetryBudgetExhausted, exhausted.status.code())
+      << exhausted.status.to_string();
+
+  // An exactly-sufficient budget survives and reproduces the results.
+  faulty.faults.job_retry_budget = needed;
+  const auto tight =
+      systems::run_spatial_hadoop(b.points, b.polys, b.query, b.exec, faulty);
+  ASSERT_TRUE(tight.success) << tight.failure_reason;
+  EXPECT_EQ(unlimited.result_hash, tight.result_hash);
+}
+
+TEST(SystemRecovery, MalformedRowsAreQuarantinedNotFatal) {
+  const auto& b = FaultBench::instance();
+  const auto clean = systems::run_hadoop_gis(b.points, b.polys, b.query, b.exec);
+  ASSERT_TRUE(clean.success) << clean.failure_reason;
+
+  systems::HadoopGisConfig faulty;
+  faulty.faults.malformed_rows = 3;
+  const auto gis =
+      systems::run_hadoop_gis(b.points, b.polys, b.query, b.exec, faulty);
+  ASSERT_TRUE(gis.success) << gis.failure_reason;
+  EXPECT_GT(gis.counters.get("input.malformed_rows_injected"), 0u);
+  EXPECT_GE(gis.counters.get("input.quarantined_rows"),
+            gis.counters.get("input.malformed_rows_injected"));
+  // Junk rows shift split boundaries, never results.
+  EXPECT_EQ(clean.result_hash, gis.result_hash);
+  EXPECT_EQ(clean.result_count, gis.result_count);
+
+  systems::SpatialSparkConfig spark_faulty;
+  spark_faulty.spark.faults.malformed_rows = 3;
+  const auto spark = systems::run_spatial_spark(b.points, b.polys, b.query,
+                                                b.exec, spark_faulty);
+  ASSERT_TRUE(spark.success) << spark.failure_reason;
+  EXPECT_EQ(spark.counters.get("input.malformed_rows_injected"),
+            spark.counters.get("input.quarantined_rows"));
+  EXPECT_EQ(clean.result_hash, spark.result_hash);
+}
+
+TEST(StatusTaxonomy, MapsExceptionsToCodes) {
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_EQ("OK", Status::Ok().to_string());
+  EXPECT_EQ(StatusCode::kDeadlineExceeded,
+            status_from_exception(DeadlineExceeded("late")).code());
+  EXPECT_EQ(StatusCode::kRetryBudgetExhausted,
+            status_from_exception(RetryBudgetExhausted("spent")).code());
+  EXPECT_EQ(StatusCode::kInvalidArgument,
+            status_from_exception(InvalidArgument("bad")).code());
+  const Status s = status_from_exception(DeadlineExceeded("late"));
+  EXPECT_EQ("DEADLINE_EXCEEDED: late", s.to_string());
+  EXPECT_FALSE(s.ok());
+}
+
 TEST(SystemRecovery, SparkExecutorLossTriggersLineageRecompute) {
   const auto& b = FaultBench::instance();
   core::ExecutionConfig exec = b.exec;

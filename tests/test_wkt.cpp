@@ -159,5 +159,22 @@ const char* kind_name(int kind) {
 INSTANTIATE_TEST_SUITE_P(AllTypes, WktRoundTrip, ::testing::Range(0, 5),
                          [](const auto& info) { return kind_name(info.param); });
 
+TEST(Wkt, TryFromWktNeverThrowsOnParseErrors) {
+  std::string error;
+  const auto good = try_from_wkt("POINT (1 2)", &error);
+  ASSERT_TRUE(good.has_value());
+  EXPECT_EQ(GeomType::kPoint, good->type());
+
+  for (const char* bad : {"", "BLOB (1 2)", "POINT (1", "POINT (x y)",
+                          "POLYGON (())"}) {
+    error.clear();
+    EXPECT_FALSE(try_from_wkt(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+    EXPECT_THROW(from_wkt(bad), ParseError) << bad;
+  }
+  // The error pointer is optional.
+  EXPECT_FALSE(try_from_wkt("BLOB").has_value());
+}
+
 }  // namespace
 }  // namespace sjc::geom

@@ -4,6 +4,7 @@
 // block interior-wise).
 #include <gtest/gtest.h>
 
+#include "cluster/counters.hpp"
 #include "geom/predicates.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
@@ -253,6 +254,96 @@ TEST(DatasetIo, SkipsBlankLines) {
   std::fclose(f);
   const auto data = read_tsv_file(path, "pts");
   EXPECT_EQ(data.size(), 2u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Input quarantine: tolerant parsing, junk injection, the quarantine sink
+// ---------------------------------------------------------------------------
+
+TEST(Quarantine, TryParseReturnsFeatureOrError) {
+  std::string error;
+  const auto good = try_feature_from_tsv("7\tPOINT (1 2)", &error);
+  ASSERT_TRUE(good.has_value());
+  EXPECT_EQ(7u, good->id);
+
+  for (const char* bad : {"not-a-number\tPOINT (1 2)", "7\tBLOB (1 2)",
+                          "7\tPOINT (x y)", "just-one-field"}) {
+    error.clear();
+    EXPECT_FALSE(try_feature_from_tsv(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+    // The throwing path still throws on exactly the same lines.
+    EXPECT_THROW(feature_from_tsv(bad), ParseError) << bad;
+  }
+}
+
+TEST(Quarantine, InjectedJunkIsExtraAndDeterministic) {
+  const std::vector<std::string> original = {"1\tPOINT (0 0)", "2\tPOINT (1 1)",
+                                             "3\tPOINT (2 2)"};
+  std::vector<std::string> a = original;
+  inject_malformed_rows(a, 4, /*seed=*/99);
+  ASSERT_EQ(original.size() + 4, a.size());
+
+  // Same seed, same placement; different seed moves the junk.
+  std::vector<std::string> b = original;
+  inject_malformed_rows(b, 4, 99);
+  EXPECT_EQ(a, b);
+
+  // Real rows survive, in order, as a subsequence; junk is recognizable
+  // and never parses.
+  std::size_t next_real = 0;
+  std::size_t junk = 0;
+  for (const auto& line : a) {
+    if (is_injected_junk(line)) {
+      ++junk;
+      EXPECT_FALSE(try_feature_from_tsv(line).has_value()) << line;
+    } else {
+      ASSERT_LT(next_real, original.size());
+      EXPECT_EQ(original[next_real], line);
+      ++next_real;
+    }
+  }
+  EXPECT_EQ(original.size(), next_real);
+  EXPECT_EQ(4u, junk);
+}
+
+TEST(Quarantine, SinkCountsSamplesAndFlushes) {
+  RowQuarantine q(/*sample_capacity=*/2);
+  EXPECT_EQ(0u, q.count());
+  q.divert("siteA", "bad-line-1", "no tab");
+  q.divert("siteA", "bad-line-2", "no tab");
+  q.divert("siteB", "bad-line-3", "no tab");  // beyond capacity: counted only
+  EXPECT_EQ(3u, q.count());
+  EXPECT_EQ(2u, q.samples().size());
+  EXPECT_NE(std::string::npos, q.samples()[0].find("siteA"));
+  EXPECT_NE(std::string::npos, q.samples()[0].find("bad-line-1"));
+
+  cluster::Counters counters;
+  q.flush_counters(counters);
+  EXPECT_EQ(3u, counters.get("input.quarantined_rows"));
+
+  // An empty sink adds nothing.
+  RowQuarantine empty;
+  cluster::Counters none;
+  empty.flush_counters(none);
+  EXPECT_EQ(0u, none.get("input.quarantined_rows"));
+}
+
+TEST(Quarantine, ReadTsvFileDivertsBadLines) {
+  const std::string path = "quarantine_roundtrip_test.tsv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(nullptr, f);
+    std::fputs("1\tPOINT (0 0)\nXJUNK\tPOINT (1 2)\n2\tPOINT (3 4)\n", f);
+    std::fclose(f);
+  }
+  // Default (no quarantine): the bad line is fatal, as before.
+  EXPECT_THROW(read_tsv_file(path, "t"), ParseError);
+
+  RowQuarantine q;
+  const Dataset data = read_tsv_file(path, "t", 0, &q);
+  EXPECT_EQ(2u, data.size());
+  EXPECT_EQ(1u, q.count());
   std::remove(path.c_str());
 }
 
