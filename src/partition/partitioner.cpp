@@ -23,12 +23,6 @@ PartitionScheme::PartitionScheme(std::vector<geom::Envelope> cells,
                                  geom::Envelope extent)
     : cells_(std::move(cells)), extent_(extent) {
   require(!cells_.empty(), "PartitionScheme: needs at least one cell");
-  std::vector<index::IndexEntry> entries;
-  entries.reserve(cells_.size());
-  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
-    entries.push_back({cells_[i], i});
-  }
-  cell_index_ = std::make_unique<index::StrTree>(std::move(entries));
   build_grid();
 }
 
@@ -94,9 +88,8 @@ void PartitionScheme::build_grid() {
 }
 
 std::vector<std::uint32_t> PartitionScheme::assign(const geom::Envelope& env) const {
-  std::vector<std::uint32_t> out = cell_index_->query_ids(env);
-  if (!out.empty()) return out;
-  out.push_back(nearest_cell(env));
+  std::vector<std::uint32_t> out;
+  assign_into(env, out);
   return out;
 }
 
@@ -122,6 +115,22 @@ void PartitionScheme::assign_into(const geom::Envelope& env,
     }
   }
   if (out.empty()) out.push_back(nearest_cell(env));
+}
+
+std::uint32_t PartitionScheme::assign_into(const geom::Envelope& env,
+                                           const geom::OccupancyFilter& filter,
+                                           std::vector<std::uint32_t>& out) const {
+  assign_into(env, out);
+  // In-place compaction: keep only cells whose occupancy bitmap admits a
+  // match. An empty result means the record is a proven true negative and
+  // is dropped from the shuffle entirely (no fallback re-derivation).
+  std::size_t kept = 0;
+  for (const std::uint32_t id : out) {
+    if (filter.may_match(id, env)) out[kept++] = id;
+  }
+  const auto dropped = static_cast<std::uint32_t>(out.size() - kept);
+  out.resize(kept);
+  return dropped;
 }
 
 std::uint32_t PartitionScheme::min_assigned(const geom::Envelope& env) const {

@@ -19,11 +19,10 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "geom/envelope.hpp"
-#include "index/str_tree.hpp"
+#include "geom/occupancy.hpp"
 
 namespace sjc::partition {
 
@@ -48,16 +47,28 @@ class PartitionScheme {
 
   /// Partition ids whose cell intersects `env`; falls back to the single
   /// nearest cell when none intersect (sample under-coverage). Never empty.
+  /// Allocating convenience wrapper over assign_into() — one semantics, one
+  /// implementation (per-record id order is not a modeled quantity).
   std::vector<std::uint32_t> assign(const geom::Envelope& env) const;
 
   /// Zero-allocation variant of assign(): clears and refills `out` with the
-  /// same id *set* (enumeration order may differ — per-record id order is
-  /// not a modeled quantity). Queries a uniform-grid cell directory instead
-  /// of the STR tree: for the small-envelope/many-records shape of
-  /// partition assignment, a bucket scan beats a tree walk. The zero-copy
-  /// data plane's per-record assignment path; `out` is the caller's
-  /// reusable scratch.
+  /// assigned id set. Queries a uniform-grid cell directory: for the
+  /// small-envelope/many-records shape of partition assignment, a bucket
+  /// scan beats a tree walk. The zero-copy data plane's per-record
+  /// assignment path; `out` is the caller's reusable scratch.
   void assign_into(const geom::Envelope& env, std::vector<std::uint32_t>& out) const;
+
+  /// Filtered assignment: computes the same id set as assign_into() (nearest
+  /// -cell fallback included), then drops every cell whose resident-side
+  /// occupancy bitmap proves `env` matches nothing there. Unlike the
+  /// unfiltered variants the result MAY be empty — a fully filtered record
+  /// is a true negative and is never shuffled; the fallback cell is subject
+  /// to the filter like any other and is not re-derived after filtering.
+  /// Returns the number of candidate cells the filter dropped (callers feed
+  /// it straight into the shuffle.filtered_records accounting).
+  std::uint32_t assign_into(const geom::Envelope& env,
+                            const geom::OccupancyFilter& filter,
+                            std::vector<std::uint32_t>& out) const;
 
   /// Smallest id assign() would return for `env`, without materializing the
   /// id list (the reference-point dedup test needs only the canonical cell).
@@ -76,9 +87,10 @@ class PartitionScheme {
 
   std::vector<geom::Envelope> cells_;
   geom::Envelope extent_;
-  std::unique_ptr<index::StrTree> cell_index_;
 
-  // Uniform-grid cell directory backing assign_into()/min_assigned(). Each
+  // Uniform-grid cell directory backing assign()/assign_into()/min_assigned()
+  // (the former STR tree over cells is gone — one directory, one semantics).
+  // Each
   // cell is listed in every grid bucket it intersects; queries scan the
   // envelope's bucket range and emit a cell only from the first overlapping
   // bucket (no stamp array, no allocation).

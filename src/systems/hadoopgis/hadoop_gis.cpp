@@ -343,20 +343,67 @@ core::RunReport run_hadoop_gis(const workload::Dataset& left,
     // as an exact test — the approximations are a Prepared-path feature.
     local_spec.refine_counters = &report.counters;
 
+    const double expand = local_spec.envelope_expansion();
+
+    // ---- Global join step (a2): optional shuffle filter ---------------------
+    // LocationSpark's sFilter analog: a master-side pass over each dataset
+    // replays the join mapper's assignment (query + nearest-cell fallback)
+    // and marks each record's expanded envelope into its tiles' occupancy
+    // bitmaps. The scheme is joint, so filtering is symmetric: A-side
+    // mappers drop tile line copies the B bitmap proves can match no B
+    // geometry in that tile, and B-side mappers drop against the A bitmap —
+    // before the line is pushed through the streaming pipe. Both bitmaps
+    // ship to every mapper via the distributed cache.
+    const bool filter_on = config.shuffle_filter.value_or(true);
+    std::unique_ptr<geom::OccupancyFilter> sfilter_b;  // B occupancy, filters A
+    std::unique_ptr<geom::OccupancyFilter> sfilter_a;  // A occupancy, filters B
+    if (filter_on) {
+      CpuStopwatch filter_cpu;
+      const auto build_occupancy = [&](const workload::Dataset& data) {
+        auto filter = std::make_unique<geom::OccupancyFilter>(joint_scheme.cells());
+        const auto envs = data.envelopes();
+        std::vector<std::uint32_t> mark_pids;
+        for (std::size_t i = 0; i < envs.size(); ++i) {
+          const geom::Envelope env = envs[i].expanded_by(expand);
+          joint_scheme.assign_into(env, mark_pids);
+          for (const auto pid : mark_pids) filter->mark(pid, env);
+        }
+        return filter;
+      };
+      sfilter_b = build_occupancy(right);
+      sfilter_a = build_occupancy(left);
+      dfs.put("join.sfilter", std::any(),
+              sfilter_a->size_bytes() + sfilter_b->size_bytes());
+      mapreduce::charge_master_step(ctx, "join/a2-filter-build", filter_cpu.seconds(),
+                                    left.text_bytes() + right.text_bytes(),
+                                    sfilter_a->size_bytes() + sfilter_b->size_bytes());
+    }
+    const geom::OccupancyFilter* filt_b = sfilter_b.get();
+    const geom::OccupancyFilter* filt_a = sfilter_a.get();
+    // Shared across map tasks; run_streaming executes user code exactly once
+    // per task, so retries never double-count (same pattern as dup_records).
+    auto shuffle_assigned = std::make_shared<std::atomic<std::uint64_t>>(0);
+    auto shuffle_emitted = std::make_shared<std::atomic<std::uint64_t>>(0);
+    auto filtered_line_bytes = std::make_shared<std::atomic<std::uint64_t>>(0);
+
     StreamingSpec join_job;
     join_job.name = "join/b-distributed-join";
     join_job.config = streaming;
-    const double expand = local_spec.envelope_expansion();
     workload::RowQuarantine* quarantine = &quarantine_sink;
-    join_job.make_mapper = [&joint_scheme, n_a, expand, quarantine](std::size_t task)
+    join_job.make_mapper = [&joint_scheme, n_a, expand, quarantine, filt_a,
+                            filt_b, shuffle_assigned, shuffle_emitted,
+                            filtered_line_bytes](std::size_t task)
         -> mapreduce::StreamingMapFn {
       const char side = task < n_a ? 'A' : 'B';
+      // Each side drops against the *other* side's occupancy bitmap.
+      const geom::OccupancyFilter* filt = side == 'A' ? filt_b : filt_a;
       auto tree = std::make_shared<index::DynamicRTree>();
       for (std::uint32_t pid = 0; pid < joint_scheme.cell_count(); ++pid) {
         tree->insert(joint_scheme.cells()[pid], pid);
       }
       const auto* scheme_ptr = &joint_scheme;
-      return [tree, scheme_ptr, side, expand, quarantine](
+      return [tree, scheme_ptr, side, expand, quarantine, filt, shuffle_assigned,
+              shuffle_emitted, filtered_line_bytes](
                  const std::string& line, std::vector<std::string>& emit) {
         // Input lines look like "p<pid>\t<id>\t<wkt>[\t<pad>]": the stale
         // pid is skipped, the record re-parsed, the joint index queried.
@@ -373,6 +420,28 @@ core::RunReport run_hadoop_gis(const workload::Dataset& left,
         const geom::Envelope env = f.geometry.envelope().expanded_by(expand);
         std::vector<std::uint32_t> pids = tree->query_ids(env);
         if (pids.empty()) pids = scheme_ptr->assign(env);
+        if (filt != nullptr) {
+          shuffle_assigned->fetch_add(pids.size(), std::memory_order_relaxed);
+          // Drop tile copies with no occupied slot under the envelope: the
+          // line is never built, never buffered, never crosses the pipe.
+          std::size_t kept = 0;
+          std::uint64_t dropped_bytes = 0;
+          for (const auto pid : pids) {
+            if (filt->may_match(pid, env)) {
+              pids[kept++] = pid;
+            } else {
+              // Size of the "j<pid>\t<side>\t<rest>" line (+1 for the
+              // newline the pipe accounting charges per emitted line).
+              dropped_bytes += rest.size() + std::to_string(pid).size() + 5;
+            }
+          }
+          if (dropped_bytes > 0) {
+            filtered_line_bytes->fetch_add(dropped_bytes,
+                                           std::memory_order_relaxed);
+          }
+          pids.resize(kept);
+          shuffle_emitted->fetch_add(pids.size(), std::memory_order_relaxed);
+        }
         for (const auto pid : pids) {
           std::string out;
           out.reserve(rest.size() + 16);
@@ -422,6 +491,15 @@ core::RunReport run_hadoop_gis(const workload::Dataset& left,
       }
     };
     const auto pair_lines = mapreduce::run_streaming(ctx, join_job, splits_a);
+    if (filter_on) {
+      const std::uint64_t assigned = shuffle_assigned->load(std::memory_order_relaxed);
+      const std::uint64_t emitted = shuffle_emitted->load(std::memory_order_relaxed);
+      report.counters.add("shuffle.assigned_records", assigned);
+      report.counters.add("shuffle.records", emitted);
+      report.counters.add("shuffle.filtered_records", assigned - emitted);
+      report.counters.add("shuffle.filtered_bytes",
+                          filtered_line_bytes->load(std::memory_order_relaxed));
+    }
     report.counters.add("join.pair_lines_before_dedup", pair_lines.size());
     report.counters.add("join.prepared_cache_hits", prepared_cache.hits());
     report.counters.add("join.prepared_cache_misses", prepared_cache.misses());

@@ -28,6 +28,8 @@
 // BrokenPipe exactly as HadoopGIS does in Tables 2-3.
 #pragma once
 
+#include <optional>
+
 #include "core/spatial_join.hpp"
 #include "mapreduce/streaming.hpp"
 
@@ -63,6 +65,14 @@ struct HadoopGisConfig {
   /// recovery budget (max_attempts, backoff, speculation). The default is
   /// trivial: no faults, first failure fatal — the seed model of Tables 2-3.
   cluster::FaultPlan faults;
+  /// Map-side spatial shuffle filter (LocationSpark's sFilter analog): after
+  /// the joint partition scheme is derived, a master-side pass over the
+  /// right dataset's envelopes builds a per-cell occupancy bitmap shipped to
+  /// the join mappers via the distributed cache; A-side mappers drop tile
+  /// line copies that provably match no B geometry in the target tile before
+  /// the line crosses the streaming pipe. Survivor pair sets are
+  /// bit-identical to the unfiltered path. Unset (default) resolves to on.
+  std::optional<bool> shuffle_filter;
 };
 
 core::RunReport run_hadoop_gis(const workload::Dataset& left,

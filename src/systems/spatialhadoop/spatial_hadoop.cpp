@@ -44,12 +44,30 @@ std::uint32_t default_partitions(const core::JoinQueryConfig& query,
   return core::effective_target_partitions(query, exec.cluster);
 }
 
+/// What the shuffle filter is built from: the already-indexed resident
+/// (right) dataset. The streamed side marks every resident block's expanded
+/// record envelopes into each of its own cells that intersect the resident
+/// cell, so any (cellA, cellB) split the global join can later pair is
+/// covered by construction.
+struct FilterSource {
+  const IndexedDataset* indexed;
+  const workload::Dataset* data;
+};
+
 /// The two preprocessing MR jobs for one dataset ("indexA"/"indexB" in the
-/// paper's Table 3 breakdown).
+/// paper's Table 3 breakdown). When `filter_source` is non-null a per-cell
+/// occupancy bitmap is derived from it on the master (a third, cheap
+/// master-side step) and the partition job drops record copies the bitmap
+/// proves can match nothing in their target cell. `count_shuffle` turns on
+/// the shuffle.assigned_records / shuffle.records / shuffle.filtered_*
+/// accounting for the partition job (both datasets' jobs count when the
+/// filter knob is on, so assigned == shuffled + filtered holds globally).
 IndexedDataset index_dataset(mapreduce::MrContext& ctx, const workload::Dataset& data,
                              const std::string& tag, const core::JoinQueryConfig& query,
                              const core::ExecutionConfig& exec,
-                             const SpatialHadoopConfig& config) {
+                             const SpatialHadoopConfig& config,
+                             const FilterSource* filter_source = nullptr,
+                             bool count_shuffle = false) {
   IndexedDataset out;
   out.dfs_prefix = tag + ".part/";
   const std::uint32_t target_cells = default_partitions(query, exec);
@@ -119,6 +137,46 @@ IndexedDataset index_dataset(mapreduce::MrContext& ctx, const workload::Dataset&
   mapreduce::charge_master_step(ctx, tag + "/master-partition", master_cpu.seconds(),
                                 /*read=*/sample.size() * 32, /*write=*/master_bytes);
 
+  const double expand = query.predicate == core::JoinPredicate::kWithinDistance
+                            ? query.within_distance / 2.0
+                            : 0.0;
+
+  // ---- Optional master step: build the shuffle filter from the resident
+  // side's partition blocks. Every resident record's expanded envelope is
+  // marked into each of *this* scheme's cells intersecting its resident
+  // cell; a later split (cellA, cellB) exists only if those cells intersect,
+  // so every pair the local join could emit is covered by some mark. The
+  // bitmap is tiny (a few uint64 words per cell) and lands in the
+  // distributed cache next to the _master file.
+  std::unique_ptr<geom::OccupancyFilter> sfilter;
+  if (filter_source != nullptr) {
+    CpuStopwatch filter_cpu;
+    sfilter = std::make_unique<geom::OccupancyFilter>(out.scheme.cells());
+    const auto src_envs = filter_source->data->envelopes();
+    const IndexedDataset& src = *filter_source->indexed;
+    std::vector<std::uint32_t> cells_scratch;
+    std::uint64_t src_bytes = 0;
+    for (std::uint32_t pb = 0; pb < src.blocks.size(); ++pb) {
+      const auto& block = src.blocks[pb];
+      if (block == nullptr) continue;
+      src_bytes += block->text_bytes;
+      out.scheme.assign_into(src.scheme.cells()[pb], cells_scratch);
+      const auto mark_env = [&](const geom::Envelope& raw) {
+        const geom::Envelope env = raw.expanded_by(expand);
+        for (const auto ca : cells_scratch) sfilter->mark(ca, env);
+      };
+      if (!block->indices.empty()) {
+        for (const auto src_idx : block->indices) mark_env(src_envs[src_idx]);
+      } else {
+        for (const auto& f : block->features) mark_env(f.geometry.envelope());
+      }
+    }
+    const std::uint64_t filter_bytes = sfilter->size_bytes();
+    ctx.dfs->put(tag + "._sfilter", std::any(), filter_bytes);
+    mapreduce::charge_master_step(ctx, tag + "/filter-build", filter_cpu.seconds(),
+                                  /*read=*/src_bytes, /*write=*/filter_bytes);
+  }
+
   // ---- Job 2: partition + pack per-block index (full MR) ------------------
   std::vector<std::vector<std::uint32_t>> idx_splits;
   idx_splits.reserve(ranges.size());
@@ -131,9 +189,6 @@ IndexedDataset index_dataset(mapreduce::MrContext& ctx, const workload::Dataset&
 
   out.blocks.assign(out.scheme.cell_count(), nullptr);
 
-  const double expand = query.predicate == core::JoinPredicate::kWithinDistance
-                            ? query.within_distance / 2.0
-                            : 0.0;
   // Shared job logic (both planes): the map assigns a record to every cell
   // its expanded envelope touches; the reduce materializes one block per
   // cell and packs its STR index. Only the block storage differs — the
@@ -141,14 +196,20 @@ IndexedDataset index_dataset(mapreduce::MrContext& ctx, const workload::Dataset&
   // instead of deep feature copies; `text_bytes` (the modeled block size)
   // is computed from the same per-record sizes either way.
   const bool zero_copy = config.zero_copy_plane;
-  const auto part_map = [&data, &out, expand, &ctx, zero_copy](const std::uint32_t& idx,
-                                                               const auto& emit) {
+  const geom::OccupancyFilter* filt = sfilter.get();
+  const auto part_map = [&data, &out, expand, &ctx, zero_copy, filt,
+                         count_shuffle](const std::uint32_t& idx, const auto& emit) {
     // Per-thread scratch keeps the zero-copy plane's assignment free of
     // per-record allocation; the seed plane keeps the verbatim allocating
     // path. Same ids, same order, same counters either way.
     static thread_local std::vector<std::uint32_t> pids_scratch;
     const geom::Envelope env = data.envelopes()[idx].expanded_by(expand);
-    if (zero_copy) {
+    std::uint32_t dropped = 0;
+    if (filt != nullptr) {
+      // Filtered assignment: true negatives never reach the emit (never
+      // buffered, never shuffled); a fully filtered record vanishes here.
+      dropped = out.scheme.assign_into(env, *filt, pids_scratch);
+    } else if (zero_copy) {
       out.scheme.assign_into(env, pids_scratch);
     } else {
       pids_scratch = out.scheme.assign(env);
@@ -160,6 +221,15 @@ IndexedDataset index_dataset(mapreduce::MrContext& ctx, const workload::Dataset&
       ctx.counters->add("partition.records", 1);
       ctx.counters->add("partition.duplicated_records",
                         pids.empty() ? 0 : pids.size() - 1);
+      if (count_shuffle) {
+        ctx.counters->add("shuffle.assigned_records", pids.size() + dropped);
+        ctx.counters->add("shuffle.records", pids.size());
+        if (dropped > 0) {
+          ctx.counters->add("shuffle.filtered_records", dropped);
+          ctx.counters->add("shuffle.filtered_bytes",
+                            dropped * (4 + data.record_text_bytes(idx)));
+        }
+      }
     }
   };
   const auto part_reduce = [&data, &out, zero_copy](const std::uint32_t& pid,
@@ -392,8 +462,24 @@ core::RunReport run_spatial_hadoop(const workload::Dataset& left,
     if (exec.trace) ctx.trace = &collector;
 
     // ---- Preprocessing: index both inputs (IA, IB) -------------------------
-    const IndexedDataset ia = index_dataset(ctx, left, "A", query, exec, config);
-    const IndexedDataset ib = index_dataset(ctx, right, "B", query, exec, config);
+    // With the shuffle filter on, the resident (right) side is indexed first
+    // so its partition blocks can seed the occupancy bitmap that prunes the
+    // streamed (left) side's shuffle. The knob defaults to the data-plane
+    // default: on for the reworked zero-copy plane, off for the seed
+    // baseline plane.
+    const bool filter_on = config.shuffle_filter.value_or(config.zero_copy_plane);
+    IndexedDataset ia;
+    IndexedDataset ib;
+    if (filter_on) {
+      ib = index_dataset(ctx, right, "B", query, exec, config, nullptr,
+                         /*count_shuffle=*/true);
+      const FilterSource source{&ib, &right};
+      ia = index_dataset(ctx, left, "A", query, exec, config, &source,
+                         /*count_shuffle=*/true);
+    } else {
+      ia = index_dataset(ctx, left, "A", query, exec, config);
+      ib = index_dataset(ctx, right, "B", query, exec, config);
+    }
 
     finalize_report(report, run_distributed_join(ctx, ia, ib, query, config), exec);
   } catch (const SjcError& e) {

@@ -1,6 +1,7 @@
 #include "systems/spatialspark/spatial_spark.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -158,22 +159,97 @@ void run_partitioned_join_zero_copy(
   rdd::Broadcast<partition::PartitionScheme> scheme_bc(rt, std::move(scheme),
                                                        scheme_bytes, "scheme");
 
-  // ---- 3. Assign partition ids to both sides -------------------------------
   const double expand = local_spec.envelope_expansion();
-  const auto assign_fn = [&scheme_bc, expand](
-                             const FeatureRef& f,
-                             std::vector<std::pair<std::uint32_t, FeatureRef>>& out) {
-    // assign_into reuses a per-thread scratch and queries the grid cell
-    // directory — same id set as the seed plane's assign().
-    static thread_local std::vector<std::uint32_t> pids_scratch;
-    scheme_bc.value().assign_into(f.get().geometry.envelope().expanded_by(expand),
-                                  pids_scratch);
-    for (const auto pid : pids_scratch) out.emplace_back(pid, f);
+
+  // ---- 2b. Optional map-side shuffle filter (LocationSpark's sFilter) ------
+  // Two narrow passes replay the exact (unfiltered) assignment each side's
+  // own assign stage would perform and mark each expanded envelope into its
+  // cells' occupancy bitmaps. Because the scheme is *joint*, filtering is
+  // symmetric and stays sound both ways: a pair needs both records in the
+  // same cell with intersecting expanded envelopes, so each side's copy in a
+  // cell provably without partners can be dropped. Both bitmaps are
+  // broadcast next to the scheme; the assign stages consult them below.
+  // The seed copying plane is the unfiltered bench baseline and never takes
+  // this path; the broadcast join shuffles nothing to filter.
+  const bool filter_on = config.shuffle_filter.value_or(true);
+  std::optional<rdd::Broadcast<geom::OccupancyFilter>> right_occ_bc;  // filters A
+  std::optional<rdd::Broadcast<geom::OccupancyFilter>> left_occ_bc;   // filters B
+  if (filter_on) {
+    CpuStopwatch filter_cpu;
+    const auto build_occupancy = [&](const rdd::Rdd<FeatureRef>& side) {
+      geom::OccupancyFilter filter(scheme_bc.value().cells());
+      std::vector<std::uint32_t> mark_pids;
+      for (const auto& part : side.partitions()) {
+        for (const auto& r : part) {
+          const geom::Envelope env =
+              r.get().geometry.envelope().expanded_by(expand);
+          scheme_bc.value().assign_into(env, mark_pids);
+          for (const auto pid : mark_pids) filter.mark(pid, env);
+        }
+      }
+      return filter;
+    };
+    geom::OccupancyFilter right_occ = build_occupancy(right_rdd);
+    geom::OccupancyFilter left_occ = build_occupancy(left_rdd);
+    rt.record_narrow_stage("filter.build", {filter_cpu.seconds()});
+    const std::uint64_t right_bytes = right_occ.size_bytes();
+    const std::uint64_t left_bytes = left_occ.size_bytes();
+    right_occ_bc.emplace(rt, std::move(right_occ), right_bytes, "sfilter.B");
+    left_occ_bc.emplace(rt, std::move(left_occ), left_bytes, "sfilter.A");
+  }
+  const geom::OccupancyFilter* left_filt =
+      right_occ_bc.has_value() ? &right_occ_bc->value() : nullptr;
+  const geom::OccupancyFilter* right_filt =
+      left_occ_bc.has_value() ? &left_occ_bc->value() : nullptr;
+
+  // ---- 3. Assign partition ids to both sides -------------------------------
+  // Shared accumulators for the filtered path, per side: the pre-filter
+  // assignment count, the modeled bytes the dropped copies would have
+  // shuffled, and the explicit per-record duplicate count (`assigned -
+  // size()` would underflow once whole records are filtered away).
+  struct FilterStats {
+    std::atomic<std::uint64_t> pre_assigned{0};
+    std::atomic<std::uint64_t> filtered_bytes{0};
+    std::atomic<std::uint64_t> dups{0};
+  };
+  auto left_stats = std::make_shared<FilterStats>();
+  auto right_stats = std::make_shared<FilterStats>();
+  const auto make_assign_fn = [&scheme_bc, expand, rec_overhead](
+                                  const geom::OccupancyFilter* filt,
+                                  std::shared_ptr<FilterStats> stats) {
+    return [&scheme_bc, expand, rec_overhead, filt, stats = std::move(stats)](
+               const FeatureRef& f,
+               std::vector<std::pair<std::uint32_t, FeatureRef>>& out) {
+      // assign_into reuses a per-thread scratch and queries the grid cell
+      // directory — same id set as the seed plane's assign().
+      static thread_local std::vector<std::uint32_t> pids_scratch;
+      const geom::Envelope env = f.get().geometry.envelope().expanded_by(expand);
+      if (filt == nullptr) {
+        scheme_bc.value().assign_into(env, pids_scratch);
+      } else {
+        const std::uint32_t dropped =
+            scheme_bc.value().assign_into(env, *filt, pids_scratch);
+        stats->pre_assigned.fetch_add(pids_scratch.size() + dropped,
+                                      std::memory_order_relaxed);
+        if (!pids_scratch.empty()) {
+          stats->dups.fetch_add(pids_scratch.size() - 1,
+                                std::memory_order_relaxed);
+        }
+        if (dropped > 0) {
+          const std::uint64_t copy_bytes =
+              4 + static_cast<std::uint64_t>(f.get().geometry.size_bytes()) +
+              rec_overhead;
+          stats->filtered_bytes.fetch_add(dropped * copy_bytes,
+                                          std::memory_order_relaxed);
+        }
+      }
+      for (const auto pid : pids_scratch) out.emplace_back(pid, f);
+    };
   };
   auto left_pids = left_rdd.flat_map<std::pair<std::uint32_t, FeatureRef>>(
-      "assign", assign_fn, pid_ref_sizer);
+      "assign", make_assign_fn(left_filt, left_stats), pid_ref_sizer);
   auto right_pids = right_rdd.flat_map<std::pair<std::uint32_t, FeatureRef>>(
-      "assign", assign_fn, pid_ref_sizer);
+      "assign", make_assign_fn(right_filt, right_stats), pid_ref_sizer);
   const auto count_records = [](const auto& rdd) {
     std::size_t n = 0;
     for (const auto& part : rdd.partitions()) n += part.size();
@@ -183,8 +259,24 @@ void run_partitioned_join_zero_copy(
   const std::size_t right_assigned = count_records(right_pids);
   report.counters.add("assign.left_assignments", left_assigned);
   report.counters.add("assign.right_assignments", right_assigned);
-  report.counters.add("partition.duplicated_records",
-                      left_assigned - left.size() + right_assigned - right.size());
+  if (!filter_on) {
+    report.counters.add("partition.duplicated_records",
+                        left_assigned - left.size() + right_assigned - right.size());
+  } else {
+    const std::uint64_t pre =
+        left_stats->pre_assigned.load() + right_stats->pre_assigned.load();
+    report.counters.add("partition.duplicated_records",
+                        left_stats->dups.load() + right_stats->dups.load());
+    // Both assign stages feed groupByKey, so the whole-run invariant
+    // assigned == shuffled + filtered is also the per-phase one.
+    report.counters.add("shuffle.assigned_records", pre);
+    report.counters.add("shuffle.records", left_assigned + right_assigned);
+    report.counters.add("shuffle.filtered_records",
+                        pre - left_assigned - right_assigned);
+    report.counters.add("shuffle.filtered_bytes",
+                        left_stats->filtered_bytes.load() +
+                            right_stats->filtered_bytes.load());
+  }
   // The un-cached textFile lineage is not retained once consumed.
   left_rdd = {};
   right_rdd = {};

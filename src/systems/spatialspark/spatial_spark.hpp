@@ -25,6 +25,8 @@
 // data are broadcast, and the left side probes it directly with no shuffle.
 #pragma once
 
+#include <optional>
+
 #include "core/spatial_join.hpp"
 #include "rdd/spark_runtime.hpp"
 
@@ -50,6 +52,16 @@ struct SpatialSparkConfig {
   /// the OOM gate are identical to the seed copying plane (kept as the
   /// bench_shuffle baseline). The broadcast join always uses the seed plane.
   bool zero_copy_plane = true;
+  /// Map-side spatial shuffle filter (LocationSpark's sFilter analog): after
+  /// the partition scheme is broadcast, one pass over the right RDD's
+  /// FeatureRef envelope views builds a per-cell occupancy bitmap, which is
+  /// broadcast alongside the scheme; the left side's assign stage drops
+  /// (record, cell) copies that provably match nothing there before they hit
+  /// groupByKey. Survivor pair sets are bit-identical to the unfiltered
+  /// path. Unset (default) resolves to on for the reworked zero-copy
+  /// partition-based join; the seed copying plane is the bench baseline and
+  /// stays unfiltered, as does the broadcast join (nothing is shuffled).
+  std::optional<bool> shuffle_filter;
 };
 
 core::RunReport run_spatial_spark(const workload::Dataset& left,

@@ -134,22 +134,42 @@ std::string format_skew_table(const TaskTimeline& timeline,
     return it == counters.end() ? 0 : it->second;
   };
   const std::uint64_t candidates = value("refine.candidates");
-  if (candidates == 0) return out;
-  const auto pct = [candidates](std::uint64_t n) {
-    return 100.0 * static_cast<double>(n) / static_cast<double>(candidates);
-  };
-  const std::uint64_t exact = value("refine.exact_tests");
-  const std::uint64_t accepts = value("refine.early_accepts");
-  const std::uint64_t rejects = value("refine.early_rejects");
-  char line[256];
-  std::snprintf(line, sizeof(line),
-                "  refine: %llu candidates | exact %llu (%.1f%%) | early-accept "
-                "%llu (%.1f%%) | early-reject %llu (%.1f%%)\n",
-                static_cast<unsigned long long>(candidates),
-                static_cast<unsigned long long>(exact), pct(exact),
-                static_cast<unsigned long long>(accepts), pct(accepts),
-                static_cast<unsigned long long>(rejects), pct(rejects));
-  out += line;
+  if (candidates != 0) {
+    const auto pct = [candidates](std::uint64_t n) {
+      return 100.0 * static_cast<double>(n) / static_cast<double>(candidates);
+    };
+    const std::uint64_t exact = value("refine.exact_tests");
+    const std::uint64_t accepts = value("refine.early_accepts");
+    const std::uint64_t rejects = value("refine.early_rejects");
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "  refine: %llu candidates | exact %llu (%.1f%%) | early-accept "
+                  "%llu (%.1f%%) | early-reject %llu (%.1f%%)\n",
+                  static_cast<unsigned long long>(candidates),
+                  static_cast<unsigned long long>(exact), pct(exact),
+                  static_cast<unsigned long long>(accepts), pct(accepts),
+                  static_cast<unsigned long long>(rejects), pct(rejects));
+    out += line;
+  }
+  // Shuffle-filter footer (present only when the map-side spatial filter is
+  // on: that is when the shuffle.* trio is emitted).
+  const std::uint64_t assigned = value("shuffle.assigned_records");
+  if (assigned != 0) {
+    const auto pct = [assigned](std::uint64_t n) {
+      return 100.0 * static_cast<double>(n) / static_cast<double>(assigned);
+    };
+    const std::uint64_t shuffled = value("shuffle.records");
+    const std::uint64_t filtered = value("shuffle.filtered_records");
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "  shuffle-filter: %llu assigned | shuffled %llu (%.1f%%) | "
+                  "filtered %llu (%.1f%%) | ~%llu bytes saved\n",
+                  static_cast<unsigned long long>(assigned),
+                  static_cast<unsigned long long>(shuffled), pct(shuffled),
+                  static_cast<unsigned long long>(filtered), pct(filtered),
+                  static_cast<unsigned long long>(value("shuffle.filtered_bytes")));
+    out += line;
+  }
   return out;
 }
 

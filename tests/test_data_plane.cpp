@@ -7,11 +7,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <random>
 #include <set>
 
 #include "core/experiments.hpp"
 #include "core/spatial_join.hpp"
+#include "index/str_tree.hpp"
 #include "partition/partitioner.hpp"
 #include "systems/hadoopgis/hadoop_gis.hpp"
 #include "systems/spatialhadoop/spatial_hadoop.hpp"
@@ -69,9 +71,12 @@ void expect_reports_identical(const core::RunReport& a, const core::RunReport& b
 // ---------------------------------------------------------------------------
 
 TEST(DataPlane, GridDirectoryAgreesWithTree) {
-  // assign_into() answers from the uniform-grid directory, assign() from the
-  // STR tree; the id *sets* must agree for every partitioner geometry, and
-  // min_assigned() must equal the minimum of assign().
+  // assign() and assign_into() both answer from the uniform-grid cell
+  // directory (one semantics, one implementation), so the reference here is
+  // an *independent* STR tree over the partition cells built by the test,
+  // with the nearest-cell fallback re-derived by brute force. The id sets
+  // must agree for every partitioner geometry, and min_assigned() must equal
+  // the reference minimum — including on fallback queries.
   std::mt19937 rng(7);
   std::uniform_real_distribution<double> pos(0.0, 1000.0);
   std::uniform_real_distribution<double> len(0.0, 30.0);
@@ -86,6 +91,28 @@ TEST(DataPlane, GridDirectoryAgreesWithTree) {
        {partition::PartitionerKind::kFixedGrid, partition::PartitionerKind::kStr,
         partition::PartitionerKind::kBsp, partition::PartitionerKind::kQuadtree}) {
     const auto scheme = partition::make_partitions(kind, sample, extent, 37);
+    // Independent reference: STR tree over the scheme's cells + brute-force
+    // nearest-cell fallback (same tie-break as the scheme: first minimum).
+    std::vector<index::IndexEntry> entries;
+    for (std::uint32_t i = 0; i < scheme.cell_count(); ++i) {
+      entries.push_back({scheme.cells()[i], i});
+    }
+    const index::StrTree reference_tree(std::move(entries));
+    const auto reference_assign = [&](const geom::Envelope& q) {
+      std::vector<std::uint32_t> ids = reference_tree.query_ids(q);
+      if (!ids.empty()) return ids;
+      std::uint32_t best = 0;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (std::uint32_t i = 0; i < scheme.cell_count(); ++i) {
+        const double d = scheme.cells()[i].distance(q);
+        if (d < best_dist) {
+          best_dist = d;
+          best = i;
+        }
+      }
+      ids.push_back(best);
+      return ids;
+    };
     std::vector<geom::Envelope> queries = sample;
     // Degenerate (point) envelopes, the reference-point dedup shape.
     for (int i = 0; i < 200; ++i) {
@@ -99,7 +126,12 @@ TEST(DataPlane, GridDirectoryAgreesWithTree) {
     queries.emplace_back(-10.0, 400.0, 1100.0, 420.0);
     std::vector<std::uint32_t> got;
     for (const auto& q : queries) {
-      auto expected = scheme.assign(q);
+      auto expected = reference_assign(q);
+      EXPECT_EQ(scheme.assign(q), [&] {
+        std::vector<std::uint32_t> v;
+        scheme.assign_into(q, v);
+        return v;
+      }()) << partition::partitioner_kind_name(kind);
       scheme.assign_into(q, got);
       const std::uint32_t expected_min =
           *std::min_element(expected.begin(), expected.end());
@@ -150,14 +182,48 @@ TEST(DataPlane, DuplicatedRecordsCounterOnPinnedGrid) {
   core::ExecutionConfig exec;
   exec.cluster = cluster::ClusterSpec::workstation();
 
-  for (const auto kind :
-       {core::SystemKind::kHadoopGisSim, core::SystemKind::kSpatialHadoopSim,
-        core::SystemKind::kSpatialSparkSim}) {
-    const auto report = core::run_spatial_join(kind, left, right, query, exec);
-    ASSERT_TRUE(report.success)
-        << core::system_kind_name(kind) << ": " << report.failure_reason;
+  // The counter pins the *raw* multi-assignment overhead, so the map-side
+  // shuffle filter is forced off; the companion run below checks the
+  // filter-on counter only shrinks and the shuffle invariant holds.
+  const auto check = [&](const core::RunReport& report, const char* tag) {
+    ASSERT_TRUE(report.success) << tag << ": " << report.failure_reason;
     EXPECT_EQ(report.counters.get("partition.duplicated_records"), expected_dups)
-        << core::system_kind_name(kind);
+        << tag;
+  };
+  const auto check_filtered = [&](const core::RunReport& report, const char* tag) {
+    ASSERT_TRUE(report.success) << tag << ": " << report.failure_reason;
+    EXPECT_LE(report.counters.get("partition.duplicated_records"), expected_dups)
+        << tag;
+    EXPECT_EQ(report.counters.get("shuffle.assigned_records"),
+              report.counters.get("shuffle.records") +
+                  report.counters.get("shuffle.filtered_records"))
+        << tag;
+  };
+  {
+    systems::HadoopGisConfig cfg;
+    cfg.shuffle_filter = false;
+    check(systems::run_hadoop_gis(left, right, query, exec, cfg), "hadoopgis");
+    cfg.shuffle_filter = true;
+    check_filtered(systems::run_hadoop_gis(left, right, query, exec, cfg),
+                   "hadoopgis-filtered");
+  }
+  {
+    systems::SpatialHadoopConfig cfg;
+    cfg.shuffle_filter = false;
+    check(systems::run_spatial_hadoop(left, right, query, exec, cfg),
+          "spatialhadoop");
+    cfg.shuffle_filter = true;
+    check_filtered(systems::run_spatial_hadoop(left, right, query, exec, cfg),
+                   "spatialhadoop-filtered");
+  }
+  {
+    systems::SpatialSparkConfig cfg;
+    cfg.shuffle_filter = false;
+    check(systems::run_spatial_spark(left, right, query, exec, cfg),
+          "spatialspark");
+    cfg.shuffle_filter = true;
+    check_filtered(systems::run_spatial_spark(left, right, query, exec, cfg),
+                   "spatialspark-filtered");
   }
 }
 
@@ -285,8 +351,10 @@ TEST(DataPlane, ZeroCopyPlaneChargesIdenticalModeledQuantities) {
   {
     systems::SpatialHadoopConfig seed_cfg;
     seed_cfg.zero_copy_plane = false;
+    seed_cfg.shuffle_filter = false;  // isolate the plane; filter has its own tests
     systems::SpatialHadoopConfig zc_cfg;
     zc_cfg.zero_copy_plane = true;
+    zc_cfg.shuffle_filter = false;
     const auto seed =
         systems::run_spatial_hadoop(b.left, b.right, b.query, b.exec, seed_cfg);
     const auto zc = systems::run_spatial_hadoop(b.left, b.right, b.query, b.exec, zc_cfg);
@@ -296,8 +364,10 @@ TEST(DataPlane, ZeroCopyPlaneChargesIdenticalModeledQuantities) {
   {
     systems::SpatialSparkConfig seed_cfg;
     seed_cfg.zero_copy_plane = false;
+    seed_cfg.shuffle_filter = false;  // isolate the plane; filter has its own tests
     systems::SpatialSparkConfig zc_cfg;
     zc_cfg.zero_copy_plane = true;
+    zc_cfg.shuffle_filter = false;
     const auto seed =
         systems::run_spatial_spark(b.left, b.right, b.query, b.exec, seed_cfg);
     const auto zc = systems::run_spatial_spark(b.left, b.right, b.query, b.exec, zc_cfg);
