@@ -64,10 +64,13 @@ struct LocalJoinSpec {
   bool batch_refine = true;
 
   /// Optional sink for refinement accounting. Per run_local_join call, adds
-  /// `refine.candidates` (accept-filtered candidates refined) and the
+  /// `refine.candidates` (accept-filtered candidates refined), the
   /// `refine.exact_tests` / `refine.early_accepts` / `refine.early_rejects`
   /// split (the three always sum to refine.candidates; the per-pair path
-  /// counts every candidate as an exact test).
+  /// counts every candidate as an exact test), and the
+  /// `refine.exact_fastpath` / `refine.exact_slowpath` split of exact tests
+  /// by whether the adaptive exact predicate escalated past its float
+  /// filter (the two always sum to refine.exact_tests).
   cluster::Counters* refine_counters = nullptr;
 
   /// Envelope expansion applied to BOTH sides throughout the pipeline
@@ -277,7 +280,7 @@ void run_local_join(const LeftSeq& left, const RightSeq& right,
       // The per-pair path has no approximations: every refined candidate
       // is an exact test, keeping the counter-sum invariant intact.
       ++refined;
-      ++stats.exact_tests;
+      const std::uint64_t slow0 = geom::exact::slowpath_calls();
       const auto& left_feature = left[l];
       bool hit = false;
       switch (spec.predicate) {
@@ -291,6 +294,7 @@ void run_local_join(const LeftSeq& left, const RightSeq& right,
           hit = bound->within_distance(left_feature.geometry, spec.within_distance);
           break;
       }
+      stats.note_exact(slow0);
       if (hit) out.push_back({left_feature.id, right_feature.id});
     }
   }
@@ -300,6 +304,8 @@ void run_local_join(const LeftSeq& left, const RightSeq& right,
     spec.refine_counters->add("refine.exact_tests", stats.exact_tests);
     spec.refine_counters->add("refine.early_accepts", stats.early_accepts);
     spec.refine_counters->add("refine.early_rejects", stats.early_rejects);
+    spec.refine_counters->add("refine.exact_fastpath", stats.exact_fastpath);
+    spec.refine_counters->add("refine.exact_slowpath", stats.exact_slowpath);
   }
 }
 

@@ -3,10 +3,19 @@
 #include <algorithm>
 #include <cmath>
 
+#include "geom/exact_predicates.hpp"
+
 namespace sjc::geom {
 
 double orientation(const Coord& a, const Coord& b, const Coord& c) {
-  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+  // (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x) is det[b-a, c-a],
+  // which is exact::orient2d(b, c, a) by cyclic symmetry. The adaptive
+  // predicate evaluates exactly that expression on its fast path and
+  // escalates to expansion arithmetic when the sign is uncertain, so every
+  // consumer (point_on_segment, segments_intersect, both engines' crossing
+  // tests) now decides degenerate cases robustly instead of by rounding
+  // luck.
+  return exact::orient2d(b, c, a);
 }
 
 bool point_on_segment(const Coord& p, const Coord& a, const Coord& b) {

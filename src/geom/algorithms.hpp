@@ -14,6 +14,9 @@ namespace sjc::geom {
 
 /// Sign of the cross product (b-a) x (c-a):
 ///  > 0 left turn, < 0 right turn, 0 collinear.
+/// The sign is exact for the given double inputs (adaptive Shewchuk
+/// predicate, see geom/exact_predicates.hpp); the magnitude is only
+/// approximate on the fast path and must not be used quantitatively.
 double orientation(const Coord& a, const Coord& b, const Coord& c);
 
 /// True when point p lies on segment [a, b] (inclusive of endpoints).

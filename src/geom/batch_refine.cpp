@@ -7,6 +7,7 @@
 
 #include "geom/algorithms.hpp"
 #include "geom/predicates.hpp"
+#include "geom/simd_dispatch.hpp"
 #include "util/status.hpp"
 
 namespace sjc::geom {
@@ -364,19 +365,20 @@ bool BatchRefiner::segment_grid_intersects(const Coord& a, const Coord& b) const
   const std::uint32_t x1 = clamp_cell((bx1 - seg_env_.min_x()) * seg_x_inv_, seg_w_);
   const std::uint32_t y0 = clamp_cell((by0 - seg_env_.min_y()) * seg_y_inv_, seg_h_);
   const std::uint32_t y1 = clamp_cell((by1 - seg_env_.min_y()) * seg_y_inv_, seg_h_);
+  // Per-cell bbox prune + exact test through the dispatched kernel: two
+  // segments can only intersect when their bboxes overlap, so skipping
+  // non-overlapping candidates never changes the boolean, and the kernels
+  // run the same exact test on the same candidates in the same order.
+  const simd::SegSoA segs{seg_ax_.data(),    seg_ay_.data(),    seg_bx_.data(),
+                          seg_by_.data(),    seg_min_x_.data(), seg_min_y_.data(),
+                          seg_max_x_.data(), seg_max_y_.data()};
+  const auto seg_run = simd::kernels().seg_run_intersects;
   for (std::uint32_t cy = y0; cy <= y1; ++cy) {
     for (std::uint32_t cx = x0; cx <= x1; ++cx) {
       const std::size_t cell = static_cast<std::size_t>(cy) * seg_w_ + cx;
-      for (std::uint32_t j = seg_offsets_[cell]; j < seg_offsets_[cell + 1]; ++j) {
-        // Branchless bbox prune: two segments can only intersect when their
-        // bboxes overlap, so skipping non-overlapping candidates never
-        // changes the boolean.
-        const bool overlap = (seg_min_x_[j] <= bx1) & (seg_max_x_[j] >= bx0) &
-                             (seg_min_y_[j] <= by1) & (seg_max_y_[j] >= by0);
-        if (overlap && segments_intersect(a, b, {seg_ax_[j], seg_ay_[j]},
-                                          {seg_bx_[j], seg_by_[j]})) {
-          return true;
-        }
+      if (seg_run(segs, seg_offsets_[cell], seg_offsets_[cell + 1], a.x, a.y, b.x,
+                  b.y, bx0, by0, bx1, by1)) {
+        return true;
       }
     }
   }
@@ -403,15 +405,12 @@ bool BatchRefiner::overlaps_any_part_env(const Envelope& probe_env) const {
 
 bool BatchRefiner::outer_rejects(const Envelope& probe_env) const {
   if (overlaps_any_part_env(probe_env)) return false;
-  const double px0 = probe_env.min_x(), px1 = probe_env.max_x();
-  const double py0 = probe_env.min_y(), py1 = probe_env.max_y();
-  for (std::size_t i = 0; i < chunk_min_x_.size(); ++i) {
-    if (chunk_min_x_[i] <= px1 && chunk_max_x_[i] >= px0 && chunk_min_y_[i] <= py1 &&
-        chunk_max_y_[i] >= py0) {
-      return false;
-    }
-  }
-  return true;
+  // Chunk-envelope early-reject sweep over the SoA arrays via the
+  // dispatched kernel (SIMD paths test 2/4 chunks per step).
+  return !simd::kernels().env_any_overlaps(
+      chunk_min_x_.data(), chunk_min_y_.data(), chunk_max_x_.data(),
+      chunk_max_y_.data(), chunk_min_x_.size(), probe_env.min_x(),
+      probe_env.min_y(), probe_env.max_x(), probe_env.max_y());
 }
 
 // ---------------------------------------------------------------------------
@@ -424,24 +423,15 @@ bool BatchRefiner::SoAPart::covers(const Coord& p) const {
       static_cast<std::int64_t>((p.y - y_min) * y_inv_step), 0, bucket_count - 1);
   const std::size_t begin = bucket_offsets[static_cast<std::size_t>(b)];
   const std::size_t end = bucket_offsets[static_cast<std::size_t>(b) + 1];
-  // Branchless crossing count: per edge, accumulate boundary hits (OR) and
-  // parity toggles (XOR) without early exits, mirroring point_covered's
-  // arithmetic exactly. The division is masked by `spans`, which is false
-  // whenever the denominator would be zero.
-  unsigned on_boundary = 0;
-  unsigned inside = 0;
-  for (std::size_t i = begin; i < end; ++i) {
-    const double eax = ax[i], eay = ay[i], ebx = bx[i], eby = by[i];
-    const double cross = (ebx - eax) * (p.y - eay) - (eby - eay) * (p.x - eax);
-    const bool on = (cross == 0.0) & (p.x >= std::min(eax, ebx)) &
-                    (p.x <= std::max(eax, ebx)) & (p.y >= std::min(eay, eby)) &
-                    (p.y <= std::max(eay, eby));
-    on_boundary |= static_cast<unsigned>(on);
-    const bool spans = (eay > p.y) != (eby > p.y);
-    const double x_cross = eax + (p.y - eay) * (ebx - eax) / (eby - eay);
-    inside ^= static_cast<unsigned>(spans) & static_cast<unsigned>(x_cross > p.x);
-  }
-  return (on_boundary | inside) != 0;
+  // Branchless crossing count over the bucket's SoA run via the dispatched
+  // kernel: per edge, accumulate boundary hits (OR) and parity toggles
+  // (XOR) without early exits, escalating the boundary sign to the adaptive
+  // exact predicate when the float filter is uncertain — mirroring
+  // point_covered's decisions exactly. The parity division is masked by the
+  // straddle test, which is false whenever the denominator would be zero.
+  return simd::kernels().pip_covers_run(ax.data() + begin, ay.data() + begin,
+                                        bx.data() + begin, by.data() + begin,
+                                        end - begin, p.x, p.y);
 }
 
 void BatchRefiner::covers_points(std::span<const Coord> pts,
@@ -468,7 +458,7 @@ void BatchRefiner::covers_points(std::span<const Coord> pts,
       out[i] = 1;
       continue;
     }
-    ++stats.exact_tests;
+    const std::uint64_t slow0 = exact::slowpath_calls();
     bool covered = false;
     for (const auto& part : parts_) {
       if (part.covers(p)) {
@@ -476,6 +466,7 @@ void BatchRefiner::covers_points(std::span<const Coord> pts,
         break;
       }
     }
+    stats.note_exact(slow0);
     out[i] = covered ? 1 : 0;
   }
 }
@@ -499,8 +490,10 @@ bool BatchRefiner::intersects(const Geometry& probe, RefineStats& stats) const {
       return false;
     }
   }
-  ++stats.exact_tests;
-  return exact_intersects(probe);
+  const std::uint64_t slow0 = exact::slowpath_calls();
+  const bool hit = exact_intersects(probe);
+  stats.note_exact(slow0);
+  return hit;
 }
 
 bool BatchRefiner::contains(const Geometry& probe, RefineStats& stats) const {
@@ -519,8 +512,10 @@ bool BatchRefiner::contains(const Geometry& probe, RefineStats& stats) const {
       return false;
     }
   }
-  ++stats.exact_tests;
-  return exact_contains(probe);
+  const std::uint64_t slow0 = exact::slowpath_calls();
+  const bool hit = exact_contains(probe);
+  stats.note_exact(slow0);
+  return hit;
 }
 
 bool BatchRefiner::within_distance(const Geometry& probe, double d,
@@ -534,8 +529,10 @@ bool BatchRefiner::within_distance(const Geometry& probe, double d,
     ++stats.early_accepts;  // probe inside a part: distance is exactly 0
     return true;
   }
-  ++stats.exact_tests;
-  return prepared_.distance(probe) <= d;
+  const std::uint64_t slow0 = exact::slowpath_calls();
+  const bool hit = prepared_.distance(probe) <= d;
+  stats.note_exact(slow0);
+  return hit;
 }
 
 bool BatchRefiner::exact_intersects(const Geometry& probe) const {

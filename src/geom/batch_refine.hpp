@@ -28,25 +28,46 @@
 #include <span>
 #include <vector>
 
+#include "geom/exact_predicates.hpp"
 #include "geom/geometry.hpp"
 #include "geom/prepared.hpp"
 
 namespace sjc::geom {
 
 /// Refinement accounting: for every candidate that reaches the refiner
-/// exactly one counter increments, so the three always sum to the number
-/// of refined candidates (test-enforced).
+/// exactly one of {exact_tests, early_accepts, early_rejects} increments,
+/// so those three always sum to the number of refined candidates
+/// (test-enforced). Every exact test is additionally classified as
+/// fast-path (all adaptive predicate filters held) or slow-path (at least
+/// one escalation to expansion arithmetic), so
+/// exact_fastpath + exact_slowpath == exact_tests (also test-enforced).
 struct RefineStats {
   std::uint64_t exact_tests = 0;
   std::uint64_t early_accepts = 0;
   std::uint64_t early_rejects = 0;
+  std::uint64_t exact_fastpath = 0;
+  std::uint64_t exact_slowpath = 0;
 
   std::uint64_t total() const { return exact_tests + early_accepts + early_rejects; }
+
+  /// Accounts one exact test, classified by whether the thread's adaptive
+  /// escalation counter moved since `slow_before` (snapshot
+  /// exact::slowpath_calls() immediately before the exact test).
+  void note_exact(std::uint64_t slow_before) {
+    ++exact_tests;
+    if (exact::slowpath_calls() != slow_before) {
+      ++exact_slowpath;
+    } else {
+      ++exact_fastpath;
+    }
+  }
 
   RefineStats& operator+=(const RefineStats& o) {
     exact_tests += o.exact_tests;
     early_accepts += o.early_accepts;
     early_rejects += o.early_rejects;
+    exact_fastpath += o.exact_fastpath;
+    exact_slowpath += o.exact_slowpath;
     return *this;
   }
 };

@@ -1,0 +1,167 @@
+// AVX2 (4-lane double) variants of the BatchRefiner kernels. Compiled with
+// -mavx2 on x86-64 only (see src/geom/CMakeLists.txt); on other targets
+// this TU contributes just the nullptr table accessor.
+//
+// Bit-identity with the scalar kernels is structural:
+//  - every arithmetic op is the same IEEE-754 operation the scalar loop
+//    performs on the same values, lane by lane (no FMA: -mavx2 does not
+//    enable contraction, and sjc_geom builds with -ffp-contract=off),
+//  - the A-stage filter comparisons are the same expressions, so the set of
+//    escalated edges is identical; uncertain lanes escalate through the
+//    same exact::orient2d_escalate calls in ascending index order,
+//  - remainder elements (n % 4) run the shared scalar tail
+//    (simd_kernels_impl.hpp), and early exits fire at the same candidate.
+#include "geom/simd_dispatch.hpp"
+
+#if defined(__AVX2__) && (defined(__x86_64__) || defined(_M_X64))
+
+#include <immintrin.h>
+
+#include "geom/exact_predicates.hpp"
+#include "geom/simd_kernels_impl.hpp"
+
+namespace sjc::geom::simd {
+namespace {
+
+bool pip_covers_run_avx2(const double* ax, const double* ay, const double* bx,
+                         const double* by, std::size_t n, double px, double py) {
+  const __m256d vpx = _mm256_set1_pd(px);
+  const __m256d vpy = _mm256_set1_pd(py);
+  const __m256d vsign = _mm256_set1_pd(-0.0);
+  const __m256d verr_a = _mm256_set1_pd(exact::kCcwErrBoundA);
+  const __m256d vzero = _mm256_setzero_pd();
+  __m256d acc_on = _mm256_setzero_pd();  // boundary hits, OR-accumulated
+  __m256d acc_in = _mm256_setzero_pd();  // crossing parity, XOR-accumulated
+  unsigned on_boundary = 0;
+  unsigned inside = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d eax = _mm256_loadu_pd(ax + i);
+    const __m256d eay = _mm256_loadu_pd(ay + i);
+    const __m256d ebx = _mm256_loadu_pd(bx + i);
+    const __m256d eby = _mm256_loadu_pd(by + i);
+    const __m256d dx = _mm256_sub_pd(ebx, eax);
+    const __m256d dy = _mm256_sub_pd(eby, eay);
+    const __m256d rel_y = _mm256_sub_pd(vpy, eay);  // py - eay
+    const __m256d rel_x = _mm256_sub_pd(vpx, eax);  // px - eax
+    const __m256d detleft = _mm256_mul_pd(dx, rel_y);
+    const __m256d detright = _mm256_mul_pd(dy, rel_x);
+    const __m256d det = _mm256_sub_pd(detleft, detright);
+
+    const __m256d bbox = _mm256_and_pd(
+        _mm256_and_pd(_mm256_cmp_pd(vpx, _mm256_min_pd(eax, ebx), _CMP_GE_OQ),
+                      _mm256_cmp_pd(vpx, _mm256_max_pd(eax, ebx), _CMP_LE_OQ)),
+        _mm256_and_pd(_mm256_cmp_pd(vpy, _mm256_min_pd(eay, eby), _CMP_GE_OQ),
+                      _mm256_cmp_pd(vpy, _mm256_max_pd(eay, eby), _CMP_LE_OQ)));
+
+    // A-stage filter, vectorized: identical comparisons to the scalar loop.
+    const __m256d detsum = _mm256_add_pd(_mm256_andnot_pd(vsign, detleft),
+                                         _mm256_andnot_pd(vsign, detright));
+    const __m256d errbound = _mm256_mul_pd(verr_a, detsum);
+    const __m256d neg_det = _mm256_xor_pd(det, vsign);
+    __m256d certain = _mm256_or_pd(_mm256_cmp_pd(det, errbound, _CMP_GT_OQ),
+                                   _mm256_cmp_pd(neg_det, errbound, _CMP_GT_OQ));
+    certain = _mm256_or_pd(certain, _mm256_cmp_pd(detsum, vzero, _CMP_EQ_OQ));
+
+    // Certain lanes resolve the boundary bit vectorized; uncertain lanes
+    // inside the bbox escalate scalar-wise in ascending lane order.
+    acc_on = _mm256_or_pd(acc_on, _mm256_and_pd(_mm256_cmp_pd(det, vzero, _CMP_EQ_OQ),
+                                                _mm256_and_pd(bbox, certain)));
+    int need = _mm256_movemask_pd(_mm256_andnot_pd(certain, bbox));
+    while (need != 0) {
+      const int lane = __builtin_ctz(static_cast<unsigned>(need));
+      need &= need - 1;
+      const std::size_t j = i + static_cast<std::size_t>(lane);
+      const double dl = (bx[j] - ax[j]) * (py - ay[j]);
+      const double dr = (by[j] - ay[j]) * (px - ax[j]);
+      const double ds = std::fabs(dl) + std::fabs(dr);
+      const double sign = exact::orient2d_escalate(bx[j], by[j], px, py, ax[j], ay[j], ds);
+      on_boundary |= static_cast<unsigned>(sign == 0.0);
+    }
+
+    // Crossing parity: same masked-division arithmetic as the scalar loop
+    // (lanes with dy == 0 produce inf/NaN quotients that `spans` masks off,
+    // exactly like the scalar code).
+    const __m256d spans = _mm256_xor_pd(_mm256_cmp_pd(eay, vpy, _CMP_GT_OQ),
+                                        _mm256_cmp_pd(eby, vpy, _CMP_GT_OQ));
+    const __m256d x_cross =
+        _mm256_add_pd(eax, _mm256_div_pd(_mm256_mul_pd(rel_y, dx), dy));
+    acc_in = _mm256_xor_pd(
+        acc_in, _mm256_and_pd(spans, _mm256_cmp_pd(x_cross, vpx, _CMP_GT_OQ)));
+  }
+  on_boundary |= static_cast<unsigned>(_mm256_movemask_pd(acc_on) != 0);
+  inside ^= static_cast<unsigned>(
+                __builtin_popcount(static_cast<unsigned>(_mm256_movemask_pd(acc_in)))) &
+            1u;
+  detail::pip_scalar_range(ax, ay, bx, by, i, n, px, py, on_boundary, inside);
+  return (on_boundary | inside) != 0;
+}
+
+bool seg_run_intersects_avx2(const SegSoA& segs, std::size_t begin, std::size_t end,
+                             double axp, double ayp, double bxp, double byp,
+                             double bx0, double by0, double bx1, double by1) {
+  const Coord a{axp, ayp};
+  const Coord b{bxp, byp};
+  const __m256d vbx0 = _mm256_set1_pd(bx0);
+  const __m256d vby0 = _mm256_set1_pd(by0);
+  const __m256d vbx1 = _mm256_set1_pd(bx1);
+  const __m256d vby1 = _mm256_set1_pd(by1);
+  std::size_t i = begin;
+  for (; i + 4 <= end; i += 4) {
+    const __m256d overlap = _mm256_and_pd(
+        _mm256_and_pd(
+            _mm256_cmp_pd(_mm256_loadu_pd(segs.min_x + i), vbx1, _CMP_LE_OQ),
+            _mm256_cmp_pd(_mm256_loadu_pd(segs.max_x + i), vbx0, _CMP_GE_OQ)),
+        _mm256_and_pd(
+            _mm256_cmp_pd(_mm256_loadu_pd(segs.min_y + i), vby1, _CMP_LE_OQ),
+            _mm256_cmp_pd(_mm256_loadu_pd(segs.max_y + i), vby0, _CMP_GE_OQ)));
+    int m = _mm256_movemask_pd(overlap);
+    while (m != 0) {
+      const int lane = __builtin_ctz(static_cast<unsigned>(m));
+      m &= m - 1;
+      const std::size_t j = i + static_cast<std::size_t>(lane);
+      if (segments_intersect(a, b, {segs.ax[j], segs.ay[j]},
+                             {segs.bx[j], segs.by[j]})) {
+        return true;
+      }
+    }
+  }
+  return detail::seg_scalar_range(segs, i, end, a, b, bx0, by0, bx1, by1);
+}
+
+bool env_any_overlaps_avx2(const double* min_x, const double* min_y,
+                           const double* max_x, const double* max_y, std::size_t n,
+                           double px0, double py0, double px1, double py1) {
+  const __m256d vpx0 = _mm256_set1_pd(px0);
+  const __m256d vpy0 = _mm256_set1_pd(py0);
+  const __m256d vpx1 = _mm256_set1_pd(px1);
+  const __m256d vpy1 = _mm256_set1_pd(py1);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d overlap = _mm256_and_pd(
+        _mm256_and_pd(_mm256_cmp_pd(_mm256_loadu_pd(min_x + i), vpx1, _CMP_LE_OQ),
+                      _mm256_cmp_pd(_mm256_loadu_pd(max_x + i), vpx0, _CMP_GE_OQ)),
+        _mm256_and_pd(_mm256_cmp_pd(_mm256_loadu_pd(min_y + i), vpy1, _CMP_LE_OQ),
+                      _mm256_cmp_pd(_mm256_loadu_pd(max_y + i), vpy0, _CMP_GE_OQ)));
+    if (_mm256_movemask_pd(overlap) != 0) return true;
+  }
+  return detail::env_scalar_range(min_x, min_y, max_x, max_y, i, n, px0, py0, px1,
+                                  py1);
+}
+
+constexpr Kernels kAvx2Kernels{pip_covers_run_avx2, seg_run_intersects_avx2,
+                               env_any_overlaps_avx2};
+
+}  // namespace
+
+const Kernels* avx2_kernel_table() { return &kAvx2Kernels; }
+
+}  // namespace sjc::geom::simd
+
+#else  // !(__AVX2__ && x86-64)
+
+namespace sjc::geom::simd {
+const Kernels* avx2_kernel_table() { return nullptr; }
+}  // namespace sjc::geom::simd
+
+#endif

@@ -1,0 +1,83 @@
+// Internal: scalar kernel bodies shared by the dispatch layer (as the
+// always-built fallback path) and by the SIMD translation units (as the
+// remainder/tail loops), so every path runs literally the same scalar code
+// on the elements it does not vectorize. Not installed API — include only
+// from src/geom SIMD/dispatch sources.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "geom/algorithms.hpp"
+#include "geom/envelope.hpp"
+#include "geom/exact_predicates.hpp"
+#include "geom/simd_dispatch.hpp"
+
+namespace sjc::geom::simd::detail {
+
+/// Point-in-polygon scalar loop over edges [i, n), accumulating boundary
+/// hits (OR) and crossing parity (XOR) exactly like the pre-SIMD
+/// BatchRefiner::SoAPart::covers — except the boundary decision is now
+/// sign-exact: an edge whose cross product fails the A-stage filter (and
+/// whose bbox admits the point) escalates to exact::orient2d_escalate. The
+/// crossing parity keeps the original masked-division arithmetic; it is
+/// bitwise deterministic per IEEE and needs no exactness (it mirrors
+/// point_in_ring's half-open rule).
+inline void pip_scalar_range(const double* ax, const double* ay, const double* bx,
+                             const double* by, std::size_t i, std::size_t n, double px,
+                             double py, unsigned& on_boundary, unsigned& inside) {
+  for (; i < n; ++i) {
+    const double eax = ax[i], eay = ay[i], ebx = bx[i], eby = by[i];
+    // det = orient2d(edge_b, probe, edge_a): zero iff the probe is exactly
+    // on the edge's supporting line.
+    const double detleft = (ebx - eax) * (py - eay);
+    const double detright = (eby - eay) * (px - eax);
+    const double det = detleft - detright;
+    const bool bbox = (px >= std::min(eax, ebx)) & (px <= std::max(eax, ebx)) &
+                      (py >= std::min(eay, eby)) & (py <= std::max(eay, eby));
+    if (bbox) {
+      const double detsum = std::fabs(detleft) + std::fabs(detright);
+      const double errbound = exact::kCcwErrBoundA * detsum;
+      double sign = det;
+      if (!(det > errbound || -det > errbound || detsum == 0.0)) {
+        sign = exact::orient2d_escalate(ebx, eby, px, py, eax, eay, detsum);
+      }
+      on_boundary |= static_cast<unsigned>(sign == 0.0);
+    }
+    const bool spans = (eay > py) != (eby > py);
+    const double x_cross = eax + (py - eay) * (ebx - eax) / (eby - eay);
+    inside ^= static_cast<unsigned>(spans) & static_cast<unsigned>(x_cross > px);
+  }
+}
+
+/// Segment-run scalar loop over candidates [i, end): bbox prune, then the
+/// exact intersection test, early exit on the first hit.
+inline bool seg_scalar_range(const SegSoA& s, std::size_t i, std::size_t end,
+                             const Coord& a, const Coord& b, double bx0, double by0,
+                             double bx1, double by1) {
+  for (; i < end; ++i) {
+    const bool overlap = (s.min_x[i] <= bx1) & (s.max_x[i] >= bx0) &
+                         (s.min_y[i] <= by1) & (s.max_y[i] >= by0);
+    if (overlap &&
+        segments_intersect(a, b, {s.ax[i], s.ay[i]}, {s.bx[i], s.by[i]})) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Envelope-sweep scalar loop over [i, n): true on the first overlap.
+inline bool env_scalar_range(const double* min_x, const double* min_y,
+                             const double* max_x, const double* max_y, std::size_t i,
+                             std::size_t n, double px0, double py0, double px1,
+                             double py1) {
+  for (; i < n; ++i) {
+    if (min_x[i] <= px1 && max_x[i] >= px0 && min_y[i] <= py1 && max_y[i] >= py0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace sjc::geom::simd::detail

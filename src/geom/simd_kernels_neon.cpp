@@ -1,0 +1,152 @@
+// NEON (2-lane double, AdvSIMD) variants of the BatchRefiner kernels.
+// AdvSIMD is baseline on aarch64 so no extra compile flags are needed; on
+// other targets this TU contributes just the nullptr table accessor.
+//
+// Same bit-identity structure as the AVX2 TU: identical IEEE ops per lane
+// (vdivq_f64 is correctly-rounded IEEE division), identical A-stage filter
+// comparisons, per-lane escalation in ascending order, shared scalar tail.
+#include "geom/simd_dispatch.hpp"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "geom/exact_predicates.hpp"
+#include "geom/simd_kernels_impl.hpp"
+
+namespace sjc::geom::simd {
+namespace {
+
+/// Two-bit movemask: bit L set when lane L's mask is all-ones.
+inline unsigned movemask2(uint64x2_t m) {
+  return static_cast<unsigned>(vgetq_lane_u64(m, 0) >> 63) |
+         (static_cast<unsigned>(vgetq_lane_u64(m, 1) >> 63) << 1);
+}
+
+bool pip_covers_run_neon(const double* ax, const double* ay, const double* bx,
+                         const double* by, std::size_t n, double px, double py) {
+  const float64x2_t vpx = vdupq_n_f64(px);
+  const float64x2_t vpy = vdupq_n_f64(py);
+  const float64x2_t verr_a = vdupq_n_f64(exact::kCcwErrBoundA);
+  const float64x2_t vzero = vdupq_n_f64(0.0);
+  uint64x2_t acc_on = vdupq_n_u64(0);
+  uint64x2_t acc_in = vdupq_n_u64(0);
+  unsigned on_boundary = 0;
+  unsigned inside = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t eax = vld1q_f64(ax + i);
+    const float64x2_t eay = vld1q_f64(ay + i);
+    const float64x2_t ebx = vld1q_f64(bx + i);
+    const float64x2_t eby = vld1q_f64(by + i);
+    const float64x2_t dx = vsubq_f64(ebx, eax);
+    const float64x2_t dy = vsubq_f64(eby, eay);
+    const float64x2_t rel_y = vsubq_f64(vpy, eay);
+    const float64x2_t rel_x = vsubq_f64(vpx, eax);
+    const float64x2_t detleft = vmulq_f64(dx, rel_y);
+    const float64x2_t detright = vmulq_f64(dy, rel_x);
+    const float64x2_t det = vsubq_f64(detleft, detright);
+
+    const uint64x2_t bbox = vandq_u64(
+        vandq_u64(vcgeq_f64(vpx, vminq_f64(eax, ebx)),
+                  vcleq_f64(vpx, vmaxq_f64(eax, ebx))),
+        vandq_u64(vcgeq_f64(vpy, vminq_f64(eay, eby)),
+                  vcleq_f64(vpy, vmaxq_f64(eay, eby))));
+
+    const float64x2_t detsum = vaddq_f64(vabsq_f64(detleft), vabsq_f64(detright));
+    const float64x2_t errbound = vmulq_f64(verr_a, detsum);
+    const float64x2_t neg_det = vnegq_f64(det);
+    uint64x2_t certain =
+        vorrq_u64(vcgtq_f64(det, errbound), vcgtq_f64(neg_det, errbound));
+    certain = vorrq_u64(certain, vceqq_f64(detsum, vzero));
+
+    acc_on = vorrq_u64(acc_on,
+                       vandq_u64(vceqq_f64(det, vzero), vandq_u64(bbox, certain)));
+    unsigned need = movemask2(vbicq_u64(bbox, certain));
+    while (need != 0) {
+      const int lane = __builtin_ctz(need);
+      need &= need - 1;
+      const std::size_t j = i + static_cast<std::size_t>(lane);
+      const double dl = (bx[j] - ax[j]) * (py - ay[j]);
+      const double dr = (by[j] - ay[j]) * (px - ax[j]);
+      const double ds = std::fabs(dl) + std::fabs(dr);
+      const double sign = exact::orient2d_escalate(bx[j], by[j], px, py, ax[j], ay[j], ds);
+      on_boundary |= static_cast<unsigned>(sign == 0.0);
+    }
+
+    const uint64x2_t spans = veorq_u64(vcgtq_f64(eay, vpy), vcgtq_f64(eby, vpy));
+    const float64x2_t x_cross = vaddq_f64(eax, vdivq_f64(vmulq_f64(rel_y, dx), dy));
+    acc_in = veorq_u64(acc_in, vandq_u64(spans, vcgtq_f64(x_cross, vpx)));
+  }
+  on_boundary |= static_cast<unsigned>(movemask2(acc_on) != 0);
+  inside ^= static_cast<unsigned>(__builtin_popcount(movemask2(acc_in))) & 1u;
+  detail::pip_scalar_range(ax, ay, bx, by, i, n, px, py, on_boundary, inside);
+  return (on_boundary | inside) != 0;
+}
+
+bool seg_run_intersects_neon(const SegSoA& segs, std::size_t begin, std::size_t end,
+                             double axp, double ayp, double bxp, double byp,
+                             double bx0, double by0, double bx1, double by1) {
+  const Coord a{axp, ayp};
+  const Coord b{bxp, byp};
+  const float64x2_t vbx0 = vdupq_n_f64(bx0);
+  const float64x2_t vby0 = vdupq_n_f64(by0);
+  const float64x2_t vbx1 = vdupq_n_f64(bx1);
+  const float64x2_t vby1 = vdupq_n_f64(by1);
+  std::size_t i = begin;
+  for (; i + 2 <= end; i += 2) {
+    const uint64x2_t overlap =
+        vandq_u64(vandq_u64(vcleq_f64(vld1q_f64(segs.min_x + i), vbx1),
+                            vcgeq_f64(vld1q_f64(segs.max_x + i), vbx0)),
+                  vandq_u64(vcleq_f64(vld1q_f64(segs.min_y + i), vby1),
+                            vcgeq_f64(vld1q_f64(segs.max_y + i), vby0)));
+    unsigned m = movemask2(overlap);
+    while (m != 0) {
+      const int lane = __builtin_ctz(m);
+      m &= m - 1;
+      const std::size_t j = i + static_cast<std::size_t>(lane);
+      if (segments_intersect(a, b, {segs.ax[j], segs.ay[j]},
+                             {segs.bx[j], segs.by[j]})) {
+        return true;
+      }
+    }
+  }
+  return detail::seg_scalar_range(segs, i, end, a, b, bx0, by0, bx1, by1);
+}
+
+bool env_any_overlaps_neon(const double* min_x, const double* min_y,
+                           const double* max_x, const double* max_y, std::size_t n,
+                           double px0, double py0, double px1, double py1) {
+  const float64x2_t vpx0 = vdupq_n_f64(px0);
+  const float64x2_t vpy0 = vdupq_n_f64(py0);
+  const float64x2_t vpx1 = vdupq_n_f64(px1);
+  const float64x2_t vpy1 = vdupq_n_f64(py1);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t overlap =
+        vandq_u64(vandq_u64(vcleq_f64(vld1q_f64(min_x + i), vpx1),
+                            vcgeq_f64(vld1q_f64(max_x + i), vpx0)),
+                  vandq_u64(vcleq_f64(vld1q_f64(min_y + i), vpy1),
+                            vcgeq_f64(vld1q_f64(max_y + i), vpy0)));
+    if (movemask2(overlap) != 0) return true;
+  }
+  return detail::env_scalar_range(min_x, min_y, max_x, max_y, i, n, px0, py0, px1,
+                                  py1);
+}
+
+constexpr Kernels kNeonKernels{pip_covers_run_neon, seg_run_intersects_neon,
+                               env_any_overlaps_neon};
+
+}  // namespace
+
+const Kernels* neon_kernel_table() { return &kNeonKernels; }
+
+}  // namespace sjc::geom::simd
+
+#else  // !__aarch64__
+
+namespace sjc::geom::simd {
+const Kernels* neon_kernel_table() { return nullptr; }
+}  // namespace sjc::geom::simd
+
+#endif

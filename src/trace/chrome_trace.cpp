@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "geom/simd_dispatch.hpp"
 #include "util/status.hpp"
 
 namespace sjc::trace {
@@ -149,6 +150,15 @@ std::string format_skew_table(const TaskTimeline& timeline,
                   static_cast<unsigned long long>(exact), pct(exact),
                   static_cast<unsigned long long>(accepts), pct(accepts),
                   static_cast<unsigned long long>(rejects), pct(rejects));
+    out += line;
+    // Exact-predicate split and the kernel dispatch path that produced it.
+    const std::uint64_t fastpath = value("refine.exact_fastpath");
+    const std::uint64_t slowpath = value("refine.exact_slowpath");
+    std::snprintf(line, sizeof(line),
+                  "  refine-exact: fastpath %llu | slowpath %llu | simd=%s\n",
+                  static_cast<unsigned long long>(fastpath),
+                  static_cast<unsigned long long>(slowpath),
+                  geom::simd::active_path_name());
     out += line;
   }
   // Shuffle-filter footer (present only when the map-side spatial filter is

@@ -253,6 +253,14 @@ TEST(LocalJoin, BatchRefineOnOffBitIdenticalWithAccounting) {
                       get(counters_on, "refine.early_accepts") +
                       get(counters_on, "refine.early_rejects"),
                   cand);
+        // Both modes: every exact test is classified fastpath or slowpath
+        // by the adaptive exact predicate.
+        EXPECT_EQ(get(counters_off, "refine.exact_fastpath") +
+                      get(counters_off, "refine.exact_slowpath"),
+                  get(counters_off, "refine.exact_tests"));
+        EXPECT_EQ(get(counters_on, "refine.exact_fastpath") +
+                      get(counters_on, "refine.exact_slowpath"),
+                  get(counters_on, "refine.exact_tests"));
       }
     }
   }
