@@ -563,28 +563,30 @@ int main(int argc, char** argv) {
 
   // ---- Part 3: modeled-quantity verification under virtual time. ------------
   std::printf("verifying modeled quantities are bit-identical across planes...\n");
-  set_virtual_time(true);
   bool all_identical = true;
   workload::WorkloadConfig wc;
   wc.scale = scale;
-  for (const auto& def : core::full_experiments()) {
-    const auto vleft = workload::generate(def.left, wc);
-    const auto vright = workload::generate(def.right, wc);
-    core::JoinQueryConfig vquery;
-    vquery.predicate = def.predicate;
-    for (const auto& sys : kSystems) {
-      const auto seed_report = sys.run(vleft, vright, vquery, setup.exec, false);
-      const auto zc_report = sys.run(vleft, vright, vquery, setup.exec, true);
-      const std::string tag = std::string(sys.name) + "/" + def.id;
-      if (reports_identical(seed_report, zc_report, tag)) {
-        std::printf("  %-40s identical (%zu pairs, %zu phases)\n", tag.c_str(),
-                    seed_report.result_count, seed_report.metrics.phases().size());
-      } else {
-        all_identical = false;
+  {
+    const VirtualTimeGuard vt;  // scoped: restored even on early exit
+    for (const auto& def : core::full_experiments()) {
+      const auto vleft = workload::generate(def.left, wc);
+      const auto vright = workload::generate(def.right, wc);
+      core::JoinQueryConfig vquery;
+      vquery.predicate = def.predicate;
+      for (const auto& sys : kSystems) {
+        const auto seed_report = sys.run(vleft, vright, vquery, setup.exec, false);
+        const auto zc_report = sys.run(vleft, vright, vquery, setup.exec, true);
+        const std::string tag = std::string(sys.name) + "/" + def.id;
+        if (reports_identical(seed_report, zc_report, tag)) {
+          std::printf("  %-40s identical (%zu pairs, %zu phases)\n", tag.c_str(),
+                      seed_report.result_count,
+                      seed_report.metrics.phases().size());
+        } else {
+          all_identical = false;
+        }
       }
     }
   }
-  set_virtual_time(false);
   if (!all_identical) {
     std::fprintf(stderr,
                  "zero-copy plane diverges from the seed plane on modeled "
@@ -617,10 +619,12 @@ int main(int argc, char** argv) {
       row.system = sys.name;
       const std::string tag = std::string(sys.name) + "/" + def.id;
       // Modeled quantities under virtual time (pure cost-model outputs).
-      set_virtual_time(true);
-      const auto off = sys.run(fleft, fright, fquery, setup.exec, false);
-      const auto on = sys.run(fleft, fright, fquery, setup.exec, true);
-      set_virtual_time(false);
+      core::RunReport off, on;
+      {
+        const VirtualTimeGuard vt;
+        off = sys.run(fleft, fright, fquery, setup.exec, false);
+        on = sys.run(fleft, fright, fquery, setup.exec, true);
+      }
       row.off_ok = off.success;
       row.on_ok = on.success;
       if (off.success && !on.success) {

@@ -30,6 +30,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -98,6 +99,60 @@ struct LocalJoinScratch {
   std::vector<std::uint8_t> accept_flags;
   std::vector<geom::Coord> probe_points;
   std::vector<std::uint8_t> point_covered;
+};
+
+/// Query-scoped pool of LocalJoinScratch instances.
+///
+/// The system drivers used to keep one `static thread_local` scratch per
+/// worker thread — harmless when every process ran exactly one join, but
+/// wrong for a serving process whose pool threads outlive the query: scratch
+/// buffers (and their high-water memory) from one tenant's query silently
+/// survived into the next. A ScratchPool is owned by the *query* instead:
+/// tasks check a scratch out for the duration of one task, buffers stay warm
+/// across the partition pairs that task processes, and the whole pool (and
+/// every buffer in it) dies with the query.
+class ScratchPool {
+ public:
+  /// RAII checkout: returns the scratch to the pool on destruction.
+  class Lease {
+   public:
+    Lease(ScratchPool& pool, std::unique_ptr<LocalJoinScratch> scratch)
+        : pool_(&pool), scratch_(std::move(scratch)) {}
+    Lease(Lease&&) = default;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+    ~Lease() {
+      if (scratch_ != nullptr) pool_->release(std::move(scratch_));
+    }
+    LocalJoinScratch& operator*() const { return *scratch_; }
+    LocalJoinScratch* operator->() const { return scratch_.get(); }
+
+   private:
+    ScratchPool* pool_;
+    std::unique_ptr<LocalJoinScratch> scratch_;
+  };
+
+  Lease acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!free_.empty()) {
+        auto scratch = std::move(free_.back());
+        free_.pop_back();
+        return {*this, std::move(scratch)};
+      }
+    }
+    return {*this, std::make_unique<LocalJoinScratch>()};
+  }
+
+ private:
+  void release(std::unique_ptr<LocalJoinScratch> scratch) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(scratch));
+  }
+
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<LocalJoinScratch>> free_;
 };
 
 /// Accept filter that keeps every pair (the `accept == nullptr` fast path).

@@ -9,7 +9,7 @@ namespace sjc::geom {
 
 // Out-of-line so unique_ptr<BatchRefiner> destroys where the type is
 // complete (the header only forward-declares it).
-PreparedCache::Holder::~Holder() = default;
+PreparedCache::RefinerHolder::~RefinerHolder() = default;
 
 PreparedCache::PreparedCache(std::size_t capacity) : capacity_(capacity) {
   require(capacity > 0, "PreparedCache: capacity must be > 0");
@@ -35,11 +35,14 @@ std::shared_ptr<const BoundPredicate> PreparedCache::acquire(
     const GeometryEngine& engine, std::uint64_t id, const Geometry& geometry) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    ++lookups_;
     const auto it = entries_.find(id);
-    if (it != entries_.end()) {
+    // An entry populated only by acquire_refiner() carries no bound
+    // predicate; that is a miss for this slot, not a null handle.
+    if (it != entries_.end() && it->second.bound != nullptr) {
       ++hits_;
       it->second.last_used = ++tick_;
-      return {it->second.holder, it->second.holder->bound.get()};
+      return {it->second.bound, it->second.bound->bound.get()};
     }
     ++misses_;
   }
@@ -47,58 +50,65 @@ std::shared_ptr<const BoundPredicate> PreparedCache::acquire(
   // Bind outside the lock: preparation is the expensive part and other
   // tasks must not serialize behind it. A concurrent miss on the same id
   // binds twice; the loser's work is discarded below.
-  auto holder = std::make_shared<Holder>();
+  auto holder = std::make_shared<BoundHolder>();
   holder->geometry = geometry;
   holder->bound = engine.bind(holder->geometry);
 
   std::lock_guard<std::mutex> lock(mutex_);
   auto [it, inserted] = entries_.try_emplace(id);
-  if (!inserted) {
+  if (!inserted && it->second.bound != nullptr) {
     // Another thread won the race; share its handle.
     it->second.last_used = ++tick_;
-    return {it->second.holder, it->second.holder->bound.get()};
+    return {it->second.bound, it->second.bound->bound.get()};
   }
-  it->second.holder = std::move(holder);
+  // Fresh entry, or a refiner-only entry gaining its bound slot; the
+  // refiner slot (if any) is left untouched.
+  it->second.bound = std::move(holder);
   touch_and_evict_locked(it->second, id);
-  return {it->second.holder, it->second.holder->bound.get()};
+  return {it->second.bound, it->second.bound->bound.get()};
 }
 
 std::shared_ptr<const BatchRefiner> PreparedCache::acquire_refiner(
     std::uint64_t id, const Geometry& geometry) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    ++lookups_;
     const auto it = entries_.find(id);
-    if (it != entries_.end() && it->second.holder->refiner != nullptr) {
+    if (it != entries_.end() && it->second.refiner != nullptr) {
       ++hits_;
       it->second.last_used = ++tick_;
-      return {it->second.holder, it->second.holder->refiner.get()};
+      return {it->second.refiner, it->second.refiner->refiner.get()};
     }
     ++misses_;
   }
 
   // Build outside the lock (same reasoning as acquire): the loser of a
   // concurrent miss race discards its work below.
-  auto holder = std::make_shared<Holder>();
+  auto holder = std::make_shared<RefinerHolder>();
   holder->geometry = geometry;
   holder->refiner = std::make_unique<BatchRefiner>(holder->geometry);
 
   std::lock_guard<std::mutex> lock(mutex_);
   auto [it, inserted] = entries_.try_emplace(id);
-  if (!inserted && it->second.holder->refiner != nullptr) {
+  if (!inserted && it->second.refiner != nullptr) {
     it->second.last_used = ++tick_;
-    return {it->second.holder, it->second.holder->refiner.get()};
+    return {it->second.refiner, it->second.refiner->refiner.get()};
   }
-  // Fresh entry, or an acquire()-only entry upgraded to carry a refiner.
-  // Replacing the holder is safe: outstanding handles share ownership of
-  // the old one.
-  it->second.holder = std::move(holder);
+  // Fresh entry, or an acquire()-only entry gaining its refiner slot; the
+  // bound slot (if any) is left untouched.
+  it->second.refiner = std::move(holder);
   touch_and_evict_locked(it->second, id);
-  return {it->second.holder, it->second.holder->refiner.get()};
+  return {it->second.refiner, it->second.refiner->refiner.get()};
 }
 
 std::size_t PreparedCache::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return entries_.size();
+}
+
+std::uint64_t PreparedCache::lookups() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lookups_;
 }
 
 std::uint64_t PreparedCache::hits() const {
@@ -118,8 +128,7 @@ std::uint64_t PreparedCache::evictions() const {
 
 double PreparedCache::hit_rate() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  const std::uint64_t total = hits_ + misses_;
-  return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  return lookups_ == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(lookups_);
 }
 
 void PreparedCache::clear() {
@@ -129,4 +138,3 @@ void PreparedCache::clear() {
 }
 
 }  // namespace sjc::geom
-

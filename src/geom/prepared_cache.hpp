@@ -1,5 +1,6 @@
-// PreparedCache: a run-scoped cache of bind() results (PreparedGeometry
-// handles) keyed by feature id.
+// PreparedCache: a cache of bind() results (PreparedGeometry handles)
+// keyed by feature id, scoped to a run or — in serving mode — shared
+// across every query that touches the same resident dataset pair.
 //
 // Partition-based joins (the paper's §II design choice shared by all three
 // systems) overlap-assign features, so the same right-side geometry appears
@@ -8,12 +9,20 @@
 // from keeping query-side index/prepared structures alive across
 // partitions; PreparedCache brings that to the shared local-join kernel: a
 // thread-safe, capacity-bounded (LRU) map from feature id to a bound
-// predicate, shared by all tasks of a join wave.
+// predicate, shared by all tasks of a join wave (and, via
+// serving::ResidentCatalog, by all queries against one resident entry).
 //
-// Each entry owns a private copy of the geometry it was bound against, so a
+// Each slot owns a private copy of the geometry it was bound against, so a
 // cached handle stays valid even when the source partition block (or a
 // streaming reducer's transient feature vector) is gone. Eviction never
 // invalidates handles already handed out — they share ownership.
+//
+// An entry carries two independent slots: the per-pair BoundPredicate
+// (acquire) and the batched BatchRefiner (acquire_refiner). The slots are
+// populated lazily and independently, so queries with different
+// `batch_refine` settings can share one cache: a refiner-only entry never
+// satisfies an acquire() lookup (and vice versa), and populating one slot
+// never discards the other.
 //
 // Fidelity note: the cache models reuse of *prepared* structures only. The
 // Simple (GEOS-analog) engine's from-scratch per-call evaluation is the
@@ -49,31 +58,39 @@ class PreparedCache {
 
   /// Like acquire(), but for the batched refinement engine: returns the
   /// BatchRefiner for feature `id`, building one (against an internally
-  /// owned copy of `geometry`) on a miss. A hit whose entry was populated
-  /// by acquire() only (no refiner yet) upgrades the entry in place;
-  /// handles already handed out stay valid through shared ownership.
+  /// owned copy of `geometry`) on a miss. An entry whose bound-predicate
+  /// slot was populated by acquire() keeps it; the refiner slot is filled
+  /// alongside. Handles already handed out stay valid through shared
+  /// ownership.
   std::shared_ptr<const BatchRefiner> acquire_refiner(std::uint64_t id,
                                                       const Geometry& geometry);
 
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const;
+  /// Total acquire()/acquire_refiner() calls. Invariant (checked by
+  /// tests, including under TSan): hits() + misses() == lookups().
+  std::uint64_t lookups() const;
   std::uint64_t hits() const;
   std::uint64_t misses() const;
   std::uint64_t evictions() const;
-  /// hits / (hits + misses), 0 when never queried.
+  /// hits / lookups, 0 when never queried.
   double hit_rate() const;
 
   void clear();
 
  private:
-  struct Holder {
-    Geometry geometry;  // owned copy; `bound` / `refiner` reference it
+  struct BoundHolder {
+    Geometry geometry;  // owned copy; `bound` references it
     std::unique_ptr<BoundPredicate> bound;
-    std::unique_ptr<BatchRefiner> refiner;  // built lazily by acquire_refiner
-    ~Holder();
+  };
+  struct RefinerHolder {
+    Geometry geometry;  // owned copy; `refiner` references it
+    std::unique_ptr<BatchRefiner> refiner;
+    ~RefinerHolder();  // out-of-line: BatchRefiner is incomplete here
   };
   struct Entry {
-    std::shared_ptr<Holder> holder;
+    std::shared_ptr<BoundHolder> bound;      // populated by acquire()
+    std::shared_ptr<RefinerHolder> refiner;  // populated by acquire_refiner()
     std::uint64_t last_used = 0;
   };
 
@@ -85,6 +102,7 @@ class PreparedCache {
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, Entry> entries_;
   std::uint64_t tick_ = 0;
+  std::uint64_t lookups_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;

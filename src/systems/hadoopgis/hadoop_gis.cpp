@@ -260,42 +260,288 @@ PreprocessedDataset preprocess(GisContext& gis, const workload::Dataset& data,
   return out;
 }
 
+/// Steps (b) and (c) of the HadoopGIS join — the big distributed-join
+/// streaming job and the sort-unique dedup job — shared verbatim by the
+/// cold batch driver and the resident serving path: given the same inputs
+/// (partitioned line splits, joint scheme, occupancy bitmaps) both produce
+/// bit-identical pair sets and identical shuffle.* / refine.* / join.*
+/// counters. `shared_cache`, when non-null, is a cross-query
+/// geom::PreparedCache owned by the caller (the serving catalog); the
+/// cache-hit counters always record only this run's delta.
+std::vector<JoinPair> run_gis_join(mapreduce::MrContext& ctx,
+                                   const mapreduce::StreamingConfig& streaming,
+                                   const core::JoinQueryConfig& query,
+                                   const core::ExecutionConfig& exec,
+                                   const HadoopGisConfig& config,
+                                   const partition::PartitionScheme& joint_scheme,
+                                   const geom::OccupancyFilter* filt_a,
+                                   const geom::OccupancyFilter* filt_b,
+                                   bool filter_on,
+                                   const std::vector<std::vector<std::string>>& splits,
+                                   std::size_t n_a,
+                                   workload::RowQuarantine& quarantine_sink,
+                                   geom::PreparedCache* shared_cache,
+                                   core::RunReport& report) {
+  const std::size_t slots = exec.cluster.total_slots();
+
+  core::LocalJoinSpec local_spec;
+  local_spec.algorithm = query.local_algorithm.value_or(config.local_algorithm);
+  local_spec.engine = &geom::GeometryEngine::get(config.engine);
+  local_spec.predicate = query.predicate;
+  local_spec.within_distance = query.within_distance;
+  // Run-scoped bind() cache (or the caller's resident cache); inert under
+  // the default Simple (GEOS-analog) engine — run_local_join consults it
+  // only for the Prepared engine, so the system's measured per-call
+  // refinement cost is unchanged. A resident cache carries hit/miss history
+  // from earlier queries, so snapshot and report only this run's delta.
+  geom::PreparedCache local_cache;
+  geom::PreparedCache& prepared_cache =
+      shared_cache != nullptr ? *shared_cache : local_cache;
+  const std::uint64_t cache_hits0 = prepared_cache.hits();
+  const std::uint64_t cache_misses0 = prepared_cache.misses();
+  local_spec.prepared_cache = &prepared_cache;
+  // refine.* accounting (thread-safe; flushed once per run_local_join
+  // call). Under the default Simple engine every refined candidate counts
+  // as an exact test — the approximations are a Prepared-path feature.
+  local_spec.refine_counters = &report.counters;
+
+  const double expand = local_spec.envelope_expansion();
+
+  // Shared across map tasks; run_streaming executes user code exactly once
+  // per task, so retries never double-count (same pattern as dup_records).
+  auto shuffle_assigned = std::make_shared<std::atomic<std::uint64_t>>(0);
+  auto shuffle_emitted = std::make_shared<std::atomic<std::uint64_t>>(0);
+  auto filtered_line_bytes = std::make_shared<std::atomic<std::uint64_t>>(0);
+
+  StreamingSpec join_job;
+  join_job.name = "join/b-distributed-join";
+  join_job.config = streaming;
+  workload::RowQuarantine* quarantine = &quarantine_sink;
+  join_job.make_mapper = [&joint_scheme, n_a, expand, quarantine, filt_a,
+                          filt_b, shuffle_assigned, shuffle_emitted,
+                          filtered_line_bytes](std::size_t task)
+      -> mapreduce::StreamingMapFn {
+    const char side = task < n_a ? 'A' : 'B';
+    // Each side drops against the *other* side's occupancy bitmap.
+    const geom::OccupancyFilter* filt = side == 'A' ? filt_b : filt_a;
+    auto tree = std::make_shared<index::DynamicRTree>();
+    for (std::uint32_t pid = 0; pid < joint_scheme.cell_count(); ++pid) {
+      tree->insert(joint_scheme.cells()[pid], pid);
+    }
+    const auto* scheme_ptr = &joint_scheme;
+    return [tree, scheme_ptr, side, expand, quarantine, filt, shuffle_assigned,
+            shuffle_emitted, filtered_line_bytes](
+               const std::string& line, std::vector<std::string>& emit) {
+      // Input lines look like "p<pid>\t<id>\t<wkt>[\t<pad>]": the stale
+      // pid is skipped, the record re-parsed, the joint index queried.
+      std::string error;
+      const auto parsed = workload::try_feature_from_tsv_at(line, 1, &error);
+      if (!parsed) {
+        quarantine->divert("join/b-distributed-join.map", line, error);
+        return;
+      }
+      const geom::Feature& f = *parsed;
+      // View, not substr: the emitted line is assembled below without an
+      // intermediate copy of the record tail.
+      const std::string_view rest = std::string_view(line).substr(line.find('\t') + 1);
+      const geom::Envelope env = f.geometry.envelope().expanded_by(expand);
+      std::vector<std::uint32_t> pids = tree->query_ids(env);
+      if (pids.empty()) pids = scheme_ptr->assign(env);
+      if (filt != nullptr) {
+        shuffle_assigned->fetch_add(pids.size(), std::memory_order_relaxed);
+        // Drop tile copies with no occupied slot under the envelope: the
+        // line is never built, never buffered, never crosses the pipe.
+        std::size_t kept = 0;
+        std::uint64_t dropped_bytes = 0;
+        for (const auto pid : pids) {
+          if (filt->may_match(pid, env)) {
+            pids[kept++] = pid;
+          } else {
+            // Size of the "j<pid>\t<side>\t<rest>" line (+1 for the
+            // newline the pipe accounting charges per emitted line).
+            dropped_bytes += rest.size() + std::to_string(pid).size() + 5;
+          }
+        }
+        if (dropped_bytes > 0) {
+          filtered_line_bytes->fetch_add(dropped_bytes,
+                                         std::memory_order_relaxed);
+        }
+        pids.resize(kept);
+        shuffle_emitted->fetch_add(pids.size(), std::memory_order_relaxed);
+      }
+      for (const auto pid : pids) {
+        std::string out;
+        out.reserve(rest.size() + 16);
+        out += 'j';
+        out += std::to_string(pid);
+        out += '\t';
+        out += side;
+        out += '\t';
+        out += rest;
+        emit.push_back(std::move(out));
+      }
+    };
+  };
+  // Query-owned scratch pool instead of a `static thread_local` scratch:
+  // index trees and candidate buffers stay warm across the cells a reducer
+  // thread processes but die with the query, so nothing survives onto the
+  // pool threads a serving process keeps around (see core::ScratchPool).
+  core::ScratchPool scratch_pool;
+  join_job.reduce = [&local_spec, &scratch_pool, quarantine](
+                        const std::vector<std::string>& lines,
+                        std::vector<std::string>& emit) {
+    // Lines arrive sorted, so partitions are contiguous and, within one,
+    // side A sorts before side B.
+    std::size_t i = 0;
+    while (i < lines.size()) {
+      const std::string_view key = mapreduce::streaming_key(lines[i]);
+      std::vector<geom::Feature> left_features;
+      std::vector<geom::Feature> right_features;
+      while (i < lines.size() && mapreduce::streaming_key(lines[i]) == key) {
+        static thread_local std::vector<std::string_view> fields;
+        split_into(lines[i], '\t', fields);
+        std::string error;
+        auto f = workload::try_feature_from_tsv_at(lines[i], 2, &error);
+        if (!f) {
+          quarantine->divert("join/b-distributed-join.reduce", lines[i], error);
+          ++i;
+          continue;
+        }
+        (fields.at(1) == "A" ? left_features : right_features)
+            .push_back(std::move(*f));
+        ++i;
+      }
+      std::vector<JoinPair> pairs;
+      auto scratch = scratch_pool.acquire();
+      core::run_local_join(std::span<const geom::Feature>(left_features),
+                           std::span<const geom::Feature>(right_features), local_spec,
+                           core::AcceptAllPairs{}, *scratch, pairs);
+      for (const auto& p : pairs) {
+        emit.push_back(std::to_string(p.left_id) + "\t" + std::to_string(p.right_id));
+      }
+    }
+  };
+  const auto pair_lines = mapreduce::run_streaming(ctx, join_job, splits);
+  if (filter_on) {
+    const std::uint64_t assigned = shuffle_assigned->load(std::memory_order_relaxed);
+    const std::uint64_t emitted = shuffle_emitted->load(std::memory_order_relaxed);
+    report.counters.add("shuffle.assigned_records", assigned);
+    report.counters.add("shuffle.records", emitted);
+    report.counters.add("shuffle.filtered_records", assigned - emitted);
+    report.counters.add("shuffle.filtered_bytes",
+                        filtered_line_bytes->load(std::memory_order_relaxed));
+  }
+  report.counters.add("join.pair_lines_before_dedup", pair_lines.size());
+  report.counters.add("join.prepared_cache_hits",
+                      prepared_cache.hits() - cache_hits0);
+  report.counters.add("join.prepared_cache_misses",
+                      prepared_cache.misses() - cache_misses0);
+
+  // ---- Step (c): sort-unique dedup job ------------------------------------
+  StreamingSpec dedup;
+  dedup.name = "join/c-dedup";
+  dedup.config = streaming;
+  dedup.map = [](const std::string& line, std::vector<std::string>& emit) {
+    emit.push_back(line);
+  };
+  dedup.reduce = [](const std::vector<std::string>& lines,
+                    std::vector<std::string>& emit) {
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (i == 0 || lines[i] != lines[i - 1]) emit.push_back(lines[i]);
+    }
+  };
+  const auto final_lines =
+      mapreduce::run_streaming(ctx, dedup, chunk_lines(pair_lines, slots));
+
+  report.counters.add("join.pair_lines_after_dedup", final_lines.size());
+  std::vector<JoinPair> pairs;
+  pairs.reserve(final_lines.size());
+  std::vector<std::string_view> fields;  // master-side reuse, one per loop
+  for (const auto& line : final_lines) {
+    split_into(line, '\t', fields);
+    pairs.push_back({parse_u64(fields.at(0)), parse_u64(fields.at(1))});
+  }
+  return pairs;
+}
+
+mapreduce::StreamingConfig make_streaming_config(const core::ExecutionConfig& exec,
+                                                 const HadoopGisConfig& config) {
+  mapreduce::StreamingConfig streaming;
+  streaming.mr = config.mr;
+  streaming.pipe_bandwidth = config.pipe_bandwidth;
+  streaming.pipe_capacity_bytes = static_cast<std::uint64_t>(
+      config.pipe_capacity_fraction *
+      static_cast<double>(exec.cluster.node.memory_bytes) / exec.cluster.node.cores *
+      (exec.cluster.node_count > 1 ? config.multi_node_pipe_derating : 1.0));
+  return streaming;
+}
+
+dfs::DfsConfig gis_dfs_config(const core::JoinQueryConfig& query,
+                              const core::ExecutionConfig& exec) {
+  return dfs::DfsConfig{
+      .block_size = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(64.0 * 1024 * 1024 / exec.data_scale)),
+      .replication = 3,
+      .datanode_count = exec.cluster.node_count,
+      .seed = query.seed,
+  };
+}
+
 }  // namespace
 
-core::RunReport run_hadoop_gis(const workload::Dataset& left,
-                               const workload::Dataset& right,
-                               const core::JoinQueryConfig& query,
-                               const core::ExecutionConfig& exec,
-                               const HadoopGisConfig& config) {
+/// Everything the serving layer keeps resident between queries for one
+/// dataset pair: the partitioned line files both preprocessing pipelines
+/// produced (already chunked into the join job's splits — the chunking
+/// depends only on the cluster's slot count, which is fixed per catalog
+/// entry), the joint partition scheme, the occupancy bitmaps, and the
+/// ingest-time counters — replayed into every resident query's report so
+/// the full counter set matches a cold batch run exactly.
+struct HadoopGisResident::Impl {
+  std::vector<std::vector<std::string>> splits;  // A chunks then B chunks
+  std::size_t n_a = 0;
+  std::optional<partition::PartitionScheme> joint_scheme;
+  std::unique_ptr<geom::OccupancyFilter> sfilter_a;  // A occupancy, filters B
+  std::unique_ptr<geom::OccupancyFilter> sfilter_b;  // B occupancy, filters A
+  bool filter_on = false;
+  double expand = 0.0;
+  cluster::Counters ingest_counters;
+  core::RunReport build_report;
+};
+
+namespace {
+
+core::RunReport run_hadoop_gis_impl(const workload::Dataset& left,
+                                    const workload::Dataset& right,
+                                    const core::JoinQueryConfig& query,
+                                    const core::ExecutionConfig& exec,
+                                    const HadoopGisConfig& config,
+                                    HadoopGisResident::Impl* capture) {
   core::RunReport report;
   trace::TraceCollector collector(exec.cluster.node_count, exec.cluster.node.cores);
-  workload::RowQuarantine quarantine_sink;
+  // Two sinks so the ingest share of the quarantine counters can be captured
+  // for resident replay; a cold run's totals are the sum of both, identical
+  // to the seed single-sink accounting.
+  workload::RowQuarantine build_quarantine;
+  workload::RowQuarantine join_quarantine;
+  // Ingest counters accumulate separately and are merged into the run's
+  // counters once preprocessing is done — totals are unchanged for a cold
+  // run, and a resident build keeps the ingest share for replay.
+  cluster::Counters ingest_counters;
+  bool ingest_merged = false;
 
   try {
     // Fault-plan validation (FaultInjector's constructor) and DFS setup can
     // throw on a bad plan: inside the try so a chaos-generated invalid plan
     // reports a structured Status instead of escaping the driver.
-    dfs::SimDfs dfs(dfs::DfsConfig{
-        .block_size = std::max<std::uint64_t>(
-            1, static_cast<std::uint64_t>(64.0 * 1024 * 1024 / exec.data_scale)),
-        .replication = 3,
-        .datanode_count = exec.cluster.node_count,
-        .seed = query.seed,
-    });
+    dfs::SimDfs dfs(gis_dfs_config(query, exec));
     const cluster::FaultInjector faults(config.faults);
     mapreduce::MrContext ctx{&exec.cluster, exec.data_scale, &dfs, &report.metrics,
-                             &report.counters, &faults};
+                             &ingest_counters, &faults};
     if (exec.trace) ctx.trace = &collector;
 
-    mapreduce::StreamingConfig streaming;
-    streaming.mr = config.mr;
-    streaming.pipe_bandwidth = config.pipe_bandwidth;
-    streaming.pipe_capacity_bytes = static_cast<std::uint64_t>(
-        config.pipe_capacity_fraction *
-        static_cast<double>(exec.cluster.node.memory_bytes) / exec.cluster.node.cores *
-        (exec.cluster.node_count > 1 ? config.multi_node_pipe_derating : 1.0));
+    const mapreduce::StreamingConfig streaming = make_streaming_config(exec, config);
 
-    GisContext gis{&ctx, streaming, &query, &exec, &config, &quarantine_sink};
+    GisContext gis{&ctx, streaming, &query, &exec, &config, &build_quarantine};
 
     // ---- Preprocessing (IA, IB) --------------------------------------------
     PreprocessedDataset pa = preprocess(gis, left, "A");
@@ -319,7 +565,7 @@ core::RunReport run_hadoop_gis(const workload::Dataset& left,
                                   pa.sample_text_bytes + pb.sample_text_bytes,
                                   joint_scheme.size_bytes());
 
-    // ---- Global+local join step (b): one big streaming MR job --------------
+    // ---- Global+local join step (b) inputs ---------------------------------
     const std::size_t slots = exec.cluster.total_slots();
     auto splits_a = chunk_lines(std::move(pa.partitioned_lines), slots);
     const std::size_t n_a = splits_a.size();
@@ -328,22 +574,9 @@ core::RunReport run_hadoop_gis(const workload::Dataset& left,
       for (auto& s : splits_b) splits_a.push_back(std::move(s));
     }
 
-    core::LocalJoinSpec local_spec;
-    local_spec.algorithm = query.local_algorithm.value_or(config.local_algorithm);
-    local_spec.engine = &geom::GeometryEngine::get(config.engine);
-    local_spec.predicate = query.predicate;
-    local_spec.within_distance = query.within_distance;
-    // Run-scoped bind() cache; inert under the default Simple (GEOS-analog)
-    // engine — run_local_join consults it only for the Prepared engine, so
-    // the system's measured per-call refinement cost is unchanged.
-    geom::PreparedCache prepared_cache;
-    local_spec.prepared_cache = &prepared_cache;
-    // refine.* accounting (thread-safe; flushed once per run_local_join
-    // call). Under the default Simple engine every refined candidate counts
-    // as an exact test — the approximations are a Prepared-path feature.
-    local_spec.refine_counters = &report.counters;
-
-    const double expand = local_spec.envelope_expansion();
+    const double expand = query.predicate == core::JoinPredicate::kWithinDistance
+                              ? query.within_distance / 2.0
+                              : 0.0;
 
     // ---- Global join step (a2): optional shuffle filter ---------------------
     // LocationSpark's sFilter analog: a master-side pass over each dataset
@@ -380,154 +613,32 @@ core::RunReport run_hadoop_gis(const workload::Dataset& left,
     }
     const geom::OccupancyFilter* filt_b = sfilter_b.get();
     const geom::OccupancyFilter* filt_a = sfilter_a.get();
-    // Shared across map tasks; run_streaming executes user code exactly once
-    // per task, so retries never double-count (same pattern as dup_records).
-    auto shuffle_assigned = std::make_shared<std::atomic<std::uint64_t>>(0);
-    auto shuffle_emitted = std::make_shared<std::atomic<std::uint64_t>>(0);
-    auto filtered_line_bytes = std::make_shared<std::atomic<std::uint64_t>>(0);
 
-    StreamingSpec join_job;
-    join_job.name = "join/b-distributed-join";
-    join_job.config = streaming;
-    workload::RowQuarantine* quarantine = &quarantine_sink;
-    join_job.make_mapper = [&joint_scheme, n_a, expand, quarantine, filt_a,
-                            filt_b, shuffle_assigned, shuffle_emitted,
-                            filtered_line_bytes](std::size_t task)
-        -> mapreduce::StreamingMapFn {
-      const char side = task < n_a ? 'A' : 'B';
-      // Each side drops against the *other* side's occupancy bitmap.
-      const geom::OccupancyFilter* filt = side == 'A' ? filt_b : filt_a;
-      auto tree = std::make_shared<index::DynamicRTree>();
-      for (std::uint32_t pid = 0; pid < joint_scheme.cell_count(); ++pid) {
-        tree->insert(joint_scheme.cells()[pid], pid);
+    // Preprocessing is done: fold its counters (including its quarantined
+    // rows) into the run and point the context at the run's counters for
+    // the join jobs.
+    build_quarantine.flush_counters(ingest_counters);
+    report.counters.merge(ingest_counters);
+    ingest_merged = true;
+    ctx.counters = &report.counters;
+
+    if (capture != nullptr) {
+      capture->splits = splits_a;
+      capture->n_a = n_a;
+      capture->joint_scheme.emplace(joint_scheme);
+      if (sfilter_a != nullptr) {
+        capture->sfilter_a = std::make_unique<geom::OccupancyFilter>(*sfilter_a);
+        capture->sfilter_b = std::make_unique<geom::OccupancyFilter>(*sfilter_b);
       }
-      const auto* scheme_ptr = &joint_scheme;
-      return [tree, scheme_ptr, side, expand, quarantine, filt, shuffle_assigned,
-              shuffle_emitted, filtered_line_bytes](
-                 const std::string& line, std::vector<std::string>& emit) {
-        // Input lines look like "p<pid>\t<id>\t<wkt>[\t<pad>]": the stale
-        // pid is skipped, the record re-parsed, the joint index queried.
-        std::string error;
-        const auto parsed = workload::try_feature_from_tsv_at(line, 1, &error);
-        if (!parsed) {
-          quarantine->divert("join/b-distributed-join.map", line, error);
-          return;
-        }
-        const geom::Feature& f = *parsed;
-        // View, not substr: the emitted line is assembled below without an
-        // intermediate copy of the record tail.
-        const std::string_view rest = std::string_view(line).substr(line.find('\t') + 1);
-        const geom::Envelope env = f.geometry.envelope().expanded_by(expand);
-        std::vector<std::uint32_t> pids = tree->query_ids(env);
-        if (pids.empty()) pids = scheme_ptr->assign(env);
-        if (filt != nullptr) {
-          shuffle_assigned->fetch_add(pids.size(), std::memory_order_relaxed);
-          // Drop tile copies with no occupied slot under the envelope: the
-          // line is never built, never buffered, never crosses the pipe.
-          std::size_t kept = 0;
-          std::uint64_t dropped_bytes = 0;
-          for (const auto pid : pids) {
-            if (filt->may_match(pid, env)) {
-              pids[kept++] = pid;
-            } else {
-              // Size of the "j<pid>\t<side>\t<rest>" line (+1 for the
-              // newline the pipe accounting charges per emitted line).
-              dropped_bytes += rest.size() + std::to_string(pid).size() + 5;
-            }
-          }
-          if (dropped_bytes > 0) {
-            filtered_line_bytes->fetch_add(dropped_bytes,
-                                           std::memory_order_relaxed);
-          }
-          pids.resize(kept);
-          shuffle_emitted->fetch_add(pids.size(), std::memory_order_relaxed);
-        }
-        for (const auto pid : pids) {
-          std::string out;
-          out.reserve(rest.size() + 16);
-          out += 'j';
-          out += std::to_string(pid);
-          out += '\t';
-          out += side;
-          out += '\t';
-          out += rest;
-          emit.push_back(std::move(out));
-        }
-      };
-    };
-    join_job.reduce = [&local_spec, quarantine](const std::vector<std::string>& lines,
-                                                std::vector<std::string>& emit) {
-      // Lines arrive sorted, so partitions are contiguous and, within one,
-      // side A sorts before side B.
-      std::size_t i = 0;
-      while (i < lines.size()) {
-        const std::string_view key = mapreduce::streaming_key(lines[i]);
-        std::vector<geom::Feature> left_features;
-        std::vector<geom::Feature> right_features;
-        while (i < lines.size() && mapreduce::streaming_key(lines[i]) == key) {
-          static thread_local std::vector<std::string_view> fields;
-          split_into(lines[i], '\t', fields);
-          std::string error;
-          auto f = workload::try_feature_from_tsv_at(lines[i], 2, &error);
-          if (!f) {
-            quarantine->divert("join/b-distributed-join.reduce", lines[i], error);
-            ++i;
-            continue;
-          }
-          (fields.at(1) == "A" ? left_features : right_features)
-              .push_back(std::move(*f));
-          ++i;
-        }
-        std::vector<JoinPair> pairs;
-        // Per-thread scratch: reducer threads process many cells in turn, so
-        // index trees and candidate buffers stay warm across cells.
-        static thread_local core::LocalJoinScratch scratch;
-        core::run_local_join(std::span<const geom::Feature>(left_features),
-                             std::span<const geom::Feature>(right_features), local_spec,
-                             core::AcceptAllPairs{}, scratch, pairs);
-        for (const auto& p : pairs) {
-          emit.push_back(std::to_string(p.left_id) + "\t" + std::to_string(p.right_id));
-        }
-      }
-    };
-    const auto pair_lines = mapreduce::run_streaming(ctx, join_job, splits_a);
-    if (filter_on) {
-      const std::uint64_t assigned = shuffle_assigned->load(std::memory_order_relaxed);
-      const std::uint64_t emitted = shuffle_emitted->load(std::memory_order_relaxed);
-      report.counters.add("shuffle.assigned_records", assigned);
-      report.counters.add("shuffle.records", emitted);
-      report.counters.add("shuffle.filtered_records", assigned - emitted);
-      report.counters.add("shuffle.filtered_bytes",
-                          filtered_line_bytes->load(std::memory_order_relaxed));
+      capture->filter_on = filter_on;
+      capture->expand = expand;
+      capture->ingest_counters = ingest_counters;
     }
-    report.counters.add("join.pair_lines_before_dedup", pair_lines.size());
-    report.counters.add("join.prepared_cache_hits", prepared_cache.hits());
-    report.counters.add("join.prepared_cache_misses", prepared_cache.misses());
-
-    // ---- Step (c): sort-unique dedup job ------------------------------------
-    StreamingSpec dedup;
-    dedup.name = "join/c-dedup";
-    dedup.config = streaming;
-    dedup.map = [](const std::string& line, std::vector<std::string>& emit) {
-      emit.push_back(line);
-    };
-    dedup.reduce = [](const std::vector<std::string>& lines,
-                      std::vector<std::string>& emit) {
-      for (std::size_t i = 0; i < lines.size(); ++i) {
-        if (i == 0 || lines[i] != lines[i - 1]) emit.push_back(lines[i]);
-      }
-    };
-    const auto final_lines =
-        mapreduce::run_streaming(ctx, dedup, chunk_lines(pair_lines, slots));
-
-    report.counters.add("join.pair_lines_after_dedup", final_lines.size());
-    std::vector<JoinPair> pairs;
-    pairs.reserve(final_lines.size());
-    std::vector<std::string_view> fields;  // master-side reuse, one per loop
-    for (const auto& line : final_lines) {
-      split_into(line, '\t', fields);
-      pairs.push_back({parse_u64(fields.at(0)), parse_u64(fields.at(1))});
-    }
+    // ---- Steps (b) + (c): join + dedup streaming jobs -----------------------
+    std::vector<JoinPair> pairs =
+        run_gis_join(ctx, streaming, query, exec, config, joint_scheme, filt_a,
+                     filt_b, filter_on, splits_a, n_a, join_quarantine,
+                     /*shared_cache=*/nullptr, report);
 
     report.success = true;
     report.status = Status::Ok();
@@ -545,9 +656,108 @@ core::RunReport run_hadoop_gis(const workload::Dataset& left,
     report.status = status_from_exception(e);
   }
 
-  quarantine_sink.flush_counters(report.counters);
+  // A failure mid-preprocessing leaves the ingest share unmerged: fold it in
+  // here so failed runs report the same counters as the seed single-counter
+  // accounting did.
+  if (!ingest_merged) {
+    build_quarantine.flush_counters(ingest_counters);
+    report.counters.merge(ingest_counters);
+  }
+  join_quarantine.flush_counters(report.counters);
   report.index_a_seconds = report.metrics.seconds_with_prefix("A/");
   report.index_b_seconds = report.metrics.seconds_with_prefix("B/");
+  report.join_seconds = report.metrics.seconds_with_prefix("join/");
+  report.total_seconds = report.metrics.total_seconds();
+  if (exec.trace) report.trace = collector.merged();
+  core::annotate_recovery(report);
+  return report;
+}
+
+}  // namespace
+
+core::RunReport run_hadoop_gis(const workload::Dataset& left,
+                               const workload::Dataset& right,
+                               const core::JoinQueryConfig& query,
+                               const core::ExecutionConfig& exec,
+                               const HadoopGisConfig& config) {
+  return run_hadoop_gis_impl(left, right, query, exec, config, /*capture=*/nullptr);
+}
+
+const core::RunReport& HadoopGisResident::build_report() const {
+  require(impl_ != nullptr, "HadoopGisResident: not built");
+  return impl_->build_report;
+}
+
+HadoopGisResident hadoop_gis_build_resident(const workload::Dataset& left,
+                                            const workload::Dataset& right,
+                                            const core::JoinQueryConfig& query,
+                                            const core::ExecutionConfig& exec,
+                                            const HadoopGisConfig& config) {
+  auto impl = std::make_shared<HadoopGisResident::Impl>();
+  impl->build_report =
+      run_hadoop_gis_impl(left, right, query, exec, config, impl.get());
+  require(impl->build_report.success,
+          "hadoop_gis_build_resident: build run failed: " +
+              impl->build_report.failure_reason);
+  HadoopGisResident resident;
+  resident.impl_ = std::move(impl);
+  return resident;
+}
+
+core::RunReport run_hadoop_gis_resident(const HadoopGisResident& resident,
+                                        const core::JoinQueryConfig& query,
+                                        const core::ExecutionConfig& exec,
+                                        const HadoopGisConfig& config,
+                                        geom::PreparedCache* shared_cache) {
+  core::RunReport report;
+  trace::TraceCollector collector(exec.cluster.node_count, exec.cluster.node.cores);
+  workload::RowQuarantine join_quarantine;
+
+  try {
+    require(resident.impl_ != nullptr, "run_hadoop_gis_resident: not built");
+    const HadoopGisResident::Impl& impl = *resident.impl_;
+    {
+      core::LocalJoinSpec probe;
+      probe.predicate = query.predicate;
+      probe.within_distance = query.within_distance;
+      require(probe.envelope_expansion() == impl.expand,
+              "run_hadoop_gis_resident: query envelope expansion does not "
+              "match the resident build");
+    }
+
+    // Fresh runtime per query — a serving process answers each query on its
+    // own simulated job, like the indexed SpatialHadoop path. The
+    // preprocessing products (partition scheme, bitmaps, partitioned lines)
+    // come from the catalog; no A/ or B/ phase runs, so IA/IB report as 0.
+    dfs::SimDfs dfs(gis_dfs_config(query, exec));
+    mapreduce::MrContext ctx{&exec.cluster, exec.data_scale, &dfs, &report.metrics,
+                             &report.counters};
+    if (exec.trace) ctx.trace = &collector;
+    const mapreduce::StreamingConfig streaming = make_streaming_config(exec, config);
+
+    // Replay the ingest-time counters so the resident report's counter set
+    // (partition.*, quarantine.*, ...) matches a cold batch run exactly.
+    report.counters.merge(impl.ingest_counters);
+
+    std::vector<JoinPair> pairs = run_gis_join(
+        ctx, streaming, query, exec, config, *impl.joint_scheme,
+        impl.sfilter_a.get(), impl.sfilter_b.get(), impl.filter_on, impl.splits,
+        impl.n_a, join_quarantine, shared_cache, report);
+
+    report.success = true;
+    report.status = Status::Ok();
+    report.result_count = pairs.size();
+    report.result_hash = core::hash_pairs_unordered(pairs);
+    if (exec.collect_pairs) report.pairs = std::move(pairs);
+  } catch (const SjcError& e) {
+    report.success = false;
+    report.failure_reason = e.what();
+    report.status = status_from_exception(e);
+  }
+
+  join_quarantine.flush_counters(report.counters);
+  report.index_a_seconds = 0.0;
+  report.index_b_seconds = 0.0;
   report.join_seconds = report.metrics.seconds_with_prefix("join/");
   report.total_seconds = report.metrics.total_seconds();
   if (exec.trace) report.trace = collector.merged();

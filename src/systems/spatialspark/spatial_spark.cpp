@@ -19,6 +19,7 @@ namespace sjc::systems {
 
 namespace {
 
+using core::FeatureRef;
 using core::JoinPair;
 using geom::Feature;
 
@@ -56,26 +57,27 @@ std::vector<std::string> input_lines(const workload::Dataset& data,
   return lines;
 }
 
-/// Zero-copy partitioned join: the same stage sequence as the seed plane
-/// below (parse -> sample -> assign -> groupByKey x2 -> join -> local-join)
-/// with one difference — each input is parsed once into a run-scoped
-/// feature store and every downstream RDD ships 8-byte FeatureRef handles
-/// instead of deep Feature copies. All sizers charge the referenced
-/// record's full modeled bytes, so RDD memory registrations, shuffle
-/// charges, the OOM gate and stage names are identical to the seed plane;
-/// only the harness-side copying disappears.
-void run_partitioned_join_zero_copy(
-    const workload::Dataset& left, const workload::Dataset& right,
-    const core::JoinQueryConfig& query, const core::ExecutionConfig& exec,
-    const SpatialSparkConfig& config, rdd::SparkRuntime& rt, dfs::SimDfs& dfs,
-    const core::LocalJoinSpec& local_spec, geom::PreparedCache& prepared_cache,
-    std::uint32_t parallelism, workload::RowQuarantine& quarantine,
-    core::RunReport& report) {
-  using core::FeatureRef;
-  const std::uint64_t rec_overhead = config.record_overhead_bytes;
-  const rdd::Sizer<FeatureRef> ref_sizer = [rec_overhead](const FeatureRef& r) {
+rdd::Sizer<FeatureRef> make_ref_sizer(std::uint64_t rec_overhead) {
+  return [rec_overhead](const FeatureRef& r) {
     return static_cast<std::uint64_t>(r.get().geometry.size_bytes()) + rec_overhead;
   };
+}
+
+/// Stages 3-5 of the partitioned zero-copy join (assign -> groupByKey x2 ->
+/// join -> local-join), shared verbatim by the cold batch path and the
+/// resident serving path: given the same inputs (feature refs, scheme,
+/// filters) both produce bit-identical pair sets and identical shuffle.* /
+/// partition.* / refine.* counters — the resident-parity tests depend on
+/// this being one function, not two copies.
+void run_spark_join_tail(
+    rdd::SparkRuntime& rt, const core::ExecutionConfig& exec,
+    rdd::Rdd<FeatureRef> left_rdd, rdd::Rdd<FeatureRef> right_rdd,
+    std::size_t left_count, std::size_t right_count,
+    const rdd::Broadcast<partition::PartitionScheme>& scheme_bc,
+    const geom::OccupancyFilter* left_filt, const geom::OccupancyFilter* right_filt,
+    bool filter_on, const core::LocalJoinSpec& local_spec,
+    geom::PreparedCache& prepared_cache, std::uint32_t parallelism,
+    std::uint64_t rec_overhead, core::RunReport& report) {
   const rdd::Sizer<std::pair<std::uint32_t, FeatureRef>> pid_ref_sizer =
       [rec_overhead](const std::pair<std::uint32_t, FeatureRef>& kv) {
         return 4 + static_cast<std::uint64_t>(kv.second.get().geometry.size_bytes()) +
@@ -92,12 +94,222 @@ void run_partitioned_join_zero_copy(
   const rdd::Sizer<JoinPair> pair_sizer = [rec_overhead](const JoinPair&) {
     return 16 + rec_overhead;
   };
+  const double expand = local_spec.envelope_expansion();
+
+  // A shared resident cache carries hit/miss history from earlier queries;
+  // snapshot so this run's counters record only its own delta (for the
+  // run-scoped cold-path cache the delta equals the totals).
+  const std::uint64_t cache_hits0 = prepared_cache.hits();
+  const std::uint64_t cache_misses0 = prepared_cache.misses();
+
+  // ---- 3. Assign partition ids to both sides -------------------------------
+  // Shared accumulators for the filtered path, per side: the pre-filter
+  // assignment count, the modeled bytes the dropped copies would have
+  // shuffled, and the explicit per-record duplicate count (`assigned -
+  // size()` would underflow once whole records are filtered away).
+  struct FilterStats {
+    std::atomic<std::uint64_t> pre_assigned{0};
+    std::atomic<std::uint64_t> filtered_bytes{0};
+    std::atomic<std::uint64_t> dups{0};
+  };
+  auto left_stats = std::make_shared<FilterStats>();
+  auto right_stats = std::make_shared<FilterStats>();
+  const auto make_assign_fn = [&scheme_bc, expand, rec_overhead](
+                                  const geom::OccupancyFilter* filt,
+                                  std::shared_ptr<FilterStats> stats) {
+    return [&scheme_bc, expand, rec_overhead, filt, stats = std::move(stats)](
+               const FeatureRef& f,
+               std::vector<std::pair<std::uint32_t, FeatureRef>>& out) {
+      // assign_into reuses a per-thread scratch and queries the grid cell
+      // directory — same id set as the seed plane's assign(). The scratch is
+      // cleared and refilled on every call, so nothing leaks across queries
+      // even though the pool thread outlives this one.
+      static thread_local std::vector<std::uint32_t> pids_scratch;
+      const geom::Envelope env = f.get().geometry.envelope().expanded_by(expand);
+      if (filt == nullptr) {
+        scheme_bc.value().assign_into(env, pids_scratch);
+      } else {
+        const std::uint32_t dropped =
+            scheme_bc.value().assign_into(env, *filt, pids_scratch);
+        stats->pre_assigned.fetch_add(pids_scratch.size() + dropped,
+                                      std::memory_order_relaxed);
+        if (!pids_scratch.empty()) {
+          stats->dups.fetch_add(pids_scratch.size() - 1,
+                                std::memory_order_relaxed);
+        }
+        if (dropped > 0) {
+          const std::uint64_t copy_bytes =
+              4 + static_cast<std::uint64_t>(f.get().geometry.size_bytes()) +
+              rec_overhead;
+          stats->filtered_bytes.fetch_add(dropped * copy_bytes,
+                                          std::memory_order_relaxed);
+        }
+      }
+      for (const auto pid : pids_scratch) out.emplace_back(pid, f);
+    };
+  };
+  auto left_pids = left_rdd.flat_map<std::pair<std::uint32_t, FeatureRef>>(
+      "assign", make_assign_fn(left_filt, left_stats), pid_ref_sizer);
+  auto right_pids = right_rdd.flat_map<std::pair<std::uint32_t, FeatureRef>>(
+      "assign", make_assign_fn(right_filt, right_stats), pid_ref_sizer);
+  const auto count_records = [](const auto& rdd) {
+    std::size_t n = 0;
+    for (const auto& part : rdd.partitions()) n += part.size();
+    return n;
+  };
+  const std::size_t left_assigned = count_records(left_pids);
+  const std::size_t right_assigned = count_records(right_pids);
+  report.counters.add("assign.left_assignments", left_assigned);
+  report.counters.add("assign.right_assignments", right_assigned);
+  if (!filter_on) {
+    report.counters.add("partition.duplicated_records",
+                        left_assigned - left_count + right_assigned - right_count);
+  } else {
+    const std::uint64_t pre =
+        left_stats->pre_assigned.load() + right_stats->pre_assigned.load();
+    report.counters.add("partition.duplicated_records",
+                        left_stats->dups.load() + right_stats->dups.load());
+    // Both assign stages feed groupByKey, so the whole-run invariant
+    // assigned == shuffled + filtered is also the per-phase one.
+    report.counters.add("shuffle.assigned_records", pre);
+    report.counters.add("shuffle.records", left_assigned + right_assigned);
+    report.counters.add("shuffle.filtered_records",
+                        pre - left_assigned - right_assigned);
+    report.counters.add("shuffle.filtered_bytes",
+                        left_stats->filtered_bytes.load() +
+                            right_stats->filtered_bytes.load());
+  }
+  // The input lineage is not retained once consumed (a resident query drops
+  // only its per-query handles; the catalog keeps the backing features).
+  left_rdd = {};
+  right_rdd = {};
+
+  // ---- 4. groupByKey both sides, join on partition id ----------------------
+  auto left_grouped = rdd::group_by_key<std::uint32_t, FeatureRef>(
+      left_pids, parallelism, grouped_sizer);
+  left_pids = {};
+  auto right_grouped = rdd::group_by_key<std::uint32_t, FeatureRef>(
+      right_pids, parallelism, grouped_sizer);
+  right_pids = {};
+
+  const rdd::Sizer<
+      std::tuple<std::uint32_t, std::vector<FeatureRef>, std::vector<FeatureRef>>>
+      joined_sizer = [rec_overhead](const auto& t) {
+        std::uint64_t bytes = 4 + rec_overhead;
+        for (const auto& r : std::get<1>(t)) {
+          bytes += r.get().geometry.size_bytes() + rec_overhead;
+        }
+        for (const auto& r : std::get<2>(t)) {
+          bytes += r.get().geometry.size_bytes() + rec_overhead;
+        }
+        return bytes;
+      };
+  auto joined = rdd::join_by_key<std::uint32_t, std::vector<FeatureRef>,
+                                 std::vector<FeatureRef>>(left_grouped, right_grouped,
+                                                          parallelism, joined_sizer);
+  left_grouped = {};
+  right_grouped = {};
+
+  // ---- 5. Local join per partition pair ------------------------------------
+  // Query-owned scratch pool instead of a `static thread_local` scratch:
+  // buffers stay warm across the partition pairs of this wave but die with
+  // the query, so nothing survives onto the pool threads a serving process
+  // keeps around (see core::ScratchPool).
+  core::ScratchPool scratch_pool;
+  auto pairs_rdd = joined.flat_map<JoinPair>(
+      "local-join",
+      [&](const std::tuple<std::uint32_t, std::vector<FeatureRef>,
+                           std::vector<FeatureRef>>& t,
+          std::vector<JoinPair>& out) {
+        const std::uint32_t pid = std::get<0>(t);
+        const auto accept = [&](const geom::Envelope& le, const geom::Envelope& re) {
+          const geom::Coord p = core::reference_point(le, re);
+          // Same canonical cell as the seed plane's assign() + min_element,
+          // without materializing the id list.
+          return scheme_bc.value().min_assigned(
+                     geom::Envelope::of_point(p.x, p.y)) == pid;
+        };
+        auto scratch = scratch_pool.acquire();
+        core::run_local_join(core::FeatureRefSpan(std::get<1>(t)),
+                             core::FeatureRefSpan(std::get<2>(t)), local_spec,
+                             accept, *scratch, out);
+      },
+      pair_sizer);
+  report.counters.add("join.prepared_cache_hits",
+                      prepared_cache.hits() - cache_hits0);
+  report.counters.add("join.prepared_cache_misses",
+                      prepared_cache.misses() - cache_misses0);
+
+  report.success = true;
+  report.status = Status::Ok();
+  if (exec.collect_pairs) {
+    std::vector<JoinPair> pairs = pairs_rdd.collect();
+    report.result_count = pairs.size();
+    report.result_hash = core::hash_pairs_unordered(pairs);
+    report.pairs = std::move(pairs);
+  } else {
+    CpuStopwatch agg_cpu;
+    for (const auto& part : pairs_rdd.partitions()) {
+      report.result_count += part.size();
+      report.result_hash += core::hash_pairs_unordered(part);
+    }
+    rt.record_narrow_stage("local-join.aggregate", {agg_cpu.seconds()});
+    rt.record_collect("result.aggregate", 16 * pairs_rdd.num_partitions());
+  }
+}
+
+}  // namespace
+
+/// Everything the serving layer keeps resident between queries for one
+/// dataset pair: the parsed feature store, the per-chunk FeatureRef views
+/// the parse stage produced, the partition scheme and the occupancy
+/// filters. All of it is produced by the cold path's own preprocessing code
+/// (capture-on-build), which is what makes resident queries bit-identical
+/// to cold ones.
+struct SpatialSparkResident::Impl {
+  std::shared_ptr<std::vector<std::vector<Feature>>> store;
+  std::vector<std::vector<FeatureRef>> left_chunks;
+  std::vector<std::vector<FeatureRef>> right_chunks;
+  std::size_t left_count = 0;
+  std::size_t right_count = 0;
+  std::optional<partition::PartitionScheme> scheme;
+  std::unique_ptr<geom::OccupancyFilter> right_occ;  // filters the A side
+  std::unique_ptr<geom::OccupancyFilter> left_occ;   // filters the B side
+  bool filter_on = false;
+  double expand = 0.0;
+  core::RunReport build_report;
+};
+
+namespace {
+
+/// Zero-copy partitioned join: the same stage sequence as the seed plane
+/// (parse -> sample -> assign -> groupByKey x2 -> join -> local-join) with
+/// one difference — each input is parsed once into a run-scoped feature
+/// store and every downstream RDD ships 8-byte FeatureRef handles instead
+/// of deep Feature copies. All sizers charge the referenced record's full
+/// modeled bytes, so RDD memory registrations, shuffle charges, the OOM
+/// gate and stage names are identical to the seed plane; only the
+/// harness-side copying disappears.
+///
+/// When `capture` is non-null the preprocessing products (feature store,
+/// parsed chunks, scheme, filters) are additionally copied into it for
+/// resident reuse; the run itself is unaffected.
+void run_partitioned_join_zero_copy(
+    const workload::Dataset& left, const workload::Dataset& right,
+    const core::JoinQueryConfig& query, const core::ExecutionConfig& exec,
+    const SpatialSparkConfig& config, rdd::SparkRuntime& rt, dfs::SimDfs& dfs,
+    const core::LocalJoinSpec& local_spec, geom::PreparedCache& prepared_cache,
+    std::uint32_t parallelism, workload::RowQuarantine& quarantine,
+    core::RunReport& report, SpatialSparkResident::Impl* capture = nullptr) {
+  const std::uint64_t rec_overhead = config.record_overhead_bytes;
+  const rdd::Sizer<FeatureRef> ref_sizer = make_ref_sizer(rec_overhead);
   const rdd::Sizer<std::string> line_sizer = [](const std::string& l) {
     return static_cast<std::uint64_t>(l.size()) + 48;  // JVM string header
   };
 
   // Run-scoped feature store: one slot per line partition, filled by the
-  // parse stage and kept alive (harness-side only) until the run returns.
+  // parse stage and kept alive (harness-side only) until the run returns —
+  // or, under capture, until the resident catalog entry is dropped.
   // Dropping an Rdd<FeatureRef> handle releases its *modeled* bytes on the
   // seed schedule while the backing features stay valid for later refs.
   auto store = std::make_shared<std::vector<std::vector<Feature>>>();
@@ -155,6 +367,17 @@ void run_partitioned_join_zero_copy(
       query.partitioner, sample_envs, joint_extent, target_cells);
   rt.record_narrow_stage("driver.partition", {driver_cpu.seconds()});
 
+  if (capture != nullptr) {
+    capture->store = store;
+    capture->left_chunks.assign(left_rdd.partitions().begin(),
+                                left_rdd.partitions().end());
+    capture->right_chunks.assign(right_rdd.partitions().begin(),
+                                 right_rdd.partitions().end());
+    capture->left_count = left.size();
+    capture->right_count = right.size();
+    capture->scheme.emplace(scheme);
+  }
+
   const std::uint64_t scheme_bytes = scheme.size_bytes() * 2;  // cells + index
   rdd::Broadcast<partition::PartitionScheme> scheme_bc(rt, std::move(scheme),
                                                        scheme_bytes, "scheme");
@@ -192,169 +415,63 @@ void run_partitioned_join_zero_copy(
     geom::OccupancyFilter right_occ = build_occupancy(right_rdd);
     geom::OccupancyFilter left_occ = build_occupancy(left_rdd);
     rt.record_narrow_stage("filter.build", {filter_cpu.seconds()});
+    if (capture != nullptr) {
+      capture->right_occ = std::make_unique<geom::OccupancyFilter>(right_occ);
+      capture->left_occ = std::make_unique<geom::OccupancyFilter>(left_occ);
+    }
     const std::uint64_t right_bytes = right_occ.size_bytes();
     const std::uint64_t left_bytes = left_occ.size_bytes();
     right_occ_bc.emplace(rt, std::move(right_occ), right_bytes, "sfilter.B");
     left_occ_bc.emplace(rt, std::move(left_occ), left_bytes, "sfilter.A");
+  }
+  if (capture != nullptr) {
+    capture->filter_on = filter_on;
+    capture->expand = expand;
   }
   const geom::OccupancyFilter* left_filt =
       right_occ_bc.has_value() ? &right_occ_bc->value() : nullptr;
   const geom::OccupancyFilter* right_filt =
       left_occ_bc.has_value() ? &left_occ_bc->value() : nullptr;
 
-  // ---- 3. Assign partition ids to both sides -------------------------------
-  // Shared accumulators for the filtered path, per side: the pre-filter
-  // assignment count, the modeled bytes the dropped copies would have
-  // shuffled, and the explicit per-record duplicate count (`assigned -
-  // size()` would underflow once whole records are filtered away).
-  struct FilterStats {
-    std::atomic<std::uint64_t> pre_assigned{0};
-    std::atomic<std::uint64_t> filtered_bytes{0};
-    std::atomic<std::uint64_t> dups{0};
-  };
-  auto left_stats = std::make_shared<FilterStats>();
-  auto right_stats = std::make_shared<FilterStats>();
-  const auto make_assign_fn = [&scheme_bc, expand, rec_overhead](
-                                  const geom::OccupancyFilter* filt,
-                                  std::shared_ptr<FilterStats> stats) {
-    return [&scheme_bc, expand, rec_overhead, filt, stats = std::move(stats)](
-               const FeatureRef& f,
-               std::vector<std::pair<std::uint32_t, FeatureRef>>& out) {
-      // assign_into reuses a per-thread scratch and queries the grid cell
-      // directory — same id set as the seed plane's assign().
-      static thread_local std::vector<std::uint32_t> pids_scratch;
-      const geom::Envelope env = f.get().geometry.envelope().expanded_by(expand);
-      if (filt == nullptr) {
-        scheme_bc.value().assign_into(env, pids_scratch);
-      } else {
-        const std::uint32_t dropped =
-            scheme_bc.value().assign_into(env, *filt, pids_scratch);
-        stats->pre_assigned.fetch_add(pids_scratch.size() + dropped,
-                                      std::memory_order_relaxed);
-        if (!pids_scratch.empty()) {
-          stats->dups.fetch_add(pids_scratch.size() - 1,
-                                std::memory_order_relaxed);
-        }
-        if (dropped > 0) {
-          const std::uint64_t copy_bytes =
-              4 + static_cast<std::uint64_t>(f.get().geometry.size_bytes()) +
-              rec_overhead;
-          stats->filtered_bytes.fetch_add(dropped * copy_bytes,
-                                          std::memory_order_relaxed);
-        }
-      }
-      for (const auto pid : pids_scratch) out.emplace_back(pid, f);
-    };
-  };
-  auto left_pids = left_rdd.flat_map<std::pair<std::uint32_t, FeatureRef>>(
-      "assign", make_assign_fn(left_filt, left_stats), pid_ref_sizer);
-  auto right_pids = right_rdd.flat_map<std::pair<std::uint32_t, FeatureRef>>(
-      "assign", make_assign_fn(right_filt, right_stats), pid_ref_sizer);
-  const auto count_records = [](const auto& rdd) {
-    std::size_t n = 0;
-    for (const auto& part : rdd.partitions()) n += part.size();
-    return n;
-  };
-  const std::size_t left_assigned = count_records(left_pids);
-  const std::size_t right_assigned = count_records(right_pids);
-  report.counters.add("assign.left_assignments", left_assigned);
-  report.counters.add("assign.right_assignments", right_assigned);
-  if (!filter_on) {
-    report.counters.add("partition.duplicated_records",
-                        left_assigned - left.size() + right_assigned - right.size());
-  } else {
-    const std::uint64_t pre =
-        left_stats->pre_assigned.load() + right_stats->pre_assigned.load();
-    report.counters.add("partition.duplicated_records",
-                        left_stats->dups.load() + right_stats->dups.load());
-    // Both assign stages feed groupByKey, so the whole-run invariant
-    // assigned == shuffled + filtered is also the per-phase one.
-    report.counters.add("shuffle.assigned_records", pre);
-    report.counters.add("shuffle.records", left_assigned + right_assigned);
-    report.counters.add("shuffle.filtered_records",
-                        pre - left_assigned - right_assigned);
-    report.counters.add("shuffle.filtered_bytes",
-                        left_stats->filtered_bytes.load() +
-                            right_stats->filtered_bytes.load());
-  }
-  // The un-cached textFile lineage is not retained once consumed.
-  left_rdd = {};
-  right_rdd = {};
-
-  // ---- 4. groupByKey both sides, join on partition id ----------------------
-  auto left_grouped = rdd::group_by_key<std::uint32_t, FeatureRef>(
-      left_pids, parallelism, grouped_sizer);
-  left_pids = {};
-  auto right_grouped = rdd::group_by_key<std::uint32_t, FeatureRef>(
-      right_pids, parallelism, grouped_sizer);
-  right_pids = {};
-
-  const rdd::Sizer<
-      std::tuple<std::uint32_t, std::vector<FeatureRef>, std::vector<FeatureRef>>>
-      joined_sizer = [rec_overhead](const auto& t) {
-        std::uint64_t bytes = 4 + rec_overhead;
-        for (const auto& r : std::get<1>(t)) {
-          bytes += r.get().geometry.size_bytes() + rec_overhead;
-        }
-        for (const auto& r : std::get<2>(t)) {
-          bytes += r.get().geometry.size_bytes() + rec_overhead;
-        }
-        return bytes;
-      };
-  auto joined = rdd::join_by_key<std::uint32_t, std::vector<FeatureRef>,
-                                 std::vector<FeatureRef>>(left_grouped, right_grouped,
-                                                          parallelism, joined_sizer);
-  left_grouped = {};
-  right_grouped = {};
-
-  // ---- 5. Local join per partition pair ------------------------------------
-  auto pairs_rdd = joined.flat_map<JoinPair>(
-      "local-join",
-      [&](const std::tuple<std::uint32_t, std::vector<FeatureRef>,
-                           std::vector<FeatureRef>>& t,
-          std::vector<JoinPair>& out) {
-        const std::uint32_t pid = std::get<0>(t);
-        const auto accept = [&](const geom::Envelope& le, const geom::Envelope& re) {
-          const geom::Coord p = core::reference_point(le, re);
-          // Same canonical cell as the seed plane's assign() + min_element,
-          // without materializing the id list.
-          return scheme_bc.value().min_assigned(
-                     geom::Envelope::of_point(p.x, p.y)) == pid;
-        };
-        static thread_local core::LocalJoinScratch scratch;
-        core::run_local_join(core::FeatureRefSpan(std::get<1>(t)),
-                             core::FeatureRefSpan(std::get<2>(t)), local_spec,
-                             accept, scratch, out);
-      },
-      pair_sizer);
-  report.counters.add("join.prepared_cache_hits", prepared_cache.hits());
-  report.counters.add("join.prepared_cache_misses", prepared_cache.misses());
-
-  report.success = true;
-  report.status = Status::Ok();
-  if (exec.collect_pairs) {
-    std::vector<JoinPair> pairs = pairs_rdd.collect();
-    report.result_count = pairs.size();
-    report.result_hash = core::hash_pairs_unordered(pairs);
-    report.pairs = std::move(pairs);
-  } else {
-    CpuStopwatch agg_cpu;
-    for (const auto& part : pairs_rdd.partitions()) {
-      report.result_count += part.size();
-      report.result_hash += core::hash_pairs_unordered(part);
-    }
-    rt.record_narrow_stage("local-join.aggregate", {agg_cpu.seconds()});
-    rt.record_collect("result.aggregate", 16 * pairs_rdd.num_partitions());
-  }
+  run_spark_join_tail(rt, exec, std::move(left_rdd), std::move(right_rdd),
+                      left.size(), right.size(), scheme_bc, left_filt, right_filt,
+                      filter_on, local_spec, prepared_cache, parallelism,
+                      rec_overhead, report);
 }
 
-}  // namespace
+dfs::DfsConfig spark_dfs_config(const core::JoinQueryConfig& query,
+                                const core::ExecutionConfig& exec) {
+  return dfs::DfsConfig{
+      .block_size = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(64.0 * 1024 * 1024 / exec.data_scale)),
+      .replication = 3,
+      .datanode_count = exec.cluster.node_count,
+      .seed = query.seed,
+  };
+}
 
-core::RunReport run_spatial_spark(const workload::Dataset& left,
-                                  const workload::Dataset& right,
-                                  const core::JoinQueryConfig& query,
-                                  const core::ExecutionConfig& exec,
-                                  const SpatialSparkConfig& config) {
+core::LocalJoinSpec make_local_spec(const core::JoinQueryConfig& query,
+                                    const SpatialSparkConfig& config,
+                                    geom::PreparedCache* cache,
+                                    cluster::Counters* counters) {
+  return core::LocalJoinSpec{
+      .algorithm = query.local_algorithm.value_or(config.local_algorithm),
+      .engine = &geom::GeometryEngine::get(config.engine),
+      .predicate = query.predicate,
+      .within_distance = query.within_distance,
+      .prepared_cache = cache,
+      // refine.* accounting; Counters is thread-safe and run_local_join
+      // flushes once per call.
+      .refine_counters = counters,
+  };
+}
+
+core::RunReport run_spatial_spark_impl(const workload::Dataset& left,
+                                       const workload::Dataset& right,
+                                       const core::JoinQueryConfig& query,
+                                       const core::ExecutionConfig& exec,
+                                       const SpatialSparkConfig& config,
+                                       SpatialSparkResident::Impl* capture) {
   core::RunReport report;
   trace::TraceCollector collector(exec.cluster.node_count, exec.cluster.node.cores);
   workload::RowQuarantine quarantine;
@@ -388,25 +505,11 @@ core::RunReport run_spatial_spark(const workload::Dataset& left,
   // overlap-duplicated right-side geometries are bound once, not once per
   // partition.
   geom::PreparedCache prepared_cache;
-  const core::LocalJoinSpec local_spec{
-      .algorithm = query.local_algorithm.value_or(config.local_algorithm),
-      .engine = &geom::GeometryEngine::get(config.engine),
-      .predicate = query.predicate,
-      .within_distance = query.within_distance,
-      .prepared_cache = &prepared_cache,
-      // refine.* accounting; Counters is thread-safe and run_local_join
-      // flushes once per call.
-      .refine_counters = &report.counters,
-  };
+  const core::LocalJoinSpec local_spec =
+      make_local_spec(query, config, &prepared_cache, &report.counters);
 
   try {
-    dfs.emplace(dfs::DfsConfig{
-        .block_size = std::max<std::uint64_t>(
-            1, static_cast<std::uint64_t>(64.0 * 1024 * 1024 / exec.data_scale)),
-        .replication = 3,
-        .datanode_count = exec.cluster.node_count,
-        .seed = query.seed,
-    });
+    dfs.emplace(spark_dfs_config(query, exec));
     rt.emplace(exec.cluster, exec.data_scale, &*dfs, &report.metrics, config.spark);
     rt->set_counters(&report.counters);
     if (exec.trace) rt->set_trace(&collector);
@@ -416,7 +519,7 @@ core::RunReport run_spatial_spark(const workload::Dataset& left,
     if (config.zero_copy_plane && !config.broadcast_join) {
       run_partitioned_join_zero_copy(left, right, query, exec, config, *rt, *dfs,
                                      local_spec, prepared_cache, parallelism,
-                                     quarantine, report);
+                                     quarantine, report, capture);
       quarantine.flush_counters(report.counters);
       report.peak_memory_bytes = rt->memory().peak_paper_bytes();
       report.total_seconds = report.metrics.total_seconds();
@@ -424,6 +527,9 @@ core::RunReport run_spatial_spark(const workload::Dataset& left,
       core::annotate_recovery(report);
       return report;
     }
+    require(capture == nullptr,
+            "spatial_spark_build_resident: resident mode requires the "
+            "zero-copy partitioned join (not broadcast / seed plane)");
 
     // ---- 1. Read both inputs from HDFS (the only DFS touch) and parse ------
     // textFile(...).map(parseWkt): the text scan is the run's one DFS read,
@@ -606,6 +712,9 @@ core::RunReport run_spatial_spark(const workload::Dataset& left,
     right_grouped = {};
 
     // ---- 5. Local join per partition pair -----------------------------------
+    // Query-owned scratch pool (see run_spark_join_tail): warm buffers
+    // within the run, nothing left behind on the pool threads afterwards.
+    core::ScratchPool scratch_pool;
     auto pairs_rdd = joined.flat_map<JoinPair>(
         "local-join",
         [&](const std::tuple<std::uint32_t, std::vector<Feature>, std::vector<Feature>>& t,
@@ -617,12 +726,10 @@ core::RunReport run_spatial_spark(const workload::Dataset& left,
                 scheme_bc.value().assign(geom::Envelope::of_point(p.x, p.y));
             return *std::min_element(cells.begin(), cells.end()) == pid;
           };
-          // Per-thread scratch keeps index trees and candidate buffers warm
-          // across the partition pairs an executor thread processes.
-          static thread_local core::LocalJoinScratch scratch;
+          auto scratch = scratch_pool.acquire();
           core::run_local_join(std::span<const Feature>(std::get<1>(t)),
                                std::span<const Feature>(std::get<2>(t)), local_spec,
-                               accept, scratch, out);
+                               accept, *scratch, out);
         },
         pair_sizer);
     report.counters.add("join.prepared_cache_hits", prepared_cache.hits());
@@ -663,6 +770,127 @@ core::RunReport run_spatial_spark(const workload::Dataset& left,
 
   // The paper reports only end-to-end times for SpatialSpark (stages cannot
   // be attributed cleanly under asynchronous execution); IA/IB/DJ stay NaN.
+  if (rt) report.peak_memory_bytes = rt->memory().peak_paper_bytes();
+  report.total_seconds = report.metrics.total_seconds();
+  if (exec.trace) report.trace = collector.merged();
+  core::annotate_recovery(report);
+  return report;
+}
+
+}  // namespace
+
+core::RunReport run_spatial_spark(const workload::Dataset& left,
+                                  const workload::Dataset& right,
+                                  const core::JoinQueryConfig& query,
+                                  const core::ExecutionConfig& exec,
+                                  const SpatialSparkConfig& config) {
+  return run_spatial_spark_impl(left, right, query, exec, config, nullptr);
+}
+
+const core::RunReport& SpatialSparkResident::build_report() const {
+  require(impl_ != nullptr, "SpatialSparkResident: not built");
+  return impl_->build_report;
+}
+
+std::size_t SpatialSparkResident::left_size() const {
+  require(impl_ != nullptr, "SpatialSparkResident: not built");
+  return impl_->left_count;
+}
+
+std::size_t SpatialSparkResident::right_size() const {
+  require(impl_ != nullptr, "SpatialSparkResident: not built");
+  return impl_->right_count;
+}
+
+SpatialSparkResident spatial_spark_build_resident(const workload::Dataset& left,
+                                                  const workload::Dataset& right,
+                                                  const core::JoinQueryConfig& query,
+                                                  const core::ExecutionConfig& exec,
+                                                  const SpatialSparkConfig& config) {
+  auto impl = std::make_shared<SpatialSparkResident::Impl>();
+  impl->build_report =
+      run_spatial_spark_impl(left, right, query, exec, config, impl.get());
+  require(impl->build_report.success,
+          "spatial_spark_build_resident: build failed: " +
+              impl->build_report.failure_reason);
+  SpatialSparkResident resident;
+  resident.impl_ = std::move(impl);
+  return resident;
+}
+
+core::RunReport run_spatial_spark_resident(const SpatialSparkResident& resident,
+                                           const core::JoinQueryConfig& query,
+                                           const core::ExecutionConfig& exec,
+                                           const SpatialSparkConfig& config,
+                                           geom::PreparedCache* shared_cache) {
+  require(resident.impl_ != nullptr,
+          "run_spatial_spark_resident: resident state must be built first");
+  const SpatialSparkResident::Impl& impl = *resident.impl_;
+  core::RunReport report;
+  trace::TraceCollector collector(exec.cluster.node_count, exec.cluster.node.cores);
+  std::optional<dfs::SimDfs> dfs;
+  std::optional<rdd::SparkRuntime> rt;
+
+  // Per-query fallback cache when the caller shares none; the serving layer
+  // passes the catalog entry's cache so bind() results survive queries.
+  geom::PreparedCache fallback_cache;
+  geom::PreparedCache& cache = shared_cache != nullptr ? *shared_cache : fallback_cache;
+  const core::LocalJoinSpec local_spec =
+      make_local_spec(query, config, &cache, &report.counters);
+
+  try {
+    require(local_spec.envelope_expansion() == impl.expand,
+            "run_spatial_spark_resident: query envelope expansion differs "
+            "from the resident build (rebuild the catalog entry)");
+    dfs.emplace(spark_dfs_config(query, exec));
+    rt.emplace(exec.cluster, exec.data_scale, &*dfs, &report.metrics, config.spark);
+    rt->set_counters(&report.counters);
+    if (exec.trace) rt->set_trace(&collector);
+    const std::uint32_t parallelism = rt->default_parallelism() * 2;
+    const std::uint64_t rec_overhead = config.record_overhead_bytes;
+
+    // Re-materialize the resident inputs as cached RDDs: the per-chunk
+    // FeatureRef views captured at build time, charged at full modeled bytes
+    // (the resident working set lives in executor memory). No read, no
+    // parse, no sample, no driver.partition, no filter.build — that is the
+    // serving win; everything downstream is the cold path's own code.
+    const rdd::Sizer<FeatureRef> ref_sizer = make_ref_sizer(rec_overhead);
+    auto left_rdd = rdd::Rdd<FeatureRef>::create(*rt, impl.left_chunks, ref_sizer,
+                                                 "A.resident");
+    auto right_rdd = rdd::Rdd<FeatureRef>::create(*rt, impl.right_chunks, ref_sizer,
+                                                  "B.resident");
+
+    // The scheme and filters still ship to the executors each query
+    // (distributed-cache refresh), so broadcast charges stay in the model.
+    partition::PartitionScheme scheme = *impl.scheme;
+    const std::uint64_t scheme_bytes = scheme.size_bytes() * 2;
+    rdd::Broadcast<partition::PartitionScheme> scheme_bc(*rt, std::move(scheme),
+                                                         scheme_bytes, "scheme");
+    std::optional<rdd::Broadcast<geom::OccupancyFilter>> right_occ_bc;
+    std::optional<rdd::Broadcast<geom::OccupancyFilter>> left_occ_bc;
+    if (impl.filter_on) {
+      geom::OccupancyFilter right_occ = *impl.right_occ;
+      geom::OccupancyFilter left_occ = *impl.left_occ;
+      const std::uint64_t right_bytes = right_occ.size_bytes();
+      const std::uint64_t left_bytes = left_occ.size_bytes();
+      right_occ_bc.emplace(*rt, std::move(right_occ), right_bytes, "sfilter.B");
+      left_occ_bc.emplace(*rt, std::move(left_occ), left_bytes, "sfilter.A");
+    }
+    const geom::OccupancyFilter* left_filt =
+        right_occ_bc.has_value() ? &right_occ_bc->value() : nullptr;
+    const geom::OccupancyFilter* right_filt =
+        left_occ_bc.has_value() ? &left_occ_bc->value() : nullptr;
+
+    run_spark_join_tail(*rt, exec, std::move(left_rdd), std::move(right_rdd),
+                        impl.left_count, impl.right_count, scheme_bc, left_filt,
+                        right_filt, impl.filter_on, local_spec, cache, parallelism,
+                        rec_overhead, report);
+  } catch (const SjcError& e) {
+    report.success = false;
+    report.failure_reason = e.what();
+    report.status = status_from_exception(e);
+  }
+
   if (rt) report.peak_memory_bytes = rt->memory().peak_paper_bytes();
   report.total_seconds = report.metrics.total_seconds();
   if (exec.trace) report.trace = collector.merged();

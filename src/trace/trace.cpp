@@ -143,4 +143,46 @@ std::vector<PhaseSkew> skew_summary(const TaskTimeline& timeline) {
   return rows;
 }
 
+std::vector<TenantSkew> tenant_summary(const TaskTimeline& timeline,
+                                       const std::string& prefix) {
+  std::vector<TenantSkew> rows;
+  std::unordered_map<std::string, std::size_t> index;
+  std::vector<std::vector<double>> durations;
+  for (const auto& span : timeline.spans) {
+    if (span.phase.size() <= prefix.size() ||
+        span.phase.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    const std::string tenant = span.phase.substr(prefix.size());
+    auto [it, inserted] = index.emplace(tenant, rows.size());
+    if (inserted) {
+      rows.push_back(TenantSkew{});
+      rows.back().tenant = tenant;
+      durations.emplace_back();
+    }
+    TenantSkew& row = rows[it->second];
+    ++row.queries;
+    if (span.outcome == SpanOutcome::kFailed) ++row.failed;
+    const double d = std::max(0.0, span.sim_end - span.sim_start);
+    row.total_s += d;
+    durations[it->second].push_back(d);
+  }
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    auto& d = durations[r];
+    if (d.empty()) continue;
+    std::sort(d.begin(), d.end());
+    const std::size_t n = d.size();
+    const auto rank = [n](double p) {
+      const std::size_t k =
+          static_cast<std::size_t>(std::ceil(p * static_cast<double>(n)));
+      return k == 0 ? 0 : k - 1;
+    };
+    rows[r].min_s = d.front();
+    rows[r].p50_s = d[rank(0.50)];
+    rows[r].p99_s = d[rank(0.99)];
+    rows[r].max_s = d.back();
+  }
+  return rows;
+}
+
 }  // namespace sjc::trace

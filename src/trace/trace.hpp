@@ -114,4 +114,26 @@ struct PhaseSkew {
 /// Per-phase skew rows in first-appearance order of the phases.
 std::vector<PhaseSkew> skew_summary(const TaskTimeline& timeline);
 
+/// Per-tenant serving skew: the footer printed under multi-tenant serving
+/// runs. The serving layer records one span per query with phase
+/// "<prefix><tenant>" (serving::kTenantPhasePrefix); this groups those
+/// spans by tenant and summarizes each tenant's query latencies. Spans
+/// whose phase does not start with `prefix` are ignored, so a timeline can
+/// mix per-task MR spans with serving spans.
+struct TenantSkew {
+  std::string tenant;
+  std::size_t queries = 0;  // spans (completed queries), failures included
+  std::size_t failed = 0;   // spans with outcome kFailed (rejected/error)
+  double total_s = 0.0;     // summed service time (busy seconds)
+  double min_s = 0.0;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+  double max_s = 0.0;
+};
+
+/// Tenant rows in first-appearance order. `prefix` defaults to the serving
+/// layer's span naming convention.
+std::vector<TenantSkew> tenant_summary(const TaskTimeline& timeline,
+                                       const std::string& prefix = "tenant/");
+
 }  // namespace sjc::trace

@@ -139,11 +139,8 @@ std::uint64_t peak_rss_bytes() {
 #if defined(__unix__) || defined(__APPLE__)
   struct rusage usage{};
   if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
-#if defined(__APPLE__)
-  return static_cast<std::uint64_t>(usage.ru_maxrss);  // already bytes
-#else
-  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // kilobytes
-#endif
+  return rss_bytes_from_ru_maxrss(static_cast<std::uint64_t>(usage.ru_maxrss),
+                                  kRuMaxrssIsBytes);
 #else
   return 0;
 #endif

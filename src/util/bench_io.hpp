@@ -48,10 +48,27 @@ class JsonWriter {
 /// Throws SjcError on I/O failure.
 std::string write_bench_json(const std::string& name, const std::string& json);
 
-/// Process-lifetime peak resident set size in bytes (getrusage ru_maxrss).
-/// Monotone over the process lifetime: benches that compare variants must
-/// run the expected-smaller one first. Returns 0 on platforms without
-/// getrusage.
+/// Converts a raw getrusage `ru_maxrss` value to bytes. POSIX leaves the
+/// unit unspecified and the two hosts we run on disagree: Linux reports
+/// kilobytes, macOS reports bytes. `raw_is_bytes` names the platform
+/// convention explicitly so both conversions are unit-testable on any host;
+/// peak_rss_bytes() passes the compile-time default for the current one.
+constexpr std::uint64_t rss_bytes_from_ru_maxrss(std::uint64_t raw,
+                                                 bool raw_is_bytes) {
+  return raw_is_bytes ? raw : raw * 1024;
+}
+
+/// The current platform's ru_maxrss convention (see rss_bytes_from_ru_maxrss).
+#if defined(__APPLE__)
+inline constexpr bool kRuMaxrssIsBytes = true;
+#else
+inline constexpr bool kRuMaxrssIsBytes = false;
+#endif
+
+/// Process-lifetime peak resident set size in bytes (getrusage ru_maxrss,
+/// unit-normalized per platform). Monotone over the process lifetime:
+/// benches that compare variants must run the expected-smaller one first.
+/// Returns 0 on platforms without getrusage.
 std::uint64_t peak_rss_bytes();
 
 }  // namespace sjc

@@ -105,6 +105,8 @@ enum class StatusCode : std::uint8_t {
   kBlockUnavailable,
   kRetryBudgetExhausted,
   kDeadlineExceeded,
+  kResourceExhausted,  // admission control: bounded queue / tenant quota full
+  kUnavailable,        // service not accepting work (draining or stopped)
   kInternal,  // an SjcError with no more specific classification
 };
 
@@ -119,6 +121,8 @@ inline const char* status_code_name(StatusCode code) {
     case StatusCode::kBlockUnavailable: return "BLOCK_UNAVAILABLE";
     case StatusCode::kRetryBudgetExhausted: return "RETRY_BUDGET_EXHAUSTED";
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";

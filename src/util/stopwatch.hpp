@@ -30,6 +30,25 @@ inline bool virtual_time_enabled() {
   return virtual_time_flag().load(std::memory_order_relaxed);
 }
 
+/// RAII toggle for the virtual-time flag that restores the *previous* value
+/// on scope exit — including exceptional exit. Long-lived processes (the
+/// serving loop, multi-run benches) must use this instead of raw
+/// set_virtual_time() pairs: a stray enable would silently zero CPU charges
+/// for every subsequent query in the process.
+class VirtualTimeGuard {
+ public:
+  explicit VirtualTimeGuard(bool enabled = true)
+      : previous_(virtual_time_flag().exchange(enabled, std::memory_order_relaxed)) {}
+  ~VirtualTimeGuard() {
+    virtual_time_flag().store(previous_, std::memory_order_relaxed);
+  }
+  VirtualTimeGuard(const VirtualTimeGuard&) = delete;
+  VirtualTimeGuard& operator=(const VirtualTimeGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
 /// Monotonic wall-clock stopwatch.
 class Stopwatch {
  public:

@@ -24,12 +24,10 @@
 namespace sjc {
 namespace {
 
-/// Pins measured CPU to zero for the scope, so every modeled second is a
-/// pure cost-model output and reports become exactly reproducible.
-struct VirtualTimeGuard {
-  VirtualTimeGuard() { set_virtual_time(true); }
-  ~VirtualTimeGuard() { set_virtual_time(false); }
-};
+// Virtual time (measured CPU pinned to zero, so every modeled second is a
+// pure cost-model output) is scoped with the library's sjc::VirtualTimeGuard
+// (util/stopwatch.hpp), which restores the *previous* flag value — safe to
+// nest and exception-safe, unlike the set/set pairs it replaced.
 
 bool double_identical(double a, double b) {
   return (std::isnan(a) && std::isnan(b)) || a == b;
@@ -271,6 +269,46 @@ TEST(DataPlane, RepeatedRunsBitIdenticalUnderVirtualTime) {
     expect_reports_identical(first, second,
                              std::string("repeat/") + core::system_kind_name(kind));
   }
+}
+
+TEST(DataPlane, VirtualTimeStateDoesNotLeakBetweenRuns) {
+  // Regression for the global virtual-time flag leaking across consecutive
+  // runs: a guard scope (even a nested one) must restore the prior state,
+  // and a run after the scope must measure real CPU again while charging
+  // the same modeled quantities.
+  ASSERT_FALSE(virtual_time_enabled());
+  const PlaneBench b = PlaneBench::make();
+  core::RunReport virt_a, virt_b;
+  {
+    const VirtualTimeGuard vt;
+    ASSERT_TRUE(virtual_time_enabled());
+    {
+      // Nested guards restore the previous value, not unconditionally off —
+      // the bug class the old set_virtual_time(false) epilogues had.
+      const VirtualTimeGuard nested(false);
+      ASSERT_FALSE(virtual_time_enabled());
+    }
+    ASSERT_TRUE(virtual_time_enabled());
+    // Two back-to-back joins inside one virtual-time scope: bit-identical.
+    virt_a = core::run_spatial_join(core::SystemKind::kSpatialHadoopSim, b.left,
+                                    b.right, b.query, b.exec);
+    virt_b = core::run_spatial_join(core::SystemKind::kSpatialHadoopSim, b.left,
+                                    b.right, b.query, b.exec);
+    ASSERT_TRUE(virt_a.success) << virt_a.failure_reason;
+    expect_reports_identical(virt_a, virt_b, "virtual-time back-to-back");
+  }
+  ASSERT_FALSE(virtual_time_enabled());
+
+  // Post-scope run: the stopwatch measures again (CPU seconds flow into the
+  // modeled times, which virtual time pinned), while every
+  // schedule-independent quantity still matches the virtual-time runs.
+  const auto real = core::run_spatial_join(core::SystemKind::kSpatialHadoopSim, b.left,
+                                           b.right, b.query, b.exec);
+  ASSERT_TRUE(real.success) << real.failure_reason;
+  EXPECT_EQ(real.result_count, virt_a.result_count);
+  EXPECT_EQ(real.result_hash, virt_a.result_hash);
+  EXPECT_EQ(real.counters.snapshot(), virt_a.counters.snapshot());
+  EXPECT_GE(real.total_seconds, virt_a.total_seconds);
 }
 
 // ---------------------------------------------------------------------------

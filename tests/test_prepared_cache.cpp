@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "geom/batch_refine.hpp"
 #include "geom/prepared_cache.hpp"
 #include "util/status.hpp"
 
@@ -125,6 +126,61 @@ TEST(PreparedCache, TwoThreadHammer) {
   b.join();
 
   EXPECT_EQ(cache.hits() + cache.misses(), 2u * kRounds);
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_LE(cache.size(), 8u);
+}
+
+// The serving configuration: one cache shared by many queries, some binding
+// per-pair predicates (acquire) and some building batch refiners
+// (acquire_refiner) for the SAME ids concurrently. Four threads interleave
+// both lookup kinds over overlapping id ranges through LRU churn; run under
+// the TSan CI job this is the shared-cache race check. The invariant the
+// counters must keep under any interleaving: hits + misses == lookups.
+TEST(PreparedCache, SharedCacheMixedSlotHammer) {
+  PreparedCache cache(/*capacity=*/8);
+  const auto& engine = GeometryEngine::prepared();
+  constexpr int kRounds = 1500;
+  constexpr std::uint64_t kIds = 16;
+
+  std::vector<Geometry> geoms;
+  for (std::uint64_t id = 0; id < kIds; ++id) {
+    geoms.push_back(square(static_cast<double>(id) * 10.0, 0, 4));
+  }
+
+  auto bind_worker = [&](std::uint64_t stride) {
+    for (int i = 0; i < kRounds; ++i) {
+      const std::uint64_t id = (static_cast<std::uint64_t>(i) * stride) % kIds;
+      const auto bound = cache.acquire(engine, id, geoms[id]);
+      ASSERT_NE(bound, nullptr);
+      const double cx = static_cast<double>(id) * 10.0 + 2.0;
+      ASSERT_TRUE(bound->contains(Geometry::point(cx, 2.0)));
+    }
+  };
+  auto refiner_worker = [&](std::uint64_t stride) {
+    RefineStats stats;
+    for (int i = 0; i < kRounds; ++i) {
+      const std::uint64_t id = (static_cast<std::uint64_t>(i) * stride) % kIds;
+      const auto refiner = cache.acquire_refiner(id, geoms[id]);
+      ASSERT_NE(refiner, nullptr);
+      // A refiner built from a torn entry (or bound against the wrong
+      // geometry copy) would answer the centre probe wrong.
+      const double cx = static_cast<double>(id) * 10.0 + 2.0;
+      ASSERT_TRUE(refiner->intersects(Geometry::point(cx, 2.0), stats));
+    }
+  };
+
+  std::thread a(bind_worker, 3);
+  std::thread b(bind_worker, 7);
+  std::thread c(refiner_worker, 5);
+  std::thread d(refiner_worker, 11);
+  a.join();
+  b.join();
+  c.join();
+  d.join();
+
+  // Counter balance under concurrency — the serving-mode invariant.
+  EXPECT_EQ(cache.lookups(), 4u * kRounds);
+  EXPECT_EQ(cache.hits() + cache.misses(), cache.lookups());
   EXPECT_GT(cache.hits(), 0u);
   EXPECT_LE(cache.size(), 8u);
 }

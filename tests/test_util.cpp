@@ -314,5 +314,37 @@ TEST(BenchIo, BadDirectoryThrows) {
   unsetenv("SJC_CSV_DIR");
 }
 
+// ru_maxrss unit handling: POSIX leaves the unit unspecified — Linux reports
+// kilobytes, macOS bytes. Both conversions are pinned here explicitly so a
+// regression on either platform convention fails on every host.
+TEST(BenchIo, RssConversionPinsBothPlatformConventions) {
+  // Linux convention: raw value is kilobytes.
+  EXPECT_EQ(rss_bytes_from_ru_maxrss(0, /*raw_is_bytes=*/false), 0u);
+  EXPECT_EQ(rss_bytes_from_ru_maxrss(1, /*raw_is_bytes=*/false), 1024u);
+  EXPECT_EQ(rss_bytes_from_ru_maxrss(524288, /*raw_is_bytes=*/false),
+            512u * 1024 * 1024);  // 512 MiB reported as KiB
+  // macOS convention: raw value is already bytes — must pass through
+  // unscaled (multiplying would inflate RSS 1024x).
+  EXPECT_EQ(rss_bytes_from_ru_maxrss(0, /*raw_is_bytes=*/true), 0u);
+  EXPECT_EQ(rss_bytes_from_ru_maxrss(524288, /*raw_is_bytes=*/true), 524288u);
+
+  // The compile-time default matches this build's platform.
+#if defined(__APPLE__)
+  EXPECT_TRUE(kRuMaxrssIsBytes);
+#else
+  EXPECT_FALSE(kRuMaxrssIsBytes);
+#endif
+
+  // And the live reading is unit-sane: a process running gtest holds more
+  // than 1 MiB but far less than 1 TiB resident. A kilobyte/byte mix-up
+  // shifts the value by 1024x in one direction or the other, which this
+  // window catches on any realistic host.
+  const std::uint64_t rss = peak_rss_bytes();
+  if (rss != 0) {  // 0 => platform without getrusage
+    EXPECT_GT(rss, std::uint64_t{1} << 20);
+    EXPECT_LT(rss, std::uint64_t{1} << 40);
+  }
+}
+
 }  // namespace
 }  // namespace sjc
