@@ -228,7 +228,7 @@ core::RunReport run_hadoop(const workload::Dataset& left,
                            const core::ExecutionConfig& exec, bool zero_copy) {
   systems::SpatialHadoopConfig config;
   config.zero_copy_plane = zero_copy;
-  config.shuffle_filter = false;  // parts 1-3 isolate the plane; part 5 has the filter
+  config.policy.shuffle_filter = false;  // parts 1-3 isolate the plane; part 5 has the filter
   return systems::run_spatial_hadoop(left, right, query, exec, config);
 }
 
@@ -238,7 +238,7 @@ core::RunReport run_spark(const workload::Dataset& left,
                           const core::ExecutionConfig& exec, bool zero_copy) {
   systems::SpatialSparkConfig config;
   config.zero_copy_plane = zero_copy;
-  config.shuffle_filter = false;  // parts 1-3 isolate the plane; part 5 has the filter
+  config.policy.shuffle_filter = false;  // parts 1-3 isolate the plane; part 5 has the filter
   return systems::run_spatial_spark(left, right, query, exec, config);
 }
 
@@ -304,7 +304,7 @@ double best_partition_shuffle_seconds(int reps, const TimingSetup& s,
                                       bool zero_copy) {
   systems::SpatialHadoopConfig config;
   config.zero_copy_plane = zero_copy;
-  config.shuffle_filter = false;
+  config.policy.shuffle_filter = false;
   double best = std::nan("");
   for (int r = 0; r < reps; ++r) {
     const double start = wall_now();
@@ -325,7 +325,7 @@ core::RunReport run_gis_filter(const workload::Dataset& left,
                                const core::JoinQueryConfig& query,
                                const core::ExecutionConfig& exec, bool filter_on) {
   systems::HadoopGisConfig config;
-  config.shuffle_filter = filter_on;
+  config.policy.shuffle_filter = filter_on;
   return systems::run_hadoop_gis(left, right, query, exec, config);
 }
 
@@ -335,7 +335,7 @@ core::RunReport run_hadoop_filter(const workload::Dataset& left,
                                   const core::ExecutionConfig& exec,
                                   bool filter_on) {
   systems::SpatialHadoopConfig config;
-  config.shuffle_filter = filter_on;
+  config.policy.shuffle_filter = filter_on;
   return systems::run_spatial_hadoop(left, right, query, exec, config);
 }
 
@@ -345,7 +345,7 @@ core::RunReport run_spark_filter(const workload::Dataset& left,
                                  const core::ExecutionConfig& exec,
                                  bool filter_on) {
   systems::SpatialSparkConfig config;
-  config.shuffle_filter = filter_on;
+  config.policy.shuffle_filter = filter_on;
   return systems::run_spatial_spark(left, right, query, exec, config);
 }
 

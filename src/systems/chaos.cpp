@@ -55,21 +55,25 @@ core::RunReport run_under_plan(core::SystemKind system,
                                const workload::Dataset& right,
                                const core::JoinQueryConfig& query,
                                const core::ExecutionConfig& exec,
-                               const cluster::FaultPlan& plan) {
+                               const cluster::FaultPlan& plan,
+                               const plan::ExecPolicy& policy) {
   switch (system) {
     case core::SystemKind::kHadoopGisSim: {
       HadoopGisConfig config;
       config.faults = plan;
+      config.policy = policy;
       return run_hadoop_gis(left, right, query, exec, config);
     }
     case core::SystemKind::kSpatialHadoopSim: {
       SpatialHadoopConfig config;
       config.faults = plan;
+      config.policy = policy;
       return run_spatial_hadoop(left, right, query, exec, config);
     }
     case core::SystemKind::kSpatialSparkSim: {
       SpatialSparkConfig config;
       config.spark.faults = plan;
+      config.policy = policy;
       return run_spatial_spark(left, right, query, exec, config);
     }
   }

@@ -20,6 +20,7 @@
 
 #include "cluster/fault_injector.hpp"
 #include "core/spatial_join.hpp"
+#include "plan/exec_policy.hpp"
 #include "util/rng.hpp"
 #include "workload/dataset.hpp"
 
@@ -36,14 +37,16 @@ namespace sjc::systems {
 cluster::FaultPlan random_fault_plan(Rng& rng, std::uint32_t node_count);
 
 /// Runs `system` on (left, right, query, exec) with `plan` installed in the
-/// system's fault slot and everything else at paper defaults. Never throws
-/// for plan-induced failures: those come back as report.status.
+/// system's fault slot and `policy` as the adaptive-execution knobs
+/// (defaults keep every knob at its plane default). Never throws for
+/// plan-induced failures: those come back as report.status.
 core::RunReport run_under_plan(core::SystemKind system,
                                const workload::Dataset& left,
                                const workload::Dataset& right,
                                const core::JoinQueryConfig& query,
                                const core::ExecutionConfig& exec,
-                               const cluster::FaultPlan& plan);
+                               const cluster::FaultPlan& plan,
+                               const plan::ExecPolicy& policy = {});
 
 /// Checks every chaos invariant of `report` against the fault-free ground
 /// truth `truth` and the plan that produced it. Returns human-readable

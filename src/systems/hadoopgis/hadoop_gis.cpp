@@ -8,6 +8,7 @@
 #include "geom/wkt.hpp"
 #include "index/rtree_dynamic.hpp"
 #include "partition/partitioner.hpp"
+#include "plan/partition_refiner.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
@@ -558,7 +559,7 @@ core::RunReport run_hadoop_gis_impl(const workload::Dataset& left,
     joint_extent.expand_to_include(right.extent());
     const std::uint32_t target_cells =
         core::effective_target_partitions(query, exec.cluster);
-    const partition::PartitionScheme joint_scheme = partition::make_partitions(
+    partition::PartitionScheme joint_scheme = partition::make_partitions(
         query.partitioner, joint_samples, joint_extent, target_cells);
     dfs.put("join.partitions", std::any(), joint_scheme.size_bytes());
     mapreduce::charge_master_step(ctx, "join/a-joint-partition", master_cpu.seconds(),
@@ -578,6 +579,44 @@ core::RunReport run_hadoop_gis_impl(const workload::Dataset& left,
                               ? query.within_distance / 2.0
                               : 0.0;
 
+    // ---- Global join step (a1): optional skew-aware tile refinement ---------
+    // Probe the per-tile load the join mappers below would push through the
+    // streaming pipes (the same expanded-envelope assignment over both
+    // datasets, tallied instead of emitted), split hotspot tiles on the
+    // master, and rewrite the partition file — the filter bitmaps and the
+    // join job then see the refined tile set.
+    if (config.policy.repartition.value_or(false)) {
+      CpuStopwatch skew_cpu;
+      const plan::PartitionRefiner refiner(query.partitioner, config.policy.skew);
+      const auto probe = [&](const partition::PartitionScheme& s) {
+        std::vector<plan::CellLoad> loads(s.cell_count());
+        std::vector<std::uint32_t> pids;
+        const auto tally = [&](const workload::Dataset& data) {
+          const auto envs = data.envelopes();
+          for (std::size_t i = 0; i < envs.size(); ++i) {
+            s.assign_into(envs[i].expanded_by(expand), pids);
+            const std::uint64_t bytes = 4 + data.record_text_bytes(i);
+            for (const auto pid : pids) {
+              ++loads[pid].records;
+              loads[pid].bytes += bytes;
+            }
+          }
+        };
+        tally(left);
+        tally(right);
+        return loads;
+      };
+      plan::RefineResult refined = refiner.refine(joint_scheme, probe);
+      if (ctx.counters != nullptr) {
+        plan::record_repartition_counters(refined, *ctx.counters);
+      }
+      const std::uint64_t before_bytes = joint_scheme.size_bytes();
+      joint_scheme = std::move(refined.scheme);
+      dfs.put("join.partitions", std::any(), joint_scheme.size_bytes());
+      mapreduce::charge_master_step(ctx, "join/a1-skew-refine", skew_cpu.seconds(),
+                                    before_bytes, joint_scheme.size_bytes());
+    }
+
     // ---- Global join step (a2): optional shuffle filter ---------------------
     // LocationSpark's sFilter analog: a master-side pass over each dataset
     // replays the join mapper's assignment (query + nearest-cell fallback)
@@ -587,7 +626,7 @@ core::RunReport run_hadoop_gis_impl(const workload::Dataset& left,
     // geometry in that tile, and B-side mappers drop against the A bitmap —
     // before the line is pushed through the streaming pipe. Both bitmaps
     // ship to every mapper via the distributed cache.
-    const bool filter_on = config.shuffle_filter.value_or(true);
+    const bool filter_on = config.policy.shuffle_filter.value_or(true);
     std::unique_ptr<geom::OccupancyFilter> sfilter_b;  // B occupancy, filters A
     std::unique_ptr<geom::OccupancyFilter> sfilter_a;  // A occupancy, filters B
     if (filter_on) {

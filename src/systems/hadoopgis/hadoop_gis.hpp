@@ -28,10 +28,9 @@
 // BrokenPipe exactly as HadoopGIS does in Tables 2-3.
 #pragma once
 
-#include <optional>
-
 #include "core/spatial_join.hpp"
 #include "mapreduce/streaming.hpp"
+#include "plan/exec_policy.hpp"
 
 namespace sjc::geom {
 class PreparedCache;
@@ -69,14 +68,16 @@ struct HadoopGisConfig {
   /// recovery budget (max_attempts, backoff, speculation). The default is
   /// trivial: no faults, first failure fatal — the seed model of Tables 2-3.
   cluster::FaultPlan faults;
-  /// Map-side spatial shuffle filter (LocationSpark's sFilter analog): after
-  /// the joint partition scheme is derived, a master-side pass over the
-  /// right dataset's envelopes builds a per-cell occupancy bitmap shipped to
-  /// the join mappers via the distributed cache; A-side mappers drop tile
-  /// line copies that provably match no B geometry in the target tile before
-  /// the line crosses the streaming pipe. Survivor pair sets are
-  /// bit-identical to the unfiltered path. Unset (default) resolves to on.
-  std::optional<bool> shuffle_filter;
+  /// Adaptive-execution knobs (see plan/exec_policy.hpp):
+  ///  - policy.shuffle_filter: master-side occupancy bitmap over the right
+  ///    dataset shipped to the join mappers via the distributed cache;
+  ///    A-side mappers drop tile line copies that provably match no B
+  ///    geometry before the line crosses the streaming pipe (sFilter
+  ///    analog). Unset resolves to on.
+  ///  - policy.repartition: probe per-tile load after the joint scheme is
+  ///    derived on the master and split hotspot tiles before the join job's
+  ///    mappers re-assign both datasets; unset resolves to off.
+  plan::ExecPolicy policy;
 };
 
 core::RunReport run_hadoop_gis(const workload::Dataset& left,

@@ -8,6 +8,7 @@
 #include "mapreduce/map_reduce.hpp"
 #include "partition/partitioner.hpp"
 #include "partition/sampler.hpp"
+#include "plan/partition_refiner.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
@@ -140,6 +141,39 @@ IndexedDataset index_dataset(mapreduce::MrContext& ctx, const workload::Dataset&
   const double expand = query.predicate == core::JoinPredicate::kWithinDistance
                             ? query.within_distance / 2.0
                             : 0.0;
+
+  // ---- Optional master step: skew-aware hotspot refinement ----------------
+  // Probe the per-cell load the partition job below would shuffle (the same
+  // expanded-envelope assignment, tallied instead of emitted), split hotspot
+  // cells on the master, and rewrite the _master file — so Job 2, the
+  // shuffle filter and getSplits all see the refined cell set.
+  if (config.policy.repartition.value_or(false)) {
+    CpuStopwatch skew_cpu;
+    const plan::PartitionRefiner refiner(query.partitioner, config.policy.skew);
+    const auto envs = data.envelopes();
+    const auto probe = [&](const partition::PartitionScheme& s) {
+      std::vector<plan::CellLoad> loads(s.cell_count());
+      std::vector<std::uint32_t> pids;
+      for (std::size_t i = 0; i < envs.size(); ++i) {
+        s.assign_into(envs[i].expanded_by(expand), pids);
+        const std::uint64_t bytes = 4 + data.record_text_bytes(i);
+        for (const auto pid : pids) {
+          ++loads[pid].records;
+          loads[pid].bytes += bytes;
+        }
+      }
+      return loads;
+    };
+    plan::RefineResult refined = refiner.refine(out.scheme, probe);
+    if (ctx.counters != nullptr) {
+      plan::record_repartition_counters(refined, *ctx.counters);
+    }
+    out.scheme = std::move(refined.scheme);
+    const std::uint64_t refined_bytes = out.scheme.size_bytes();
+    ctx.dfs->put(tag + "._master", std::any(), refined_bytes);
+    mapreduce::charge_master_step(ctx, tag + "/skew-refine", skew_cpu.seconds(),
+                                  /*read=*/master_bytes, /*write=*/refined_bytes);
+  }
 
   // ---- Optional master step: build the shuffle filter from the resident
   // side's partition blocks. Every resident record's expanded envelope is
@@ -510,7 +544,7 @@ core::RunReport run_spatial_hadoop_impl(const workload::Dataset& left,
     // streamed (left) side's shuffle. The knob defaults to the data-plane
     // default: on for the reworked zero-copy plane, off for the seed
     // baseline plane.
-    const bool filter_on = config.shuffle_filter.value_or(config.zero_copy_plane);
+    const bool filter_on = config.policy.shuffle_filter.value_or(config.zero_copy_plane);
     IndexedDataset ia;
     IndexedDataset ib;
     if (filter_on) {

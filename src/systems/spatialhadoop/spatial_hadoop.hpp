@@ -28,10 +28,9 @@
 // paper: this analog has no failure modes.
 #pragma once
 
-#include <optional>
-
 #include "core/spatial_join.hpp"
 #include "mapreduce/mr_context.hpp"
+#include "plan/exec_policy.hpp"
 
 namespace sjc::geom {
 class PreparedCache;
@@ -60,16 +59,19 @@ struct SpatialHadoopConfig {
   /// the dataset's features, so the source Dataset must outlive any
   /// SpatialHadoopIndex built from it.
   bool zero_copy_plane = true;
-  /// Map-side spatial shuffle filter (LocationSpark's sFilter analog): index
-  /// the resident (right) dataset first, build a per-cell occupancy bitmap
-  /// from its partition blocks, and drop streamed (left) record copies whose
-  /// expanded envelope provably matches nothing in the target cell — before
-  /// they are ever shuffled. Survivor pair sets are bit-identical to the
-  /// unfiltered path. Unset (default) resolves to the data-plane default:
-  /// on for the reworked zero-copy plane, off for the seed baseline plane.
-  /// The pre-indexed join path (run_spatial_hadoop_indexed) never filters —
-  /// both inputs are partitioned before the join pairing is known.
-  std::optional<bool> shuffle_filter;
+  /// Adaptive-execution knobs (see plan/exec_policy.hpp):
+  ///  - policy.shuffle_filter: index the resident (right) dataset first,
+  ///    build a per-cell occupancy bitmap from its partition blocks, and
+  ///    drop streamed (left) record copies that provably match nothing in
+  ///    the target cell before they are shuffled (sFilter analog). Unset
+  ///    resolves to the data-plane default: on for the zero-copy plane, off
+  ///    for the seed baseline plane. The pre-indexed join path
+  ///    (run_spatial_hadoop_indexed) never filters — both inputs are
+  ///    partitioned before the join pairing is known.
+  ///  - policy.repartition: probe per-cell load after the sample job derives
+  ///    a dataset's scheme and split hotspot cells on the master before the
+  ///    partition MR job writes blocks; unset resolves to off.
+  plan::ExecPolicy policy;
 };
 
 core::RunReport run_spatial_hadoop(const workload::Dataset& left,

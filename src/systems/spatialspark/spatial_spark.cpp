@@ -10,6 +10,8 @@
 #include "core/local_join.hpp"
 #include "index/str_tree.hpp"
 #include "partition/partitioner.hpp"
+#include "plan/cost_model.hpp"
+#include "plan/partition_refiner.hpp"
 #include "rdd/rdd.hpp"
 #include "util/stopwatch.hpp"
 #include "workload/quarantine.hpp"
@@ -367,6 +369,47 @@ void run_partitioned_join_zero_copy(
       query.partitioner, sample_envs, joint_extent, target_cells);
   rt.record_narrow_stage("driver.partition", {driver_cpu.seconds()});
 
+  const double expand = local_spec.envelope_expansion();
+
+  // ---- 2a. Optional skew-aware hotspot refinement (driver-side) ------------
+  // Probe the shuffle load each cell of the sampled scheme would receive
+  // (the exact assignment the assign stages perform below, tallied instead
+  // of emitted), split hotspot cells, and only then broadcast/capture the
+  // scheme — so the resident path and every downstream stage see the
+  // refined cell set. Runs before the occupancy filter on purpose: the
+  // probe must see unfiltered load, and the bitmaps must be built against
+  // the final cells.
+  if (config.policy.repartition.value_or(false)) {
+    CpuStopwatch skew_cpu;
+    const plan::PartitionRefiner refiner(query.partitioner, config.policy.skew);
+    const auto probe = [&](const partition::PartitionScheme& s) {
+      std::vector<plan::CellLoad> loads(s.cell_count());
+      std::vector<std::uint32_t> pids;
+      const auto tally = [&](const rdd::Rdd<FeatureRef>& side) {
+        for (const auto& part : side.partitions()) {
+          for (const auto& r : part) {
+            const Feature& f = r.get();
+            s.assign_into(f.geometry.envelope().expanded_by(expand), pids);
+            const std::uint64_t bytes =
+                4 + static_cast<std::uint64_t>(f.geometry.size_bytes()) +
+                rec_overhead;
+            for (const auto pid : pids) {
+              ++loads[pid].records;
+              loads[pid].bytes += bytes;
+            }
+          }
+        }
+      };
+      tally(left_rdd);
+      tally(right_rdd);
+      return loads;
+    };
+    plan::RefineResult refined = refiner.refine(scheme, probe);
+    rt.record_narrow_stage("driver.skew-refine", {skew_cpu.seconds()});
+    plan::record_repartition_counters(refined, report.counters);
+    scheme = std::move(refined.scheme);
+  }
+
   if (capture != nullptr) {
     capture->store = store;
     capture->left_chunks.assign(left_rdd.partitions().begin(),
@@ -382,8 +425,6 @@ void run_partitioned_join_zero_copy(
   rdd::Broadcast<partition::PartitionScheme> scheme_bc(rt, std::move(scheme),
                                                        scheme_bytes, "scheme");
 
-  const double expand = local_spec.envelope_expansion();
-
   // ---- 2b. Optional map-side shuffle filter (LocationSpark's sFilter) ------
   // Two narrow passes replay the exact (unfiltered) assignment each side's
   // own assign stage would perform and mark each expanded envelope into its
@@ -394,7 +435,7 @@ void run_partitioned_join_zero_copy(
   // broadcast next to the scheme; the assign stages consult them below.
   // The seed copying plane is the unfiltered bench baseline and never takes
   // this path; the broadcast join shuffles nothing to filter.
-  const bool filter_on = config.shuffle_filter.value_or(true);
+  const bool filter_on = config.policy.shuffle_filter.value_or(true);
   std::optional<rdd::Broadcast<geom::OccupancyFilter>> right_occ_bc;  // filters A
   std::optional<rdd::Broadcast<geom::OccupancyFilter>> left_occ_bc;   // filters B
   if (filter_on) {
@@ -784,7 +825,31 @@ core::RunReport run_spatial_spark(const workload::Dataset& left,
                                   const core::JoinQueryConfig& query,
                                   const core::ExecutionConfig& exec,
                                   const SpatialSparkConfig& config) {
-  return run_spatial_spark_impl(left, right, query, exec, config, nullptr);
+  if (!config.policy.cost_based_plan) {
+    return run_spatial_spark_impl(left, right, query, exec, config, nullptr);
+  }
+  // Cost-based physical-plan choice: predict both plans from the dataset
+  // sizes and the cluster spec, run the cheaper feasible one, and leave the
+  // prediction next to the realized wall clock in the plan.* counters.
+  const plan::PlanDecision decision = plan::choose_plan(plan::PlanInputs{
+      .left_records = left.size(),
+      .right_records = right.size(),
+      .left_bytes = left.text_bytes(),
+      .right_bytes = right.text_bytes(),
+      .record_overhead_bytes = config.record_overhead_bytes,
+      .replication_factor = std::nullopt,
+      .filter_selectivity = std::nullopt,
+      .cluster = exec.cluster,
+      .data_scale = exec.data_scale,
+      .resident = false,
+  });
+  SpatialSparkConfig chosen = config;
+  chosen.broadcast_join = decision.chosen == plan::PlanKind::kBroadcastJoin;
+  core::RunReport report =
+      run_spatial_spark_impl(left, right, query, exec, chosen, nullptr);
+  plan::record_plan_counters(decision, report.counters);
+  plan::record_plan_actual(report.total_seconds, report.counters);
+  return report;
 }
 
 const core::RunReport& SpatialSparkResident::build_report() const {

@@ -25,9 +25,8 @@
 // data are broadcast, and the left side probes it directly with no shuffle.
 #pragma once
 
-#include <optional>
-
 #include "core/spatial_join.hpp"
+#include "plan/exec_policy.hpp"
 #include "rdd/spark_runtime.hpp"
 
 namespace sjc::geom {
@@ -56,16 +55,17 @@ struct SpatialSparkConfig {
   /// the OOM gate are identical to the seed copying plane (kept as the
   /// bench_shuffle baseline). The broadcast join always uses the seed plane.
   bool zero_copy_plane = true;
-  /// Map-side spatial shuffle filter (LocationSpark's sFilter analog): after
-  /// the partition scheme is broadcast, one pass over the right RDD's
-  /// FeatureRef envelope views builds a per-cell occupancy bitmap, which is
-  /// broadcast alongside the scheme; the left side's assign stage drops
-  /// (record, cell) copies that provably match nothing there before they hit
-  /// groupByKey. Survivor pair sets are bit-identical to the unfiltered
-  /// path. Unset (default) resolves to on for the reworked zero-copy
-  /// partition-based join; the seed copying plane is the bench baseline and
-  /// stays unfiltered, as does the broadcast join (nothing is shuffled).
-  std::optional<bool> shuffle_filter;
+  /// Adaptive-execution knobs (see plan/exec_policy.hpp):
+  ///  - policy.shuffle_filter: map-side occupancy-bitmap filter (sFilter
+  ///    analog) on the left side's assign stage; unset resolves to on for
+  ///    the zero-copy partition-based join, while the seed copying plane
+  ///    (bench baseline) and the broadcast join stay unfiltered.
+  ///  - policy.repartition: probe per-cell shuffle load right after the
+  ///    driver derives the scheme and quad-split hotspot cells before the
+  ///    scheme is broadcast; unset resolves to off.
+  ///  - policy.cost_based_plan: let plan::choose_plan() pick broadcast vs
+  ///    partitioned per run instead of the static broadcast_join flag.
+  plan::ExecPolicy policy;
 };
 
 core::RunReport run_spatial_spark(const workload::Dataset& left,

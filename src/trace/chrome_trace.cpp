@@ -113,15 +113,18 @@ std::string format_skew_table(const TaskTimeline& timeline) {
   const auto rows = skew_summary(timeline);
   std::ostringstream out;
   char line[256];
-  std::snprintf(line, sizeof(line), "  %-40s %8s %9s %9s %9s %9s %6s %5s\n",
-                "phase", "attempts", "min_s", "p50_s", "p95_s", "max_s", "strag",
-                "fail");
+  std::snprintf(line, sizeof(line), "  %-40s %8s %9s %9s %9s %9s %7s %6s %5s\n",
+                "phase", "attempts", "min_s", "p50_s", "p95_s", "max_s", "ratio",
+                "strag", "fail");
   out << line;
   for (const auto& row : rows) {
+    // max/p50 — the hotspot ratio skew-aware repartitioning targets; 0 when
+    // the phase median is 0 (all-instant tasks).
+    const double ratio = row.p50_s > 0.0 ? row.max_s / row.p50_s : 0.0;
     std::snprintf(line, sizeof(line),
-                  "  %-40s %8zu %9.3f %9.3f %9.3f %9.3f %6zu %5zu\n",
+                  "  %-40s %8zu %9.3f %9.3f %9.3f %9.3f %7.2f %6zu %5zu\n",
                   row.phase.c_str(), row.attempts, row.min_s, row.p50_s, row.p95_s,
-                  row.max_s, row.stragglers, row.failed + row.spec_losers);
+                  row.max_s, ratio, row.stragglers, row.failed + row.spec_losers);
     out << line;
   }
   return out.str();
@@ -178,6 +181,41 @@ std::string format_skew_table(const TaskTimeline& timeline,
                   static_cast<unsigned long long>(shuffled), pct(shuffled),
                   static_cast<unsigned long long>(filtered), pct(filtered),
                   static_cast<unsigned long long>(value("shuffle.filtered_bytes")));
+    out += line;
+  }
+  // Repartition footer (present only when skew-aware refinement ran:
+  // repartition.rounds is >= 1 whenever the probe executed, even if no cell
+  // was hot enough to split).
+  const std::uint64_t rounds = value("repartition.rounds");
+  if (rounds != 0) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "  repartition: %llu rounds | %llu splits -> %llu cells | "
+                  "migrated %llu records / %llu bytes\n",
+                  static_cast<unsigned long long>(rounds),
+                  static_cast<unsigned long long>(value("repartition.splits")),
+                  static_cast<unsigned long long>(value("repartition.cells")),
+                  static_cast<unsigned long long>(
+                      value("repartition.migrated_records")),
+                  static_cast<unsigned long long>(
+                      value("repartition.migrated_bytes")));
+    out += line;
+  }
+  // Plan footer (present only when the cost model chose the physical plan:
+  // plan.chosen is 1 or 2, never 0, once a decision is recorded).
+  const std::uint64_t chosen = value("plan.chosen");
+  if (chosen != 0) {
+    char line[256];
+    std::snprintf(
+        line, sizeof(line),
+        "  plan: %s | predicted %llu ms (broadcast %llu / partitioned %llu) | "
+        "actual %llu ms%s\n",
+        chosen == 2 ? "broadcast" : "partitioned",
+        static_cast<unsigned long long>(value("plan.predicted_cost")),
+        static_cast<unsigned long long>(value("plan.predicted_broadcast")),
+        static_cast<unsigned long long>(value("plan.predicted_partitioned")),
+        static_cast<unsigned long long>(value("plan.actual_cost")),
+        value("plan.fallback") != 0 ? " | fallback" : "");
     out += line;
   }
   return out;

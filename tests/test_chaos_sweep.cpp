@@ -10,6 +10,9 @@
 //   SJC_CHAOS_PLANS    plans per (experiment, system) combo (default 34,
 //                      -> 204 runs across 2 experiments x 3 systems).
 //   SJC_CHAOS_SEED     sweep seed (default 20260808).
+//   SJC_CHAOS_REPARTITION_PLANS
+//                      plans per combo for the adaptive-repartitioning leg
+//                      (default 8).
 //   SJC_CHAOS_ARTIFACT path for the failing-plan dump (default
 //                      chaos_failures.txt in the working directory); every
 //                      violation appends cluster::describe(plan), so a CI
@@ -24,6 +27,7 @@
 #include "cluster/fault_injector.hpp"
 #include "core/experiments.hpp"
 #include "core/spatial_join.hpp"
+#include "plan/exec_policy.hpp"
 #include "systems/chaos.hpp"
 #include "util/rng.hpp"
 #include "workload/generators.hpp"
@@ -140,6 +144,65 @@ TEST(ChaosSweep, RandomizedFaultPlansUpholdLifecycleContract) {
               static_cast<unsigned long long>(runs),
               static_cast<unsigned long long>(survived),
               static_cast<unsigned long long>(failed_clean));
+}
+
+// Repartition leg: the same lifecycle contract, with skew-aware adaptive
+// repartitioning switched on under every fault plan. Split soundness makes
+// the fault-free *static-scheme* truth remain the ground truth — a
+// surviving adaptive run must still be bit-identical to it — and the
+// commit-ledger/retry/quarantine invariants must hold while shuffle
+// buckets are being re-routed mid-job. Runs per combo come from
+// SJC_CHAOS_REPARTITION_PLANS (default 8; the leg rides along in the
+// sanitized CI chaos job via the shared binary).
+TEST(ChaosSweep, RepartitionedRunsUpholdLifecycleContract) {
+  const auto& b = ChaosBench::instance();
+  const std::uint64_t plans_per_combo =
+      env_u64("SJC_CHAOS_REPARTITION_PLANS", 8);
+  Rng rng(env_u64("SJC_CHAOS_SEED", 20260808) ^ 0x5e57ULL);
+
+  plan::ExecPolicy policy;
+  policy.repartition = true;
+  // Aggressive thresholds so the scaled-down chaos datasets actually split.
+  policy.skew.hotspot_factor = 1.5;
+  policy.skew.min_cell_records = 4;
+  policy.skew.max_rounds = 2;
+
+  std::uint64_t repartitioned_survivors = 0;
+  for (const auto& e : b.experiments) {
+    for (const auto system :
+         {core::SystemKind::kHadoopGisSim, core::SystemKind::kSpatialHadoopSim,
+          core::SystemKind::kSpatialSparkSim}) {
+      for (std::uint64_t k = 0; k < plans_per_combo; ++k) {
+        const cluster::FaultPlan plan =
+            systems::random_fault_plan(rng, b.exec.cluster.node_count);
+        const std::string context = e.id + " / " +
+                                    core::system_kind_name(system) +
+                                    " / repartition plan " + std::to_string(k);
+        core::RunReport report;
+        try {
+          report = systems::run_under_plan(system, e.left, e.right, e.query,
+                                           b.exec, plan, policy);
+        } catch (const std::exception& ex) {
+          dump_failure(context, plan, {std::string("escaped exception: ") + ex.what()});
+          FAIL() << context << ": escaped exception: " << ex.what() << "\n  "
+                 << cluster::describe(plan);
+        }
+        const auto violations = systems::chaos_violations(report, e.truth, plan);
+        if (!violations.empty()) {
+          dump_failure(context, plan, violations);
+          for (const auto& v : violations) {
+            ADD_FAILURE() << context << ": " << v << "\n  "
+                          << cluster::describe(plan);
+          }
+        }
+        if (report.success && report.counters.get("repartition.rounds") > 0) {
+          ++repartitioned_survivors;
+        }
+      }
+    }
+  }
+  // The leg is only meaningful if some survivor actually refined its scheme.
+  EXPECT_GT(repartitioned_survivors, 0u);
 }
 
 // A fault-free plan through the chaos path reproduces the default dispatch

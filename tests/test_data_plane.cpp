@@ -199,27 +199,27 @@ TEST(DataPlane, DuplicatedRecordsCounterOnPinnedGrid) {
   };
   {
     systems::HadoopGisConfig cfg;
-    cfg.shuffle_filter = false;
+    cfg.policy.shuffle_filter = false;
     check(systems::run_hadoop_gis(left, right, query, exec, cfg), "hadoopgis");
-    cfg.shuffle_filter = true;
+    cfg.policy.shuffle_filter = true;
     check_filtered(systems::run_hadoop_gis(left, right, query, exec, cfg),
                    "hadoopgis-filtered");
   }
   {
     systems::SpatialHadoopConfig cfg;
-    cfg.shuffle_filter = false;
+    cfg.policy.shuffle_filter = false;
     check(systems::run_spatial_hadoop(left, right, query, exec, cfg),
           "spatialhadoop");
-    cfg.shuffle_filter = true;
+    cfg.policy.shuffle_filter = true;
     check_filtered(systems::run_spatial_hadoop(left, right, query, exec, cfg),
                    "spatialhadoop-filtered");
   }
   {
     systems::SpatialSparkConfig cfg;
-    cfg.shuffle_filter = false;
+    cfg.policy.shuffle_filter = false;
     check(systems::run_spatial_spark(left, right, query, exec, cfg),
           "spatialspark");
-    cfg.shuffle_filter = true;
+    cfg.policy.shuffle_filter = true;
     check_filtered(systems::run_spatial_spark(left, right, query, exec, cfg),
                    "spatialspark-filtered");
   }
@@ -389,10 +389,10 @@ TEST(DataPlane, ZeroCopyPlaneChargesIdenticalModeledQuantities) {
   {
     systems::SpatialHadoopConfig seed_cfg;
     seed_cfg.zero_copy_plane = false;
-    seed_cfg.shuffle_filter = false;  // isolate the plane; filter has its own tests
+    seed_cfg.policy.shuffle_filter = false;  // isolate the plane; filter has its own tests
     systems::SpatialHadoopConfig zc_cfg;
     zc_cfg.zero_copy_plane = true;
-    zc_cfg.shuffle_filter = false;
+    zc_cfg.policy.shuffle_filter = false;
     const auto seed =
         systems::run_spatial_hadoop(b.left, b.right, b.query, b.exec, seed_cfg);
     const auto zc = systems::run_spatial_hadoop(b.left, b.right, b.query, b.exec, zc_cfg);
@@ -402,10 +402,10 @@ TEST(DataPlane, ZeroCopyPlaneChargesIdenticalModeledQuantities) {
   {
     systems::SpatialSparkConfig seed_cfg;
     seed_cfg.zero_copy_plane = false;
-    seed_cfg.shuffle_filter = false;  // isolate the plane; filter has its own tests
+    seed_cfg.policy.shuffle_filter = false;  // isolate the plane; filter has its own tests
     systems::SpatialSparkConfig zc_cfg;
     zc_cfg.zero_copy_plane = true;
-    zc_cfg.shuffle_filter = false;
+    zc_cfg.policy.shuffle_filter = false;
     const auto seed =
         systems::run_spatial_spark(b.left, b.right, b.query, b.exec, seed_cfg);
     const auto zc = systems::run_spatial_spark(b.left, b.right, b.query, b.exec, zc_cfg);

@@ -271,9 +271,9 @@ TEST(ShuffleFilter, SystemsBitIdenticalSurvivorPairs) {
           bench.name + "/" + partition::partitioner_kind_name(kind);
       {
         systems::HadoopGisConfig off_cfg;
-        off_cfg.shuffle_filter = false;
+        off_cfg.policy.shuffle_filter = false;
         systems::HadoopGisConfig on_cfg;
-        on_cfg.shuffle_filter = true;
+        on_cfg.policy.shuffle_filter = true;
         expect_filter_neutral(
             systems::run_hadoop_gis(bench.left, bench.right, query, bench.exec,
                                     off_cfg),
@@ -283,9 +283,9 @@ TEST(ShuffleFilter, SystemsBitIdenticalSurvivorPairs) {
       }
       {
         systems::SpatialHadoopConfig off_cfg;
-        off_cfg.shuffle_filter = false;
+        off_cfg.policy.shuffle_filter = false;
         systems::SpatialHadoopConfig on_cfg;
-        on_cfg.shuffle_filter = true;
+        on_cfg.policy.shuffle_filter = true;
         expect_filter_neutral(
             systems::run_spatial_hadoop(bench.left, bench.right, query,
                                         bench.exec, off_cfg),
@@ -295,9 +295,9 @@ TEST(ShuffleFilter, SystemsBitIdenticalSurvivorPairs) {
       }
       {
         systems::SpatialSparkConfig off_cfg;
-        off_cfg.shuffle_filter = false;
+        off_cfg.policy.shuffle_filter = false;
         systems::SpatialSparkConfig on_cfg;
-        on_cfg.shuffle_filter = true;
+        on_cfg.policy.shuffle_filter = true;
         expect_filter_neutral(
             systems::run_spatial_spark(bench.left, bench.right, query,
                                        bench.exec, off_cfg),

@@ -387,10 +387,54 @@ TEST(SkewSummary, PercentilesAndStragglers) {
   EXPECT_DOUBLE_EQ(rows[1].p50_s, 2.0);
   EXPECT_EQ(rows[1].stragglers, 0u);
 
-  // The formatted table carries every phase row.
+  // The formatted table carries every phase row and the max/p50 hotspot
+  // ratio column (10.0 / 1.0 for the map phase).
   const std::string table = trace::format_skew_table(timeline);
   EXPECT_NE(table.find("map"), std::string::npos);
   EXPECT_NE(table.find("reduce"), std::string::npos);
+  EXPECT_NE(table.find("ratio"), std::string::npos);
+  EXPECT_NE(table.find("10.00"), std::string::npos) << table;
+}
+
+TEST(SkewSummary, RepartitionAndPlanFooters) {
+  trace::TaskTimeline timeline;
+  timeline.node_count = 1;
+  timeline.slots_per_node = 1;
+  timeline.spans.push_back(make_span("map", 0, 0.0, 1.0));
+
+  // No adaptive counters -> no footers (the gates are the counters that are
+  // >= 1 whenever the feature ran: repartition.rounds and plan.chosen).
+  std::map<std::string, std::uint64_t> counters;
+  std::string table = trace::format_skew_table(timeline, counters);
+  EXPECT_EQ(table.find("repartition:"), std::string::npos);
+  EXPECT_EQ(table.find("plan:"), std::string::npos);
+
+  counters["repartition.rounds"] = 2;
+  counters["repartition.splits"] = 3;
+  counters["repartition.cells"] = 25;
+  counters["repartition.migrated_records"] = 1200;
+  counters["repartition.migrated_bytes"] = 56000;
+  counters["plan.chosen"] = 2;
+  counters["plan.predicted_cost"] = 40;
+  counters["plan.predicted_broadcast"] = 40;
+  counters["plan.predicted_partitioned"] = 90;
+  counters["plan.actual_cost"] = 45;
+  table = trace::format_skew_table(timeline, counters);
+  EXPECT_NE(table.find("repartition: 2 rounds | 3 splits -> 25 cells"),
+            std::string::npos)
+      << table;
+  EXPECT_NE(table.find("migrated 1200 records / 56000 bytes"), std::string::npos);
+  EXPECT_NE(table.find("plan: broadcast | predicted 40 ms (broadcast 40 / "
+                       "partitioned 90) | actual 45 ms"),
+            std::string::npos)
+      << table;
+  EXPECT_EQ(table.find("fallback"), std::string::npos);
+
+  counters["plan.chosen"] = 1;
+  counters["plan.fallback"] = 1;
+  table = trace::format_skew_table(timeline, counters);
+  EXPECT_NE(table.find("plan: partitioned"), std::string::npos) << table;
+  EXPECT_NE(table.find("| fallback"), std::string::npos) << table;
 }
 
 }  // namespace
